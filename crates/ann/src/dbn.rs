@@ -1,0 +1,291 @@
+//! The deep belief network of the paper's Fig. 6: a stack of RBMs
+//! pre-trained greedily with CD-1 (the "hidden layers" extracting
+//! features of the inputs), assembled into a feed-forward network whose
+//! output ("visible") layers are fine-tuned with back-propagation.
+
+use helio_common::rng::seeded;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+use crate::mlp::Mlp;
+use crate::rbm::Rbm;
+use crate::scaler::MinMaxScaler;
+
+/// Training hyper-parameters of a [`Dbn`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbnConfig {
+    /// Hidden layer sizes (the RBM stack), e.g. `[16, 12]`.
+    pub hidden: Vec<usize>,
+    /// CD-1 epochs per RBM layer.
+    pub rbm_epochs: usize,
+    /// CD-1 learning rate.
+    pub rbm_lr: f64,
+    /// Back-propagation fine-tuning epochs.
+    pub bp_epochs: usize,
+    /// Back-propagation learning rate.
+    pub bp_lr: f64,
+    /// Deterministic seed for initialisation and CD sampling.
+    pub seed: u64,
+}
+
+impl DbnConfig {
+    /// A compact configuration adequate for the scheduler's ~20-input
+    /// observation vectors; trains in well under a second.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            hidden: vec![16, 10],
+            rbm_epochs: 30,
+            rbm_lr: 0.1,
+            bp_epochs: 600,
+            bp_lr: 0.4,
+            seed,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadConfig`] for empty/zero layers or
+    /// non-positive learning rates.
+    pub fn validate(&self) -> Result<(), AnnError> {
+        if self.hidden.is_empty() || self.hidden.iter().any(|&h| h == 0) {
+            return Err(AnnError::BadConfig(
+                "hidden layer list must be nonempty with nonzero sizes".into(),
+            ));
+        }
+        if self.rbm_lr <= 0.0 || self.bp_lr <= 0.0 {
+            return Err(AnnError::BadConfig("learning rates must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A trained DBN regressor with built-in input/output scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dbn {
+    input_scaler: MinMaxScaler,
+    output_scaler: MinMaxScaler,
+    network: Mlp,
+    final_loss: f64,
+}
+
+impl Dbn {
+    /// Trains a DBN on `(inputs, targets)` pairs: greedy RBM
+    /// pre-training of the hidden stack, then supervised BP fine-tuning
+    /// of the whole network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for empty or inconsistent
+    /// data and [`AnnError::BadConfig`] for invalid hyper-parameters.
+    pub fn train(
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        cfg: &DbnConfig,
+    ) -> Result<Self, AnnError> {
+        cfg.validate()?;
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        let input_scaler = MinMaxScaler::fit(inputs)?;
+        let output_scaler = MinMaxScaler::fit(targets)?;
+        let xs: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| input_scaler.transform(x))
+            .collect::<Result<_, _>>()?;
+        // Targets are squeezed into [0.05, 0.95] so the sigmoid output
+        // layer can actually reach them.
+        let ys: Vec<Vec<f64>> = targets
+            .iter()
+            .map(|t| {
+                output_scaler
+                    .transform(t)
+                    .map(|v| v.into_iter().map(|y| 0.05 + 0.9 * y).collect())
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut rng = seeded(cfg.seed);
+        let in_dim = input_scaler.dim();
+        let out_dim = output_scaler.dim();
+
+        // Greedy unsupervised pre-training of the RBM stack.
+        let mut rbms: Vec<Rbm> = Vec::with_capacity(cfg.hidden.len());
+        let mut layer_input = xs.clone();
+        let mut prev_dim = in_dim;
+        for &h in &cfg.hidden {
+            let mut rbm = Rbm::new(prev_dim, h, &mut rng);
+            rbm.train(&layer_input, cfg.rbm_epochs, cfg.rbm_lr, &mut rng)?;
+            layer_input = layer_input
+                .iter()
+                .map(|v| rbm.hidden_probs(v))
+                .collect::<Result<_, _>>()?;
+            prev_dim = h;
+            rbms.push(rbm);
+        }
+
+        // Assemble the full network and load the pre-trained layers.
+        let mut sizes = vec![in_dim];
+        sizes.extend_from_slice(&cfg.hidden);
+        sizes.push(out_dim);
+        let mut network = Mlp::new(&sizes, &mut rng)?;
+        for (i, rbm) in rbms.iter().enumerate() {
+            network.load_layer(i, rbm.weights().clone(), rbm.hidden_bias().to_vec())?;
+        }
+
+        // Supervised fine-tuning.
+        let final_loss = network.train(&xs, &ys, cfg.bp_epochs, cfg.bp_lr)?;
+
+        Ok(Self {
+            input_scaler,
+            output_scaler,
+            network,
+            final_loss,
+        })
+    }
+
+    /// Predicts the target vector for one raw (unscaled) input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let x = self.input_scaler.transform(input)?;
+        let y = self.network.forward(&x)?;
+        let unsquashed: Vec<f64> = y.iter().map(|v| ((v - 0.05) / 0.9).clamp(0.0, 1.0)).collect();
+        self.output_scaler.inverse(&unsquashed)
+    }
+
+    /// Mean training loss of the final fine-tuning epoch (scaled
+    /// space).
+    pub fn final_loss(&self) -> f64 {
+        self.final_loss
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_scaler.dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_scaler.dim()
+    }
+
+    /// Serialises the trained network to JSON (deployable weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadConfig`] when serialisation fails (should
+    /// not happen for well-formed networks).
+    pub fn to_json(&self) -> Result<String, AnnError> {
+        serde_json::to_string(self).map_err(|e| AnnError::BadConfig(e.to_string()))
+    }
+
+    /// Restores a network serialised with [`Dbn::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadConfig`] for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, AnnError> {
+        serde_json::from_str(json).map_err(|e| AnnError::BadConfig(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A nonlinear two-input function mimicking the scheduler mapping
+    /// (bounded inputs, bounded outputs).
+    fn dataset() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = i as f64 / 11.0;
+                let b = j as f64 / 11.0;
+                xs.push(vec![a * 50.0, b * 4.0 + 1.0]); // scheduler-like ranges
+                ys.push(vec![
+                    (a * b).sqrt(),
+                    if a + b > 1.0 { 1.0 } else { 0.0 },
+                ]);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_nonlinear_mapping() {
+        let (xs, ys) = dataset();
+        let dbn = Dbn::train(&xs, &ys, &DbnConfig::small(3)).unwrap();
+        assert!(dbn.final_loss() < 0.01, "loss {}", dbn.final_loss());
+        // Spot-check a few points.
+        let y = dbn.predict(&[50.0, 5.0]).unwrap(); // a=1, b=1
+        assert!(y[0] > 0.8, "sqrt(1·1) ≈ 1, got {}", y[0]);
+        assert!(y[1] > 0.7, "threshold output should fire, got {}", y[1]);
+        let y = dbn.predict(&[0.0, 1.0]).unwrap(); // a=0, b=0
+        assert!(y[0] < 0.25, "sqrt(0) ≈ 0, got {}", y[0]);
+        assert!(y[1] < 0.35, "threshold output should stay low, got {}", y[1]);
+    }
+
+    #[test]
+    fn pretraining_plus_bp_beats_tiny_bp_budget() {
+        // With a small BP budget, RBM pre-training should help (or at
+        // least not hurt): compare against a config with zero RBM epochs.
+        let (xs, ys) = dataset();
+        let mut with = DbnConfig::small(4);
+        with.bp_epochs = 40;
+        let mut without = with.clone();
+        without.rbm_epochs = 0;
+        let dbn_with = Dbn::train(&xs, &ys, &with).unwrap();
+        let dbn_without = Dbn::train(&xs, &ys, &without).unwrap();
+        assert!(
+            dbn_with.final_loss() < dbn_without.final_loss() * 1.5,
+            "pretrained {} vs cold {}",
+            dbn_with.final_loss(),
+            dbn_without.final_loss()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = dataset();
+        let a = Dbn::train(&xs, &ys, &DbnConfig::small(5)).unwrap();
+        let b = Dbn::train(&xs, &ys, &DbnConfig::small(5)).unwrap();
+        assert_eq!(a.predict(&[25.0, 3.0]).unwrap(), b.predict(&[25.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (xs, ys) = dataset();
+        let dbn = Dbn::train(&xs, &ys, &DbnConfig::small(6)).unwrap();
+        let json = dbn.to_json().unwrap();
+        let back = Dbn::from_json(&json).unwrap();
+        let a = dbn.predict(&[30.0, 2.0]).unwrap();
+        let b = back.predict(&[30.0, 2.0]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            // JSON prints decimal floats; round-trip is close, not exact.
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (xs, ys) = dataset();
+        let mut cfg = DbnConfig::small(1);
+        cfg.hidden = vec![];
+        assert!(Dbn::train(&xs, &ys, &cfg).is_err());
+        let cfg = DbnConfig::small(1);
+        assert!(Dbn::train(&[], &[], &cfg).is_err());
+        assert!(Dbn::train(&xs, &ys[..3].to_vec(), &cfg).is_err());
+        let dbn = Dbn::train(&xs, &ys, &cfg).unwrap();
+        assert!(dbn.predict(&[1.0]).is_err());
+        assert_eq!(dbn.input_dim(), 2);
+        assert_eq!(dbn.output_dim(), 2);
+    }
+}

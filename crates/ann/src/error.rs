@@ -1,0 +1,60 @@
+//! Error type for the ANN substrate.
+
+use std::fmt;
+
+/// Errors produced by network construction, training and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnnError {
+    /// Dimensions of an operation do not match.
+    DimensionMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was received.
+        got: String,
+    },
+    /// The training set is empty or inconsistent.
+    BadTrainingSet(String),
+    /// A configuration value is out of range.
+    BadConfig(String),
+}
+
+impl AnnError {
+    pub(crate) fn dims(expected: impl Into<String>, got: impl Into<String>) -> Self {
+        AnnError::DimensionMismatch {
+            expected: expected.into(),
+            got: got.into(),
+        }
+    }
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            AnnError::BadTrainingSet(msg) => write!(f, "bad training set: {msg}"),
+            AnnError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AnnError::dims("3x4", "3x5");
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3x4, got 3x5");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnnError>();
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal dense row-major matrix — just the operations the RBM and
+//! MLP need, implemented plainly and tested thoroughly.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled from a closure `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Matrix with entries drawn uniformly from `[-scale, scale]`.
+    pub fn random(rows: usize, cols: usize, scale: f64, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, AnnError> {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != n_cols) {
+            return Err(AnnError::dims(
+                format!("every row of length {n_cols}"),
+                "ragged rows".to_string(),
+            ));
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols: n_cols,
+            data: rows.concat(),
+        })
+    }
+
+    /// Number of rows.
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if x.len() != self.cols {
+            return Err(AnnError::dims(
+                format!("vector of length {}", self.cols),
+                format!("length {}", x.len()),
+            ));
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if x.len() != self.rows {
+            return Err(AnnError::dims(
+                format!("vector of length {}", self.rows),
+                format!("length {}", x.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            for c in 0..self.cols {
+                out[c] += self.data[r * self.cols + c] * xr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rank-1 update `self += scale · a · bᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when shapes do not match.
+    pub fn rank1_update(&mut self, a: &[f64], b: &[f64], scale: f64) -> Result<(), AnnError> {
+        if a.len() != self.rows || b.len() != self.cols {
+            return Err(AnnError::dims(
+                format!("{}-vec and {}-vec", self.rows, self.cols),
+                format!("{}-vec and {}-vec", a.len(), b.len()),
+            ));
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                self.data[r * self.cols + c] += scale * a[r] * b[c];
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm (for convergence diagnostics in tests).
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// The logistic sigmoid, numerically safe for large `|x|`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::rng::seeded;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_rows_and_ragged_rejection() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_t(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rank1_update_adds_outer_product() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank1_update(&[1.0, 2.0], &[3.0, 4.0], 0.5).unwrap();
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert!(m.rank1_update(&[1.0], &[1.0, 1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = Matrix::random(4, 4, 0.1, &mut seeded(1));
+        let b = Matrix::random(4, 4, 0.1, &mut seeded(1));
+        assert_eq!(a, b);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(a.get(r, c).abs() <= 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(1e6).is_finite());
+        assert!(sigmoid(-1e6).is_finite());
+        // Symmetry.
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((m.frobenius() - 5.0).abs() < 1e-12);
+    }
+}

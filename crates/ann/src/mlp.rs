@@ -1,0 +1,311 @@
+//! A dense feed-forward network trained by plain back-propagation —
+//! the "BP network" forming the visible/output layers of the paper's
+//! DBN.
+
+use helio_common::rng::DetRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+use crate::matrix::{sigmoid, Matrix};
+
+/// One dense layer: `weights · x + bias` followed by a sigmoid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    /// `out × in` weights.
+    weights: Matrix,
+    bias: Vec<f64>,
+}
+
+impl Layer {
+    fn new(input: usize, output: usize, rng: &mut DetRng) -> Self {
+        let scale = (6.0 / (input + output) as f64).sqrt();
+        Self {
+            weights: Matrix::random(output, input, scale, rng),
+            bias: vec![0.0; output],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut z = self.weights.matvec(x)?;
+        for (zi, b) in z.iter_mut().zip(&self.bias) {
+            *zi = sigmoid(*zi + b);
+        }
+        Ok(z)
+    }
+}
+
+/// A multi-layer perceptron with sigmoid activations throughout
+/// (outputs live in `[0, 1]`; callers scale targets accordingly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `[8, 16, 3]` for
+    /// 8 inputs, one 16-unit hidden layer and 3 outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadConfig`] for fewer than two sizes or any
+    /// zero size.
+    pub fn new(sizes: &[usize], rng: &mut DetRng) -> Result<Self, AnnError> {
+        if sizes.len() < 2 {
+            return Err(AnnError::BadConfig(
+                "MLP needs at least input and output sizes".into(),
+            ));
+        }
+        if sizes.iter().any(|&s| s == 0) {
+            return Err(AnnError::BadConfig("layer sizes must be nonzero".into()));
+        }
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], rng))
+            .collect();
+        Ok(Self { layers })
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").bias.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a)?;
+        }
+        Ok(a)
+    }
+
+    /// Forward pass keeping every layer's activation (for backprop).
+    fn forward_all(&self, x: &[f64]) -> Result<Vec<Vec<f64>>, AnnError> {
+        let mut acts = vec![x.to_vec()];
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("nonempty"))?;
+            acts.push(next);
+        }
+        Ok(acts)
+    }
+
+    /// One SGD step on a single `(input, target)` pair with squared
+    /// loss; returns the sample loss before the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong sizes.
+    pub fn sgd_step(&mut self, x: &[f64], target: &[f64], lr: f64) -> Result<f64, AnnError> {
+        if target.len() != self.output_dim() {
+            return Err(AnnError::dims(
+                format!("target of length {}", self.output_dim()),
+                format!("{}", target.len()),
+            ));
+        }
+        let acts = self.forward_all(x)?;
+        let out = acts.last().expect("nonempty");
+        let loss: f64 = out
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / 2.0;
+
+        // Output delta for squared loss through a sigmoid.
+        let mut delta: Vec<f64> = out
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t) * o * (1.0 - o))
+            .collect();
+
+        for li in (0..self.layers.len()).rev() {
+            let input = &acts[li];
+            // Propagate before mutating weights.
+            let prev_delta = if li > 0 {
+                let back = self.layers[li].weights.matvec_t(&delta)?;
+                Some(
+                    back.iter()
+                        .zip(input)
+                        .map(|(d, a)| d * a * (1.0 - a))
+                        .collect::<Vec<f64>>(),
+                )
+            } else {
+                None
+            };
+            let layer = &mut self.layers[li];
+            layer.weights.rank1_update(&delta, input, -lr)?;
+            for (b, d) in layer.bias.iter_mut().zip(&delta) {
+                *b -= lr * d;
+            }
+            if let Some(pd) = prev_delta {
+                delta = pd;
+            }
+        }
+        Ok(loss)
+    }
+
+    /// Trains for `epochs` sweeps over the data set; returns the mean
+    /// loss of the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for empty or mismatched
+    /// data.
+    pub fn train(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        epochs: usize,
+        lr: f64,
+    ) -> Result<f64, AnnError> {
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            last = 0.0;
+            for (x, t) in inputs.iter().zip(targets) {
+                last += self.sgd_step(x, t, lr)?;
+            }
+            last /= inputs.len() as f64;
+        }
+        Ok(last)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Replaces layer `index`'s weights with pre-trained values (DBN
+    /// pre-training hand-off). Shapes must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when shapes differ or the
+    /// index is out of range.
+    pub fn load_layer(
+        &mut self,
+        index: usize,
+        weights: Matrix,
+        bias: Vec<f64>,
+    ) -> Result<(), AnnError> {
+        if index >= self.layers.len() {
+            return Err(AnnError::dims(
+                format!("layer index < {}", self.layers.len()),
+                format!("{index}"),
+            ));
+        }
+        let layer = &mut self.layers[index];
+        if weights.rows() != layer.weights.rows()
+            || weights.cols() != layer.weights.cols()
+            || bias.len() != layer.bias.len()
+        {
+            return Err(AnnError::dims(
+                format!(
+                    "{}x{} weights",
+                    layer.weights.rows(),
+                    layer.weights.cols()
+                ),
+                format!("{}x{}", weights.rows(), weights.cols()),
+            ));
+        }
+        layer.weights = weights;
+        layer.bias = bias;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::rng::seeded;
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = seeded(5);
+        let mut mlp = Mlp::new(&[2, 6, 1], &mut rng).unwrap();
+        let inputs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let targets = vec![vec![0.05], vec![0.95], vec![0.95], vec![0.05]];
+        let loss = mlp.train(&inputs, &targets, 4000, 0.8).unwrap();
+        assert!(loss < 0.01, "XOR loss {loss}");
+        assert!(mlp.forward(&[0.0, 1.0]).unwrap()[0] > 0.7);
+        assert!(mlp.forward(&[1.0, 1.0]).unwrap()[0] < 0.3);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression() {
+        let mut rng = seeded(6);
+        let mut mlp = Mlp::new(&[1, 8, 1], &mut rng).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 31.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![0.2 + 0.6 * x[0]]).collect();
+        let first = mlp.train(&inputs, &targets, 1, 0.5).unwrap();
+        let last = mlp.train(&inputs, &targets, 500, 0.5).unwrap();
+        assert!(last < first, "loss should fall: {first} -> {last}");
+        assert!(last < 1e-3);
+    }
+
+    #[test]
+    fn shapes_and_validation() {
+        let mut rng = seeded(7);
+        assert!(Mlp::new(&[3], &mut rng).is_err());
+        assert!(Mlp::new(&[3, 0, 1], &mut rng).is_err());
+        let mut mlp = Mlp::new(&[3, 4, 2], &mut rng).unwrap();
+        assert_eq!(mlp.input_dim(), 3);
+        assert_eq!(mlp.output_dim(), 2);
+        assert!(mlp.forward(&[0.0; 2]).is_err());
+        assert!(mlp.sgd_step(&[0.0; 3], &[0.0; 1], 0.1).is_err());
+        assert!(mlp.train(&[], &[], 1, 0.1).is_err());
+    }
+
+    #[test]
+    fn outputs_live_in_unit_interval() {
+        let mut rng = seeded(8);
+        let mlp = Mlp::new(&[4, 5, 3], &mut rng).unwrap();
+        let y = mlp.forward(&[10.0, -10.0, 3.0, 0.0]).unwrap();
+        assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn load_layer_checks_shape_and_index() {
+        let mut rng = seeded(9);
+        let mut mlp = Mlp::new(&[3, 4, 1], &mut rng).unwrap();
+        assert_eq!(mlp.layer_count(), 2);
+        let ok = Matrix::zeros(4, 3);
+        assert!(mlp.load_layer(0, ok, vec![0.0; 4]).is_ok());
+        let bad = Matrix::zeros(4, 2);
+        assert!(mlp.load_layer(0, bad, vec![0.0; 4]).is_err());
+        assert!(mlp.load_layer(5, Matrix::zeros(1, 4), vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let inputs = vec![vec![0.1], vec![0.9]];
+        let targets = vec![vec![0.9], vec![0.1]];
+        let run = || {
+            let mut rng = seeded(10);
+            let mut mlp = Mlp::new(&[1, 3, 1], &mut rng).unwrap();
+            mlp.train(&inputs, &targets, 50, 0.5).unwrap();
+            mlp.forward(&[0.5]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

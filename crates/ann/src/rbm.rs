@@ -1,0 +1,228 @@
+//! Restricted Boltzmann machine with CD-1 (one-step contrastive
+//! divergence) training — the unsupervised layers of the paper's DBN
+//! (Fig. 6, Eq. 20–21).
+
+use helio_common::rng::DetRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+use crate::matrix::{sigmoid, Matrix};
+
+/// A restricted Boltzmann machine with `visible × hidden` weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rbm {
+    /// Weights, `hidden × visible` (row `h` holds the weights into
+    /// hidden unit `h`).
+    weights: Matrix,
+    hidden_bias: Vec<f64>,
+    visible_bias: Vec<f64>,
+}
+
+impl Rbm {
+    /// Creates an RBM with small random weights.
+    pub fn new(visible: usize, hidden: usize, rng: &mut DetRng) -> Self {
+        Self {
+            weights: Matrix::random(hidden, visible, 0.1, rng),
+            hidden_bias: vec![0.0; hidden],
+            visible_bias: vec![0.0; visible],
+        }
+    }
+
+    /// Number of visible units.
+    pub fn visible(&self) -> usize {
+        self.visible_bias.len()
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden_bias.len()
+    }
+
+    /// The learned weights (`hidden × visible`) — handed to the BP
+    /// network during DBN assembly.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The learned hidden biases.
+    pub fn hidden_bias(&self) -> &[f64] {
+        &self.hidden_bias
+    }
+
+    /// Hidden activation probabilities `P(h=1 | v)` (Eq. 21's sigmoid
+    /// form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn hidden_probs(&self, visible: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut act = self.weights.matvec(visible)?;
+        for (a, b) in act.iter_mut().zip(&self.hidden_bias) {
+            *a = sigmoid(*a + b);
+        }
+        Ok(act)
+    }
+
+    /// Visible reconstruction probabilities `P(v=1 | h)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn visible_probs(&self, hidden: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut act = self.weights.matvec_t(hidden)?;
+        for (a, b) in act.iter_mut().zip(&self.visible_bias) {
+            *a = sigmoid(*a + b);
+        }
+        Ok(act)
+    }
+
+    /// One CD-1 update on a single sample with learning rate `lr`;
+    /// returns the reconstruction error (squared distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn cd1_step(
+        &mut self,
+        visible: &[f64],
+        lr: f64,
+        rng: &mut DetRng,
+    ) -> Result<f64, AnnError> {
+        // Positive phase.
+        let h_pos = self.hidden_probs(visible)?;
+        // Sample hidden states.
+        let h_sample: Vec<f64> = h_pos
+            .iter()
+            .map(|&p| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+            .collect();
+        // Negative phase: reconstruct and re-infer.
+        let v_neg = self.visible_probs(&h_sample)?;
+        let h_neg = self.hidden_probs(&v_neg)?;
+        // Weight update: lr · (h⁺ vᵀ − h⁻ v̂ᵀ).
+        self.weights.rank1_update(&h_pos, visible, lr)?;
+        self.weights.rank1_update(&h_neg, &v_neg, -lr)?;
+        for (b, (p, n)) in self.hidden_bias.iter_mut().zip(h_pos.iter().zip(&h_neg)) {
+            *b += lr * (p - n);
+        }
+        for (b, (p, n)) in self.visible_bias.iter_mut().zip(visible.iter().zip(&v_neg)) {
+            *b += lr * (p - n);
+        }
+        Ok(visible
+            .iter()
+            .zip(&v_neg)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum())
+    }
+
+    /// Trains on a data set for `epochs` sweeps; returns the mean
+    /// reconstruction error of the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for an empty set and
+    /// propagates dimension mismatches.
+    pub fn train(
+        &mut self,
+        samples: &[Vec<f64>],
+        epochs: usize,
+        lr: f64,
+        rng: &mut DetRng,
+    ) -> Result<f64, AnnError> {
+        if samples.is_empty() {
+            return Err(AnnError::BadTrainingSet("no samples for RBM".into()));
+        }
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            last = 0.0;
+            for s in samples {
+                last += self.cd1_step(s, lr, rng)?;
+            }
+            last /= samples.len() as f64;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::rng::seeded;
+
+    /// Two binary prototype patterns the RBM should learn to
+    /// reconstruct.
+    fn patterns() -> Vec<Vec<f64>> {
+        let a = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let b = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            out.push(a.clone());
+            out.push(b.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let mut rng = seeded(1);
+        let mut rbm = Rbm::new(6, 4, &mut rng);
+        let data = patterns();
+        let before = rbm.train(&data, 1, 0.2, &mut rng).unwrap();
+        let after = rbm.train(&data, 60, 0.2, &mut rng).unwrap();
+        assert!(
+            after < 0.5 * before,
+            "reconstruction error should drop: {before} -> {after}"
+        );
+        assert!(after < 0.3, "final error {after} too high");
+    }
+
+    #[test]
+    fn learned_rbm_separates_patterns() {
+        let mut rng = seeded(2);
+        let mut rbm = Rbm::new(6, 4, &mut rng);
+        rbm.train(&patterns(), 80, 0.2, &mut rng).unwrap();
+        let ha = rbm.hidden_probs(&[1.0, 1.0, 1.0, 0.0, 0.0, 0.0]).unwrap();
+        let hb = rbm.hidden_probs(&[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let dist: f64 = ha
+            .iter()
+            .zip(&hb)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "hidden codes too close: {dist}");
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let mut rng = seeded(3);
+        let rbm = Rbm::new(5, 3, &mut rng);
+        let h = rbm.hidden_probs(&[0.2, 0.9, 0.1, 0.5, 0.7]).unwrap();
+        assert!(h.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let v = rbm.visible_probs(&h).unwrap();
+        assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(h.len(), 3);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut rng = seeded(4);
+        let mut rbm = Rbm::new(5, 3, &mut rng);
+        assert!(rbm.hidden_probs(&[0.0; 4]).is_err());
+        assert!(rbm.visible_probs(&[0.0; 5]).is_err());
+        assert!(rbm.cd1_step(&[0.0; 2], 0.1, &mut rng).is_err());
+        assert!(rbm.train(&[], 1, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = patterns();
+        let run = || {
+            let mut rng = seeded(9);
+            let mut rbm = Rbm::new(6, 4, &mut rng);
+            rbm.train(&data, 10, 0.2, &mut rng).unwrap();
+            rbm
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,144 @@
+//! Min–max feature scaling into `[0, 1]`, which both the RBM (whose
+//! visible units are probabilities) and the sigmoid output layer need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+
+/// Per-feature min–max scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to a data set (one `Vec` per sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] when the set is empty,
+    /// ragged, or contains non-finite values.
+    pub fn fit(samples: &[Vec<f64>]) -> Result<Self, AnnError> {
+        let dim = samples
+            .first()
+            .ok_or_else(|| AnnError::BadTrainingSet("no samples".into()))?
+            .len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for s in samples {
+            if s.len() != dim {
+                return Err(AnnError::BadTrainingSet(format!(
+                    "ragged sample: expected {dim} features, got {}",
+                    s.len()
+                )));
+            }
+            for (i, &v) in s.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(AnnError::BadTrainingSet("non-finite feature".into()));
+                }
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Ok(Self { mins, maxs })
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one sample into `[0, 1]` (constant features map to 0.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
+    pub fn transform(&self, sample: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if sample.len() != self.dim() {
+            return Err(AnnError::dims(
+                format!("{} features", self.dim()),
+                format!("{}", sample.len()),
+            ));
+        }
+        Ok(sample
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let span = self.maxs[i] - self.mins[i];
+                if span <= 0.0 {
+                    0.5
+                } else {
+                    ((v - self.mins[i]) / span).clamp(0.0, 1.0)
+                }
+            })
+            .collect())
+    }
+
+    /// Inverse transform from `[0, 1]` back to the original range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
+    pub fn inverse(&self, scaled: &[f64]) -> Result<Vec<f64>, AnnError> {
+        if scaled.len() != self.dim() {
+            return Err(AnnError::dims(
+                format!("{} features", self.dim()),
+                format!("{}", scaled.len()),
+            ));
+        }
+        Ok(scaled
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let span = self.maxs[i] - self.mins[i];
+                if span <= 0.0 {
+                    self.mins[i]
+                } else {
+                    self.mins[i] + v * span
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let data = vec![vec![0.0, 10.0], vec![4.0, 20.0], vec![2.0, 15.0]];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        let t = s.transform(&[2.0, 15.0]).unwrap();
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[1] - 0.5).abs() < 1e-12);
+        let back = s.inverse(&t).unwrap();
+        assert!((back[0] - 2.0).abs() < 1e-12);
+        assert!((back[1] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_out_of_range_queries() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(s.transform(&[5.0]).unwrap()[0], 1.0);
+        assert_eq!(s.transform(&[-5.0]).unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn constant_features_map_to_half() {
+        let s = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]).unwrap();
+        assert_eq!(s.transform(&[7.0]).unwrap()[0], 0.5);
+        assert_eq!(s.inverse(&[0.9]).unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MinMaxScaler::fit(&[]).is_err());
+        assert!(MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(MinMaxScaler::fit(&[vec![f64::NAN]]).is_err());
+        let s = MinMaxScaler::fit(&[vec![0.0, 1.0]]).unwrap();
+        assert!(s.transform(&[1.0]).is_err());
+        assert!(s.inverse(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

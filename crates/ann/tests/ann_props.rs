@@ -1,0 +1,70 @@
+//! Property tests of the ANN substrate.
+
+use helio_ann::{Dbn, DbnConfig, Matrix, MinMaxScaler, Mlp};
+use helio_common::rng::seeded;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scaler transform/inverse is the identity on in-range data.
+    #[test]
+    fn scaler_round_trips(
+        samples in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3),
+            2..20,
+        ),
+        pick in 0usize..100,
+    ) {
+        let scaler = MinMaxScaler::fit(&samples).expect("valid set");
+        let sample = &samples[pick % samples.len()];
+        let t = scaler.transform(sample).expect("dims match");
+        prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let back = scaler.inverse(&t).expect("dims match");
+        for (a, b) in sample.iter().zip(&back) {
+            // Constant features collapse to their single value.
+            prop_assert!((a - b).abs() < 1e-9 || t.iter().any(|&v| v == 0.5));
+        }
+    }
+
+    /// Matrix matvec is linear: A(x + y) = Ax + Ay.
+    #[test]
+    fn matvec_is_linear(
+        seed in 0u64..1000,
+        x in prop::collection::vec(-5.0f64..5.0, 4),
+        y in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let m = Matrix::random(3, 4, 1.0, &mut seeded(seed));
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = m.matvec(&sum).expect("dims");
+        let ax = m.matvec(&x).expect("dims");
+        let ay = m.matvec(&y).expect("dims");
+        for i in 0..3 {
+            prop_assert!((lhs[i] - ax[i] - ay[i]).abs() < 1e-9);
+        }
+    }
+
+    /// MLP outputs always live in [0, 1] regardless of input scale.
+    #[test]
+    fn mlp_outputs_bounded(
+        seed in 0u64..1000,
+        input in prop::collection::vec(-1e3f64..1e3, 5),
+    ) {
+        let mlp = Mlp::new(&[5, 7, 3], &mut seeded(seed)).expect("valid sizes");
+        let out = mlp.forward(&input).expect("dims");
+        prop_assert_eq!(out.len(), 3);
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// DBN predictions stay within the target range it was fitted on.
+    #[test]
+    fn dbn_predictions_stay_in_target_range(query in 0.0f64..60.0) {
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![i as f64 * 2.5]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![3.0 + x[0] / 10.0]).collect();
+        let mut cfg = DbnConfig::small(9);
+        cfg.bp_epochs = 40;
+        let dbn = Dbn::train(&inputs, &targets, &cfg).expect("train");
+        let y = dbn.predict(&[query]).expect("predict")[0];
+        prop_assert!((3.0 - 1e-9..=8.75 + 1e-9).contains(&y), "prediction {} escaped", y);
+    }
+}

@@ -1,0 +1,263 @@
+//! Criterion benchmarks of the computational kernels behind every
+//! table and figure. The full experiment *results* come from the
+//! `src/bin/*` binaries; these benches time the building blocks so
+//! regressions in the simulator/optimiser show up in CI.
+//!
+//! Group names map to paper artifacts:
+//! * `fig5_regulator` — efficiency-curve evaluation
+//! * `fig7_solar` — synthetic trace generation
+//! * `table2_migration` — migration experiment (model + reference)
+//! * `fig8_engine` — one simulated day per scheduler pattern
+//! * `fig8_fig9_dp` — the long-term DP over one day
+//! * `fig10a_mpc` — an MPC replan at several horizons
+//! * `fig10b_sizing` — per-day capacitor sizing
+//! * `sec65_dbn` — DBN training and inference (the on-node coarse step)
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use helio_bench::{paper_grid, weather_trace};
+use helio_common::units::{Farads, Joules, Seconds, Volts};
+use helio_nvp::Pmu;
+use helio_solar::{NoisyOracle, SolarPanel, SolarPredictor, TraceBuilder, WeatherProcess};
+use helio_storage::reference::measured_migration_efficiency;
+use helio_storage::{
+    migration_efficiency, optimal_capacitance, MigrationSpec, RegulatorCurve, StorageModelParams,
+    SuperCap,
+};
+use helio_tasks::benchmarks;
+use heliosched::{
+    dmr_level_subsets, optimize_horizon, DpConfig, Engine, FixedPlanner, NodeConfig, Pattern,
+};
+
+fn fig5_regulator(c: &mut Criterion) {
+    let chr = RegulatorCurve::default_charge();
+    c.bench_function("fig5_regulator/efficiency_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut v = 0.5;
+            while v <= 5.0 {
+                acc += chr.efficiency(Volts::new(black_box(v)));
+                v += 0.01;
+            }
+            acc
+        })
+    });
+}
+
+fn fig7_solar(c: &mut Criterion) {
+    let grid = paper_grid(4, 144);
+    c.bench_function("fig7_solar/four_day_trace", |b| {
+        b.iter(|| {
+            TraceBuilder::new(grid, SolarPanel::paper_panel())
+                .seed(black_box(7))
+                .days(&helio_solar::DayArchetype::ALL)
+                .build()
+        })
+    });
+    c.bench_function("fig7_solar/month_weather_trace", |b| {
+        b.iter(|| {
+            TraceBuilder::new(paper_grid(30, 144), SolarPanel::paper_panel())
+                .seed(black_box(7))
+                .weather(WeatherProcess::temperate())
+                .build()
+        })
+    });
+}
+
+fn table2_migration(c: &mut Criterion) {
+    let params = StorageModelParams::default();
+    let cap = SuperCap::new(Farads::new(10.0), &params).expect("valid");
+    c.bench_function("table2_migration/model_30j_400min", |b| {
+        b.iter(|| migration_efficiency(&cap, &params, black_box(MigrationSpec::large_long())))
+    });
+    c.bench_function("table2_migration/reference_7j_60min", |b| {
+        b.iter(|| {
+            measured_migration_efficiency(&cap, &params, black_box(MigrationSpec::small_short()))
+        })
+    });
+}
+
+fn fig8_engine(c: &mut Criterion) {
+    let grid = paper_grid(1, 144);
+    let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+        .seed(1)
+        .days(&[helio_solar::DayArchetype::BrokenClouds])
+        .build();
+    let graph = benchmarks::wam();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(10.0)])
+        .build()
+        .expect("node");
+    let engine = Engine::new(&node, &graph, &trace).expect("engine");
+    let mut group = c.benchmark_group("fig8_engine");
+    group.sample_size(20);
+    for pattern in [Pattern::Asap, Pattern::Inter, Pattern::Intra] {
+        group.bench_with_input(
+            BenchmarkId::new("one_day_wam", format!("{pattern}")),
+            &pattern,
+            |b, &p| b.iter(|| engine.run(&mut FixedPlanner::new(p, 0)).expect("run")),
+        );
+    }
+    group.finish();
+}
+
+fn fig8_fig9_dp(c: &mut Criterion) {
+    let storage = StorageModelParams::default();
+    let pmu = Pmu::default();
+    let graph = benchmarks::ecg();
+    let subsets = dmr_level_subsets(&graph, 2);
+    let cap = SuperCap::new(Farads::new(10.0), &storage).expect("valid");
+    let grid = paper_grid(1, 144);
+    let trace = weather_trace(1, 144, 5);
+    let solar: Vec<Vec<Joules>> = (0..grid.periods_per_day())
+        .map(|j| {
+            grid.slots_in(helio_common::time::PeriodRef::new(0, j))
+                .map(|s| trace.slot_energy(s))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("fig8_fig9_dp");
+    group.sample_size(10);
+    group.bench_function("optimize_one_day_ecg", |b| {
+        b.iter(|| {
+            optimize_horizon(
+                &graph,
+                &subsets,
+                black_box(&solar),
+                Seconds::new(60.0),
+                &cap,
+                cap.empty_state(),
+                &storage,
+                &pmu,
+                &DpConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn fig10a_mpc(c: &mut Criterion) {
+    let storage = StorageModelParams::default();
+    let pmu = Pmu::default();
+    let graph = benchmarks::random_case(1);
+    let subsets = dmr_level_subsets(&graph, 2);
+    let cap = SuperCap::new(Farads::new(10.0), &storage).expect("valid");
+    let trace = weather_trace(4, 144, 6);
+    let oracle = NoisyOracle::new(7, 0.02, 0.12);
+    let mut group = c.benchmark_group("fig10a_mpc");
+    group.sample_size(10);
+    for hours in [6usize, 24, 48] {
+        let horizon = hours * 6;
+        let predicted = oracle.forecast(&trace, helio_common::time::PeriodRef::new(0, 0), horizon);
+        let solar: Vec<Vec<Joules>> = predicted
+            .iter()
+            .map(|&e| vec![e / 10.0; 10])
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("replan", format!("{hours}h")),
+            &solar,
+            |b, solar| {
+                b.iter(|| {
+                    optimize_horizon(
+                        &graph,
+                        &subsets,
+                        black_box(solar),
+                        Seconds::new(60.0),
+                        &cap,
+                        cap.empty_state(),
+                        &storage,
+                        &pmu,
+                        &DpConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig10b_sizing(c: &mut Criterion) {
+    let storage = StorageModelParams::default();
+    let trace = weather_trace(1, 144, 8);
+    let demand = heliosched::offline::asap_demand_profile(
+        &benchmarks::random_case(1),
+        10,
+        Seconds::new(60.0),
+    );
+    let mut delta_e = Vec::new();
+    for j in 0..144 {
+        for (m, s) in trace
+            .grid()
+            .slots_in(helio_common::time::PeriodRef::new(0, j))
+            .enumerate()
+        {
+            delta_e.push(trace.slot_energy(s) - demand[m]);
+        }
+    }
+    let mut group = c.benchmark_group("fig10b_sizing");
+    group.sample_size(10);
+    group.bench_function("optimal_capacitance_one_day", |b| {
+        b.iter(|| {
+            optimal_capacitance(
+                black_box(&delta_e),
+                Seconds::new(60.0),
+                &storage,
+                Farads::new(0.5),
+                Farads::new(120.0),
+            )
+            .expect("sizing")
+        })
+    });
+    group.finish();
+}
+
+fn sec65_dbn(c: &mut Criterion) {
+    // Training-shaped data: 13 inputs (10 slots + 2 caps + DMR), 8
+    // outputs (cap, alpha, 6 te bits).
+    let inputs: Vec<Vec<f64>> = (0..96)
+        .map(|i| {
+            (0..13)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..96)
+        .map(|i| (0..8).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let mut group = c.benchmark_group("sec65_dbn");
+    group.sample_size(10);
+    group.bench_function("train_small", |b| {
+        b.iter_batched(
+            || (inputs.clone(), targets.clone()),
+            |(x, y)| {
+                let mut cfg = helio_ann::DbnConfig::small(3);
+                cfg.bp_epochs = 50;
+                helio_ann::Dbn::train(&x, &y, &cfg).expect("train")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let dbn = {
+        let mut cfg = helio_ann::DbnConfig::small(3);
+        cfg.bp_epochs = 50;
+        helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train")
+    };
+    group.bench_function("infer_one_period", |b| {
+        b.iter(|| dbn.predict(black_box(&inputs[0])).expect("predict"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig5_regulator,
+    fig7_solar,
+    table2_migration,
+    fig8_engine,
+    fig8_fig9_dp,
+    fig10a_mpc,
+    fig10b_sizing,
+    sec65_dbn
+);
+criterion_main!(benches);

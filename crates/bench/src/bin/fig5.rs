@@ -1,0 +1,33 @@
+//! Fig. 5 — tested efficiencies of the input and output regulators.
+//!
+//! Prints the efficiency of both regulator fits across the capacitor
+//! voltage window; the paper's figure shows the same rising curves
+//! obtained from bench measurements.
+
+use helio_common::units::Volts;
+use helio_storage::RegulatorCurve;
+
+fn main() {
+    let chr = RegulatorCurve::default_charge();
+    let dis = RegulatorCurve::default_discharge();
+    println!("# Fig. 5 — regulator efficiency vs capacitor voltage");
+    println!("{:>8} {:>10} {:>10}", "V (V)", "eta_chr", "eta_dis");
+    let mut v = 0.5;
+    while v <= 5.0 + 1e-9 {
+        println!(
+            "{:>8.2} {:>10.3} {:>10.3}",
+            v,
+            chr.efficiency(Volts::new(v)),
+            dis.efficiency(Volts::new(v))
+        );
+        v += 0.25;
+    }
+    println!();
+    println!(
+        "shape check: eta_chr rises {:.3} -> {:.3}, eta_dis rises {:.3} -> {:.3}",
+        chr.efficiency(Volts::new(1.0)),
+        chr.efficiency(Volts::new(5.0)),
+        dis.efficiency(Volts::new(1.0)),
+        dis.efficiency(Volts::new(5.0)),
+    );
+}

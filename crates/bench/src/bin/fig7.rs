@@ -1,0 +1,41 @@
+//! Fig. 7 — solar power of four individual days.
+//!
+//! Prints the per-period average harvested power (mW) of the four
+//! archetype days and their daily energies; the paper's figure shows
+//! the same four diurnal profiles with decreasing energy.
+
+use helio_bench::{four_day_trace, paper_grid};
+use helio_common::time::PeriodRef;
+
+fn main() {
+    let periods = 144;
+    let trace = four_day_trace(periods, 7);
+    let grid = paper_grid(4, periods);
+    println!("# Fig. 7 — solar power of four individual days (mW per period)");
+    print!("{:>6}", "hour");
+    for d in 0..4 {
+        print!(" {:>9}", format!("day{}", d + 1));
+    }
+    println!();
+    // Print every 6th period (hourly resolution) to keep the table
+    // readable.
+    for j in (0..periods).step_by(6) {
+        print!("{:>6.1}", grid.hour_of_day(PeriodRef::new(0, j)));
+        for d in 0..4 {
+            let e = trace.period_energy(PeriodRef::new(d, j));
+            let p_mw = e.value() / grid.period_duration().value() * 1e3;
+            print!(" {:>9.2}", p_mw);
+        }
+        println!();
+    }
+    println!();
+    println!("daily harvested energy:");
+    for d in 0..4 {
+        println!(
+            "  day{} ({}): {:8.1} J",
+            d + 1,
+            trace.day_archetype(d).expect("synthetic day"),
+            trace.day_energy(d).value()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 2 — energy-migration efficiencies with different capacitors.
+//!
+//! For each capacitor size and migration pattern the paper reports the
+//! efficiency predicted by its model, the efficiency measured on the
+//! node, and the relative error. Here "Test" is the fine-grained
+//! reference simulator (1 s steps, ESR and voltage-dependent
+//! capacitance) standing in for the bench measurement.
+
+use helio_common::units::Farads;
+use helio_storage::reference::measured_migration_efficiency;
+use helio_storage::{migration_efficiency, MigrationSpec, StorageModelParams, SuperCap};
+
+fn main() {
+    let params = StorageModelParams::default();
+    let specs = [
+        ("7J,60min", MigrationSpec::small_short()),
+        ("30J,400min", MigrationSpec::large_long()),
+    ];
+    println!("# Table 2 — energy migration efficiencies (model vs test)");
+    println!(
+        "{:>10} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}",
+        "Capacity", "Model", "Test", "Error", "Model", "Test", "Error"
+    );
+    println!(
+        "{:>10} | {:^28} | {:^28}",
+        "", specs[0].0, specs[1].0
+    );
+    let mut errors = Vec::new();
+    let mut best: Vec<(f64, f64)> = vec![(0.0, 0.0); specs.len()];
+    for c in [1.0, 10.0, 50.0, 100.0] {
+        let cap = SuperCap::new(Farads::new(c), &params).expect("valid capacitance");
+        print!("{:>9}F |", c);
+        for (si, (_, spec)) in specs.iter().enumerate() {
+            let model = migration_efficiency(&cap, &params, *spec);
+            let test = measured_migration_efficiency(&cap, &params, *spec);
+            let err = if test > 0.0 {
+                (model - test).abs() / test
+            } else {
+                0.0
+            };
+            errors.push(err);
+            if model > best[si].1 {
+                best[si] = (c, model);
+            }
+            print!(
+                " {:>9.1}% {:>7.1}% {:>7.2}%",
+                model * 100.0,
+                test * 100.0,
+                err * 100.0
+            );
+            if si == 0 {
+                print!(" |");
+            }
+        }
+        println!();
+    }
+    let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!();
+    println!("average model error: {:.2}% (paper: 5.38%)", avg * 100.0);
+    for (si, (name, _)) in specs.iter().enumerate() {
+        println!(
+            "best capacity for {name}: {} F at {:.1}% (paper: 1F/36.8% then 10F/40.7%)",
+            best[si].0,
+            best[si].1 * 100.0
+        );
+    }
+}

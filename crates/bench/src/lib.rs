@@ -1,0 +1,184 @@
+//! # helio-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! DAC'15 paper. Each `src/bin/*.rs` binary reproduces one artifact
+//! and prints the same rows/series the paper reports:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig5` | regulator efficiency curves |
+//! | `fig7` | solar power of four individual days |
+//! | `table2` | migration efficiencies, model vs test |
+//! | `fig8` | DMR of four schedulers × six benchmarks × four days |
+//! | `fig9` | two-month DMR and energy utilisation (WAM) |
+//! | `fig10a` | DMR & complexity vs prediction length |
+//! | `fig10b` | migration efficiency & DMR vs capacitor count |
+//! | `overhead` | Section 6.5 algorithm overhead |
+//!
+//! Run with `cargo run --release -p helio-bench --bin <name>`. The
+//! library half holds the shared experiment plumbing; the Criterion
+//! benches in `benches/` time the underlying kernels.
+
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_solar::{DayArchetype, SolarPanel, SolarTrace, TraceBuilder, WeatherProcess};
+use helio_tasks::TaskGraph;
+use heliosched::{
+    size_capacitors, CoreError, Engine, FixedPlanner, NodeConfig, OptimalPlanner, Pattern,
+    SimReport,
+};
+
+/// The paper's experiment grid: 10-minute periods of ten 60 s slots.
+/// `periods_per_day` defaults to 144 (a full day); experiments that
+/// only need daylight dynamics can pass fewer.
+pub fn paper_grid(days: usize, periods_per_day: usize) -> TimeGrid {
+    TimeGrid::new(days, periods_per_day, 10, Seconds::new(60.0))
+        .expect("paper grid dimensions are valid")
+}
+
+/// The four individual test days of Fig. 7/Fig. 8, most to least
+/// energetic.
+pub fn four_days() -> [DayArchetype; 4] {
+    DayArchetype::ALL
+}
+
+/// The four-day evaluation trace (Fig. 7's days).
+pub fn four_day_trace(periods_per_day: usize, seed: u64) -> SolarTrace {
+    TraceBuilder::new(paper_grid(4, periods_per_day), SolarPanel::paper_panel())
+        .seed(seed)
+        .days(&four_days())
+        .build()
+}
+
+/// A multi-day weather-process trace (training data and the two-month
+/// evaluation of Fig. 9).
+pub fn weather_trace(days: usize, periods_per_day: usize, seed: u64) -> SolarTrace {
+    TraceBuilder::new(paper_grid(days, periods_per_day), SolarPanel::paper_panel())
+        .seed(seed)
+        .weather(WeatherProcess::temperate())
+        .build()
+}
+
+/// Builds a node whose `h` capacitors were sized offline on a training
+/// trace (Section 4.1).
+///
+/// # Errors
+///
+/// Propagates sizing and configuration failures.
+pub fn sized_node(
+    graph: &TaskGraph,
+    training: &SolarTrace,
+    h: usize,
+) -> Result<NodeConfig, CoreError> {
+    let storage = helio_storage::StorageModelParams::default();
+    let pmu = helio_nvp::Pmu::default();
+    let sizes = size_capacitors(graph, training, h, &storage, &pmu)?;
+    NodeConfig::builder(*training.grid())
+        .capacitors(&sizes)
+        .storage(storage)
+        .build()
+        .map(|mut node| {
+            node.grid = *training.grid();
+            node
+        })
+}
+
+/// Index of the bank's middle capacitor — the single capacitor the
+/// baselines use (they have no sizing stage).
+pub fn baseline_capacitor(node: &NodeConfig) -> usize {
+    node.capacitors.len() / 2
+}
+
+/// DMR comparison row: the four schedulers of Fig. 8.
+#[derive(Debug, Clone, Copy)]
+pub struct DmrRow {
+    /// Inter-task WCMA-based LSA baseline \[3\].
+    pub inter: f64,
+    /// Intra-task load-matching baseline \[9\].
+    pub intra: f64,
+    /// The proposed long-term scheduler.
+    pub proposed: f64,
+    /// The static optimal upper bound.
+    pub optimal: f64,
+}
+
+/// Runs the two baselines on an engine (the proposed/optimal runs are
+/// experiment-specific and supplied by the caller).
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_baselines(
+    engine: &Engine<'_>,
+    baseline_cap: usize,
+) -> Result<(SimReport, SimReport), CoreError> {
+    let inter = engine.run(&mut FixedPlanner::new(Pattern::Inter, baseline_cap))?;
+    let intra = engine.run(&mut FixedPlanner::new(Pattern::Intra, baseline_cap))?;
+    Ok((inter, intra))
+}
+
+/// Convenience: run the static optimal planner.
+///
+/// # Errors
+///
+/// Propagates planning/engine failures.
+pub fn run_optimal(
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    trace: &SolarTrace,
+    dp: &heliosched::DpConfig,
+    delta: f64,
+) -> Result<SimReport, CoreError> {
+    let mut planner = OptimalPlanner::compute(node, graph, trace, dp, delta)?;
+    Engine::new(node, graph, trace)?.run(&mut planner)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Reads an environment flag that shrinks experiments for smoke runs
+/// (`HELIO_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("HELIO_FAST").map_or(false, |v| v == "1")
+}
+
+/// Standard capacitance ladder used when an experiment needs explicit
+/// sizes instead of the sizing pipeline.
+pub fn standard_sizes() -> Vec<Farads> {
+    [1.0, 10.0, 50.0, 100.0].map(Farads::new).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_shape() {
+        let g = paper_grid(4, 144);
+        assert_eq!(g.total_periods(), 576);
+        assert!((g.period_duration().minutes() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_day_trace_is_ordered() {
+        let t = four_day_trace(48, 1);
+        let e: Vec<f64> = (0..4).map(|d| t.day_energy(d).value()).collect();
+        assert!(e.windows(2).all(|w| w[0] > w[1]), "{e:?}");
+    }
+
+    #[test]
+    fn sized_node_has_h_caps() {
+        let g = helio_tasks::benchmarks::ecg();
+        let t = weather_trace(3, 48, 2);
+        let node = sized_node(&g, &t, 3).unwrap();
+        assert_eq!(node.capacitor_count(), 3);
+        assert!(baseline_capacitor(&node) == 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.278), " 27.8%");
+    }
+}

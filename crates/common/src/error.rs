@@ -1,0 +1,47 @@
+//! Common error type shared by the workspace crates.
+
+use std::fmt;
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T, E = CommonError> = std::result::Result<T, E>;
+
+/// Errors produced by the shared foundations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CommonError {
+    /// A time grid was constructed with degenerate dimensions.
+    InvalidGrid(String),
+    /// A numerical routine received arguments outside its domain.
+    InvalidArgument(String),
+    /// An iterative numerical routine failed to converge.
+    NoConvergence(String),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::InvalidGrid(msg) => write!(f, "invalid time grid: {msg}"),
+            CommonError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CommonError::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CommonError::InvalidGrid("zero days".into());
+        assert_eq!(e.to_string(), "invalid time grid: zero days");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CommonError>();
+    }
+}

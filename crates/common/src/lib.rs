@@ -1,0 +1,39 @@
+//! # helio-common
+//!
+//! Shared foundations for the `heliosched` workspace: physical-unit
+//! newtypes, the slotted time grid from the DAC'15 system model, seeded
+//! random-number helpers, small numerical routines (golden-section search,
+//! 1-D k-means, statistics) and the common error type.
+//!
+//! Everything in the workspace that talks about time or energy does so in
+//! the vocabulary defined here, so unit mistakes (mJ vs J, slot vs period)
+//! become type errors instead of silent bugs.
+//!
+//! ## Example
+//!
+//! ```
+//! use helio_common::units::{Watts, Seconds};
+//! use helio_common::time::TimeGrid;
+//!
+//! # fn main() -> Result<(), helio_common::CommonError> {
+//! // A 10-minute period split into 60-second slots, 144 periods a day.
+//! let grid = TimeGrid::new(4, 144, 10, Seconds::new(60.0))?;
+//! assert_eq!(grid.slots_per_day(), 1440);
+//!
+//! // 50 mW sustained over one slot is 3 J.
+//! let energy = Watts::from_milliwatts(50.0) * grid.slot_duration();
+//! assert!((energy.value() - 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod math;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use error::{CommonError, Result};
+pub use time::{DayId, PeriodId, PeriodRef, SlotId, SlotRef, TimeGrid};
+pub use units::{Farads, Joules, Seconds, Volts, Watts};

@@ -1,0 +1,133 @@
+//! Summary statistics used by the experiment harnesses and tests.
+
+/// Arithmetic mean; returns `0.0` for an empty slice (the experiment
+/// harnesses average over possibly-empty period sets).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Minimum of a slice, `None` when empty or when any element is NaN.
+pub fn min(values: &[f64]) -> Option<f64> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a slice, `None` when empty or when any element is NaN.
+pub fn max(values: &[f64]) -> Option<f64> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    values.iter().copied().reduce(f64::max)
+}
+
+/// Mean absolute percentage error between `actual` and `predicted`
+/// (skipping points where `actual == 0`), as a fraction.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "series must match");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Pearson correlation coefficient; `0.0` when either series is constant.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must match");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_reject_nan() {
+        assert_eq!(min(&[2.0, 1.0]), Some(1.0));
+        assert_eq!(max(&[2.0, 1.0]), Some(2.0));
+        assert_eq!(min(&[f64::NAN, 1.0]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let actual = [0.0, 10.0];
+        let predicted = [5.0, 11.0];
+        assert!((mape(&actual, &predicted) - 0.1).abs() < 1e-12);
+        assert_eq!(mape(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+}

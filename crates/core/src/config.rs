@@ -1,0 +1,148 @@
+//! Node configuration: the time grid, the capacitor bank sizes, and
+//! the physical calibration of storage and PMU.
+
+use helio_common::time::TimeGrid;
+use helio_common::units::Farads;
+use helio_nvp::{Pmu, PmuParams};
+use helio_storage::StorageModelParams;
+
+use crate::error::CoreError;
+
+/// Everything fixed at node design time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// The scheduling time grid.
+    pub grid: TimeGrid,
+    /// Distributed supercapacitor sizes (`C_h`, ascending order
+    /// recommended but not required).
+    pub capacitors: Vec<Farads>,
+    /// Storage calibration.
+    pub storage: StorageModelParams,
+    /// PMU calibration.
+    pub pmu: Pmu,
+}
+
+impl NodeConfig {
+    /// Starts a builder over a grid.
+    pub fn builder(grid: TimeGrid) -> NodeConfigBuilder {
+        NodeConfigBuilder {
+            grid,
+            capacitors: vec![Farads::new(10.0)],
+            storage: StorageModelParams::default(),
+            pmu_params: PmuParams::default(),
+        }
+    }
+
+    /// Number of capacitors `H`.
+    pub fn capacitor_count(&self) -> usize {
+        self.capacitors.len()
+    }
+}
+
+/// Builder for [`NodeConfig`].
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    grid: TimeGrid,
+    capacitors: Vec<Farads>,
+    storage: StorageModelParams,
+    pmu_params: PmuParams,
+}
+
+impl NodeConfigBuilder {
+    /// Sets the capacitor sizes (default: a single 10 F capacitor).
+    #[must_use]
+    pub fn capacitors(mut self, sizes: &[Farads]) -> Self {
+        self.capacitors = sizes.to_vec();
+        self
+    }
+
+    /// Sets the storage calibration.
+    #[must_use]
+    pub fn storage(mut self, storage: StorageModelParams) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the PMU parameters.
+    #[must_use]
+    pub fn pmu(mut self, params: PmuParams) -> Self {
+        self.pmu_params = params;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for an empty capacitor list,
+    /// non-positive capacitances, or invalid storage parameters.
+    pub fn build(self) -> Result<NodeConfig, CoreError> {
+        if self.capacitors.is_empty() {
+            return Err(CoreError::Config(
+                "at least one supercapacitor is required".into(),
+            ));
+        }
+        if self
+            .capacitors
+            .iter()
+            .any(|c| !(c.value() > 0.0) || !c.is_finite())
+        {
+            return Err(CoreError::Config("capacitances must be positive".into()));
+        }
+        self.storage
+            .validate()
+            .map_err(|e| CoreError::Config(e.to_string()))?;
+        Ok(NodeConfig {
+            grid: self.grid,
+            capacitors: self.capacitors,
+            storage: self.storage,
+            pmu: Pmu::new(self.pmu_params),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::units::Seconds;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(1, 24, 10, Seconds::new(60.0)).unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let cfg = NodeConfig::builder(grid()).build().unwrap();
+        assert_eq!(cfg.capacitor_count(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_empty_bank() {
+        assert!(matches!(
+            NodeConfig::builder(grid()).capacitors(&[]).build(),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_capacitance() {
+        assert!(NodeConfig::builder(grid())
+            .capacitors(&[Farads::new(0.0)])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_custom_everything() {
+        let cfg = NodeConfig::builder(grid())
+            .capacitors(&[Farads::new(1.0), Farads::new(47.0)])
+            .storage(StorageModelParams::default().with_cycle_efficiency(0.9))
+            .pmu(helio_nvp::PmuParams {
+                direct_efficiency: 0.9,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(cfg.capacitor_count(), 2);
+        assert!((cfg.pmu.params().direct_efficiency - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the core crate.
+
+use std::fmt;
+
+/// Errors produced by engine configuration, planning and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Node configuration is inconsistent.
+    Config(String),
+    /// The task graph failed validation against the grid.
+    Tasks(String),
+    /// A storage-layer operation failed.
+    Storage(String),
+    /// The trace does not match the configured grid.
+    TraceMismatch(String),
+    /// Offline training failed.
+    Training(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(m) => write!(f, "invalid node configuration: {m}"),
+            CoreError::Tasks(m) => write!(f, "invalid task set: {m}"),
+            CoreError::Storage(m) => write!(f, "storage error: {m}"),
+            CoreError::TraceMismatch(m) => write!(f, "trace/grid mismatch: {m}"),
+            CoreError::Training(m) => write!(f, "training failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<helio_storage::StorageError> for CoreError {
+    fn from(e: helio_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+impl From<helio_tasks::TaskError> for CoreError {
+    fn from(e: helio_tasks::TaskError) -> Self {
+        CoreError::Tasks(e.to_string())
+    }
+}
+
+impl From<helio_ann::AnnError> for CoreError {
+    fn from(e: helio_ann::AnnError) -> Self {
+        CoreError::Training(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = helio_storage::StorageError::InvalidCapacitance(-1.0).into();
+        assert!(e.to_string().contains("storage error"));
+        let e: CoreError = helio_tasks::TaskError::Empty.into();
+        assert!(e.to_string().contains("invalid task set"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! The simplified long-term DMR optimisation (paper Section 4.2,
+//! Eqs. 12–18): choose a per-period DMR level (equivalently, a task
+//! subset) and track the supercapacitor state so that total misses over
+//! the horizon are minimised.
+//!
+//! The paper's formulation has complexity `O((N+1)^{N_p·N_d})`; this
+//! implementation solves it exactly (up to capacitor-state
+//! quantisation) by value iteration backward over periods with the
+//! capacitor's stored energy quantised into buckets — the standard
+//! trick that turns the exponential sequence search into
+//! `O(periods × buckets × subsets)`.
+
+use helio_common::units::{Joules, Volts};
+use helio_nvp::Pmu;
+use helio_sched::{simulate_subset, SubsetOutcome};
+use helio_storage::{CapState, CapacitorBank, StorageModelParams, SuperCap};
+use helio_tasks::TaskGraph;
+use serde::{Deserialize, Serialize};
+
+/// DP resolution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Number of stored-energy buckets for the capacitor state.
+    pub voltage_buckets: usize,
+    /// Subsets kept per DMR level (see
+    /// [`dmr_level_subsets`](crate::subsets::dmr_level_subsets)).
+    pub keep_per_level: usize,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        Self {
+            voltage_buckets: 12,
+            keep_per_level: 2,
+        }
+    }
+}
+
+/// The plan for one period produced by the DP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodPlan {
+    /// Committed task subset (`te_{i,j}(n)` bits).
+    pub subset: Vec<bool>,
+    /// Scheduling-pattern index `α` (Eq. 18): committed load energy
+    /// over solar supply. Clamped to `[0, 10]`; 10 denotes "no solar".
+    pub alpha: f64,
+    /// Misses the plan expects this period.
+    pub expected_misses: usize,
+    /// Capacitor energy the plan expects to draw (`E^c`, Eq. 15).
+    pub cap_energy: Joules,
+}
+
+/// Result of optimising one horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpResult {
+    /// One plan per period of the horizon.
+    pub plans: Vec<PeriodPlan>,
+    /// Total expected misses over the horizon.
+    pub total_misses: usize,
+    /// Capacitor voltage after replaying the horizon.
+    pub final_voltage: Volts,
+    /// State expansions performed (the complexity metric of
+    /// Fig. 10a).
+    pub complexity: u64,
+}
+
+/// Maps a bucket index to a voltage (uniform in stored energy).
+fn bucket_voltage(cap: &SuperCap, bucket: usize, buckets: usize) -> Volts {
+    let frac = bucket as f64 / (buckets - 1).max(1) as f64;
+    let lo = cap.v_cutoff().value();
+    let hi = cap.v_full().value();
+    Volts::new((lo * lo + frac * (hi * hi - lo * lo)).sqrt())
+}
+
+/// Maps a voltage to its nearest bucket.
+fn voltage_bucket(cap: &SuperCap, v: Volts, buckets: usize) -> usize {
+    let lo = cap.v_cutoff().value();
+    let hi = cap.v_full().value();
+    let frac = ((v.value() * v.value() - lo * lo) / (hi * hi - lo * lo)).clamp(0.0, 1.0);
+    (frac * (buckets - 1).max(1) as f64).round() as usize
+}
+
+/// Simulates one period from an explicit capacitor voltage, returning
+/// the outcome and the final voltage.
+fn step(
+    graph: &TaskGraph,
+    subset: &[bool],
+    solar: &[Joules],
+    slot_duration: helio_common::units::Seconds,
+    cap: &SuperCap,
+    voltage: Volts,
+    storage: &StorageModelParams,
+    pmu: &Pmu,
+) -> (SubsetOutcome, Volts) {
+    let mut bank =
+        CapacitorBank::new(&[cap.capacitance()], storage).expect("single cap is valid");
+    bank.set_state(0, cap.state_at(voltage)).expect("index 0");
+    let outcome = simulate_subset(graph, subset, solar, slot_duration, &mut bank, pmu, storage);
+    let v = bank.state(0).expect("index 0").voltage();
+    (outcome, v)
+}
+
+/// The scheduling-pattern index `α` of Eq. 18.
+pub fn alpha_index(graph: &TaskGraph, subset: &[bool], solar_energy: Joules) -> f64 {
+    let load: f64 = graph
+        .ids()
+        .filter(|id| subset[id.index()])
+        .map(|id| graph.task(id).energy().value())
+        .sum();
+    if solar_energy.value() <= 1e-9 {
+        if load > 0.0 {
+            10.0
+        } else {
+            0.0
+        }
+    } else {
+        (load / solar_energy.value()).clamp(0.0, 10.0)
+    }
+}
+
+/// Optimises one horizon of periods for a single capacitor.
+///
+/// `solar[p]` holds the per-slot harvested energies of period `p`
+/// (true values for the offline optimum, predicted values for the
+/// online MPC backend). Returns the per-period plans obtained by
+/// backward value iteration plus a forward replay from
+/// `initial` (the replay uses exact voltages, so the plans line up
+/// with what a simulator will actually see).
+///
+/// # Panics
+///
+/// Panics when `subsets` masks do not match the graph or `solar` is
+/// empty.
+pub fn optimize_horizon(
+    graph: &TaskGraph,
+    subsets: &[Vec<bool>],
+    solar: &[Vec<Joules>],
+    slot_duration: helio_common::units::Seconds,
+    cap: &SuperCap,
+    initial: CapState,
+    storage: &StorageModelParams,
+    pmu: &Pmu,
+    cfg: &DpConfig,
+) -> DpResult {
+    assert!(!solar.is_empty(), "horizon must contain periods");
+    assert!(!subsets.is_empty(), "need candidate subsets");
+    let horizon = solar.len();
+    let buckets = cfg.voltage_buckets.max(2);
+    let mut complexity: u64 = 0;
+
+    // value[b]: (misses-to-go, -final-energy) from the *next* stage.
+    // Terminal: zero misses, reward stored energy as the tie-break so
+    // equally-missing plans keep charge for the future.
+    let mut value: Vec<(f64, f64)> = (0..buckets)
+        .map(|b| {
+            let v = bucket_voltage(cap, b, buckets);
+            (0.0, -cap.capacitance().stored_energy(v).value())
+        })
+        .collect();
+    // choice[p][b] = best subset index at period p from bucket b.
+    let mut choice = vec![vec![0usize; buckets]; horizon];
+
+    for p in (0..horizon).rev() {
+        let mut new_value = vec![(f64::INFINITY, f64::INFINITY); buckets];
+        for b in 0..buckets {
+            let v0 = bucket_voltage(cap, b, buckets);
+            let mut best = (f64::INFINITY, f64::INFINITY);
+            let mut best_s = 0usize;
+            for (si, subset) in subsets.iter().enumerate() {
+                complexity += 1;
+                let (outcome, v1) =
+                    step(graph, subset, &solar[p], slot_duration, cap, v0, storage, pmu);
+                let b1 = voltage_bucket(cap, v1, buckets);
+                let next = value[b1];
+                let cand = (outcome.misses as f64 + next.0, next.1);
+                if cand < best {
+                    best = cand;
+                    best_s = si;
+                }
+            }
+            new_value[b] = best;
+            choice[p][b] = best_s;
+        }
+        value = new_value;
+    }
+
+    // Forward replay with exact voltages.
+    let mut plans = Vec::with_capacity(horizon);
+    let mut voltage = initial.voltage();
+    let mut total_misses = 0usize;
+    for (p, solar_p) in solar.iter().enumerate() {
+        let b = voltage_bucket(cap, voltage, buckets);
+        let subset = &subsets[choice[p][b]];
+        let (outcome, v1) =
+            step(graph, subset, solar_p, slot_duration, cap, voltage, storage, pmu);
+        let solar_energy: Joules = solar_p.iter().copied().sum();
+        plans.push(PeriodPlan {
+            subset: subset.clone(),
+            alpha: alpha_index(graph, subset, solar_energy),
+            expected_misses: outcome.misses,
+            cap_energy: outcome.cap_drawn,
+        });
+        total_misses += outcome.misses;
+        voltage = v1;
+    }
+
+    DpResult {
+        plans,
+        total_misses,
+        final_voltage: voltage,
+        complexity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsets::dmr_level_subsets;
+    use helio_common::units::{Farads, Seconds};
+    use helio_tasks::benchmarks;
+
+    const SLOT: Seconds = Seconds::new(60.0);
+    const SLOTS: usize = 10;
+
+    fn setup() -> (TaskGraph, SuperCap, StorageModelParams, Pmu) {
+        let storage = StorageModelParams::default();
+        let cap = SuperCap::new(Farads::new(10.0), &storage).unwrap();
+        (benchmarks::ecg(), cap, storage, Pmu::default())
+    }
+
+    use helio_tasks::TaskGraph;
+
+    fn sunny_period() -> Vec<Joules> {
+        vec![Joules::new(8.0); SLOTS]
+    }
+
+    fn dark_period() -> Vec<Joules> {
+        vec![Joules::ZERO; SLOTS]
+    }
+
+    #[test]
+    fn sunny_horizon_completes_everything() {
+        let (g, cap, storage, pmu) = setup();
+        let subsets = dmr_level_subsets(&g, 2);
+        let solar = vec![sunny_period(); 4];
+        let r = optimize_horizon(
+            &g,
+            &subsets,
+            &solar,
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &DpConfig::default(),
+        );
+        assert_eq!(r.total_misses, 0, "{r:?}");
+        assert!(r.plans.iter().all(|p| p.subset.iter().all(|&b| b)));
+        assert!(r.complexity > 0);
+    }
+
+    #[test]
+    fn dp_banks_energy_for_the_night() {
+        // Two sunny periods followed by four dark ones: the DP should
+        // store enough during the day to keep completing work at night,
+        // unlike a greedy full-subset run.
+        let (g, cap, storage, pmu) = setup();
+        let subsets = dmr_level_subsets(&g, 2);
+        let mut solar = vec![sunny_period(), sunny_period()];
+        solar.extend(vec![dark_period(); 4]);
+        let r = optimize_horizon(
+            &g,
+            &subsets,
+            &solar,
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &DpConfig::default(),
+        );
+        // Greedy everything-every-period for comparison.
+        let full = vec![true; g.len()];
+        let mut v = cap.empty_state().voltage();
+        let mut greedy_misses = 0;
+        for p in &solar {
+            let (o, v1) = step(&g, &full, p, SLOT, &cap, v, &storage, &pmu);
+            greedy_misses += o.misses;
+            v = v1;
+        }
+        assert!(
+            r.total_misses <= greedy_misses,
+            "DP {} must not lose to greedy {}",
+            r.total_misses,
+            greedy_misses
+        );
+        // At least one night period should still complete something.
+        let night_completions: usize = r.plans[2..]
+            .iter()
+            .map(|p| p.subset.iter().filter(|&&b| b).count())
+            .sum();
+        assert!(night_completions > 0, "{:?}", r.plans);
+    }
+
+    #[test]
+    fn alpha_reflects_load_to_supply_ratio() {
+        let (g, ..) = setup();
+        let full = vec![true; g.len()];
+        let empty = vec![false; g.len()];
+        // ECG total energy ≈ 12.2 J.
+        let a = alpha_index(&g, &full, Joules::new(12.2));
+        assert!((a - 1.0).abs() < 0.05, "alpha {a}");
+        assert_eq!(alpha_index(&g, &full, Joules::ZERO), 10.0);
+        assert_eq!(alpha_index(&g, &empty, Joules::ZERO), 0.0);
+        assert!(alpha_index(&g, &full, Joules::new(50.0)) < 0.5);
+    }
+
+    #[test]
+    fn bucket_round_trips() {
+        let (_, cap, ..) = setup();
+        for b in 0..12 {
+            let v = bucket_voltage(&cap, b, 12);
+            assert_eq!(voltage_bucket(&cap, v, 12), b);
+        }
+        // Extremes map to the ends.
+        assert_eq!(voltage_bucket(&cap, cap.v_cutoff(), 12), 0);
+        assert_eq!(voltage_bucket(&cap, cap.v_full(), 12), 11);
+    }
+
+    #[test]
+    fn complexity_scales_with_horizon() {
+        let (g, cap, storage, pmu) = setup();
+        let subsets = dmr_level_subsets(&g, 1);
+        let short = optimize_horizon(
+            &g,
+            &subsets,
+            &vec![sunny_period(); 2],
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &DpConfig::default(),
+        );
+        let long = optimize_horizon(
+            &g,
+            &subsets,
+            &vec![sunny_period(); 8],
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &DpConfig::default(),
+        );
+        assert_eq!(long.complexity, 4 * short.complexity);
+    }
+}

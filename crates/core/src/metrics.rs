@@ -1,0 +1,236 @@
+//! Simulation metrics: per-period records and the aggregates the
+//! paper's figures report (long-term DMR, energy utilisation,
+//! migration efficiency).
+
+use helio_common::time::PeriodRef;
+use helio_common::units::Joules;
+use serde::{Deserialize, Serialize};
+
+use crate::planner::Pattern;
+
+/// Everything measured in one period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// Which period.
+    pub period: PeriodRef,
+    /// Tasks that missed their deadline.
+    pub misses: usize,
+    /// Task count `N` (for DMR normalisation).
+    pub tasks: usize,
+    /// Harvested solar energy (source side).
+    pub harvested: Joules,
+    /// Load served through the direct channel.
+    pub served_direct: Joules,
+    /// Load served from storage.
+    pub served_storage: Joules,
+    /// Solar energy absorbed into storage.
+    pub stored: Joules,
+    /// Solar surplus wasted (storage full).
+    pub wasted: Joules,
+    /// Demand that browned out.
+    pub unmet: Joules,
+    /// Energy lost to capacitor leakage.
+    pub leaked: Joules,
+    /// Brown-out slots.
+    pub brownouts: usize,
+    /// Pattern the planner chose.
+    pub pattern: Pattern,
+    /// Active capacitor index during the period.
+    pub capacitor: usize,
+}
+
+impl PeriodRecord {
+    /// The period's deadline-miss rate `DMR_{i,j}`.
+    pub fn dmr(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.tasks as f64
+        }
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduler/planner name.
+    pub planner: String,
+    /// Per-period records in chronological order.
+    pub periods: Vec<PeriodRecord>,
+    /// Planner complexity counter (state expansions).
+    pub complexity: u64,
+    /// NVP state backups caused by brown-outs.
+    pub nvp_backups: usize,
+    /// NVP state restores when interrupted tasks resumed.
+    pub nvp_restores: usize,
+    /// Total backup/restore energy overhead.
+    pub nvp_overhead: Joules,
+}
+
+impl SimReport {
+    /// Long-term DMR: total misses over total task releases (Eq. 6).
+    pub fn overall_dmr(&self) -> f64 {
+        let misses: usize = self.periods.iter().map(|p| p.misses).sum();
+        let total: usize = self.periods.iter().map(|p| p.tasks).sum();
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    /// DMR restricted to the periods of one day.
+    pub fn day_dmr(&self, day: usize) -> f64 {
+        let (misses, total) = self
+            .periods
+            .iter()
+            .filter(|p| p.period.day == day)
+            .fold((0usize, 0usize), |(m, t), p| (m + p.misses, t + p.tasks));
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    /// Total harvested solar energy.
+    pub fn total_harvested(&self) -> Joules {
+        self.periods.iter().map(|p| p.harvested).sum()
+    }
+
+    /// Total energy delivered to the load (both channels).
+    pub fn total_served(&self) -> Joules {
+        self.periods
+            .iter()
+            .map(|p| p.served_direct + p.served_storage)
+            .sum()
+    }
+
+    /// Energy utilisation (Fig. 9b): load energy delivered per joule
+    /// harvested.
+    pub fn energy_utilisation(&self) -> f64 {
+        let h = self.total_harvested();
+        if h.value() <= 0.0 {
+            0.0
+        } else {
+            (self.total_served() / h).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Aggregate migration efficiency (Fig. 10b): energy delivered from
+    /// storage per joule absorbed into storage.
+    pub fn migration_efficiency(&self) -> f64 {
+        let stored: Joules = self.periods.iter().map(|p| p.stored).sum();
+        let delivered: Joules = self.periods.iter().map(|p| p.served_storage).sum();
+        if stored.value() <= 0.0 {
+            0.0
+        } else {
+            (delivered / stored).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Accumulated DMR after the first `k` periods (Eq. 19's
+    /// `DMR^acc`).
+    pub fn accumulated_dmr(&self, k: usize) -> f64 {
+        let slice = &self.periods[..k.min(self.periods.len())];
+        let misses: usize = slice.iter().map(|p| p.misses).sum();
+        let total: usize = slice.iter().map(|p| p.tasks).sum();
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    /// Per-day DMR series (one value per simulated day).
+    pub fn daily_dmr_series(&self) -> Vec<f64> {
+        let last_day = self.periods.last().map_or(0, |p| p.period.day);
+        (0..=last_day).map(|d| self.day_dmr(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(day: usize, period: usize, misses: usize, tasks: usize) -> PeriodRecord {
+        PeriodRecord {
+            period: PeriodRef::new(day, period),
+            misses,
+            tasks,
+            harvested: Joules::new(10.0),
+            served_direct: Joules::new(4.0),
+            served_storage: Joules::new(1.0),
+            stored: Joules::new(2.0),
+            wasted: Joules::new(1.0),
+            unmet: Joules::ZERO,
+            leaked: Joules::new(0.1),
+            brownouts: 0,
+            pattern: Pattern::Intra,
+            capacitor: 0,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            planner: "test".into(),
+            periods: vec![
+                record(0, 0, 0, 5),
+                record(0, 1, 5, 5),
+                record(1, 0, 2, 5),
+                record(1, 1, 3, 5),
+            ],
+            complexity: 7,
+            nvp_backups: 2,
+            nvp_restores: 1,
+            nvp_overhead: Joules::new(1e-5),
+        }
+    }
+
+    #[test]
+    fn overall_and_daily_dmr() {
+        let r = report();
+        assert!((r.overall_dmr() - 0.5).abs() < 1e-12);
+        assert!((r.day_dmr(0) - 0.5).abs() < 1e-12);
+        assert!((r.day_dmr(1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.daily_dmr_series().len(), 2);
+    }
+
+    #[test]
+    fn accumulated_dmr_prefixes() {
+        let r = report();
+        assert!((r.accumulated_dmr(1) - 0.0).abs() < 1e-12);
+        assert!((r.accumulated_dmr(2) - 0.5).abs() < 1e-12);
+        assert!((r.accumulated_dmr(99) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_aggregates() {
+        let r = report();
+        assert!((r.total_harvested().value() - 40.0).abs() < 1e-9);
+        assert!((r.total_served().value() - 20.0).abs() < 1e-9);
+        assert!((r.energy_utilisation() - 0.5).abs() < 1e-12);
+        assert!((r.migration_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport {
+            planner: "empty".into(),
+            periods: vec![],
+            complexity: 0,
+            nvp_backups: 0,
+            nvp_restores: 0,
+            nvp_overhead: Joules::ZERO,
+        };
+        assert_eq!(r.overall_dmr(), 0.0);
+        assert_eq!(r.energy_utilisation(), 0.0);
+        assert_eq!(r.migration_efficiency(), 0.0);
+        assert!(r.daily_dmr_series().len() <= 1);
+    }
+
+    #[test]
+    fn period_record_dmr() {
+        assert!((record(0, 0, 2, 5).dmr() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,455 @@
+//! The proposed online planner (paper Section 5).
+//!
+//! Two interchangeable backends produce the coarse per-period decision:
+//!
+//! * **DBN** — the paper's headline design: the deep belief network
+//!   trained offline on optimal samples maps (previous-period solar,
+//!   capacitor voltages, accumulated DMR) to (capacitor, α, task
+//!   bits). Inference costs microjoules on the node.
+//! * **MPC** — a model-predictive variant that reruns the long-term DP
+//!   each day on *forecast* solar over a configurable horizon. It is
+//!   the knob behind the prediction-length experiment (Fig. 10a).
+//!
+//! Both backends pass through the Eq. 22 capacitor-switch rule (don't
+//! abandon a charged capacitor) and the `δ` pattern-selection
+//! threshold of Section 5.2.
+
+use helio_ann::Dbn;
+use helio_common::units::Joules;
+use helio_solar::SolarPredictor;
+use helio_storage::SuperCap;
+use serde::{Deserialize, Serialize};
+
+use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
+use crate::optimal::OptimalPlanner;
+use crate::planner::{PeriodPlanner, PlanDecision, PlannerObservation};
+use crate::subsets::dmr_level_subsets;
+
+/// The Eq. 22 capacitor-switch rule: switch to the suggested capacitor
+/// only when the one in use has less than `threshold` usable energy —
+/// migrating a charged capacitor's energy away is wasteful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchRule {
+    /// The threshold energy `E_th`.
+    pub threshold: Joules,
+}
+
+impl Default for SwitchRule {
+    fn default() -> Self {
+        Self {
+            threshold: Joules::new(2.0),
+        }
+    }
+}
+
+impl SwitchRule {
+    /// Applies Eq. 22: returns the capacitor the PMU should activate.
+    pub fn decide(&self, obs: &PlannerObservation<'_>, suggested: usize) -> Option<usize> {
+        let active = obs.bank.active_index();
+        if suggested == active {
+            return Some(active);
+        }
+        let cap = obs.bank.cap(active).expect("active index valid");
+        let state = obs.bank.state(active).expect("active index valid");
+        if state.energy_above_cutoff(cap) < self.threshold {
+            Some(suggested)
+        } else {
+            None // keep the charged capacitor
+        }
+    }
+}
+
+enum Backend {
+    Dbn(Box<Dbn>),
+    Mpc {
+        predictor: Box<dyn SolarPredictor>,
+        horizon_periods: usize,
+        dp: DpConfig,
+        cache: Option<MpcCache>,
+    },
+}
+
+struct MpcCache {
+    day: usize,
+    capacitor: usize,
+    base_flat: usize,
+    plans: Vec<PeriodPlan>,
+}
+
+/// The proposed long-term deadline-aware online planner.
+pub struct ProposedPlanner {
+    backend: Backend,
+    switch: SwitchRule,
+    delta: f64,
+    complexity: u64,
+}
+
+impl ProposedPlanner {
+    /// Creates the DBN-backed planner (the paper's deployed design).
+    pub fn from_dbn(dbn: Dbn, delta: f64, switch: SwitchRule) -> Self {
+        Self {
+            backend: Backend::Dbn(Box::new(dbn)),
+            switch,
+            delta,
+            complexity: 0,
+        }
+    }
+
+    /// Creates the MPC-backed planner: re-plan each day over
+    /// `horizon_periods` of forecast solar.
+    pub fn mpc(
+        predictor: Box<dyn SolarPredictor>,
+        horizon_periods: usize,
+        dp: DpConfig,
+        delta: f64,
+        switch: SwitchRule,
+    ) -> Self {
+        Self {
+            backend: Backend::Mpc {
+                predictor,
+                horizon_periods: horizon_periods.max(1),
+                dp,
+                cache: None,
+            },
+            switch,
+            delta,
+            complexity: 0,
+        }
+    }
+
+    /// The `δ` threshold in use.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    fn plan_mpc(&mut self, obs: &PlannerObservation<'_>) -> (usize, PeriodPlan) {
+        let grid = obs.grid;
+        let flat = grid.period_index(obs.period);
+        let (predictor, horizon_periods, dp, cache) = match &mut self.backend {
+            Backend::Mpc {
+                predictor,
+                horizon_periods,
+                dp,
+                cache,
+            } => (predictor, *horizon_periods, *dp, cache),
+            Backend::Dbn(_) => unreachable!("plan_mpc called on DBN backend"),
+        };
+
+        let needs_replan = match cache {
+            Some(c) => c.day != obs.period.day || flat < c.base_flat,
+            None => true,
+        };
+        if needs_replan {
+            // Forecast per-period energies over the horizon and spread
+            // each evenly over its slots (the DP only needs period
+            // granularity; intra-period shape comes from the real slots
+            // at execution time).
+            let predicted = predictor.forecast(obs.trace, obs.period, horizon_periods);
+            let slots = grid.slots_per_period();
+            let solar: Vec<Vec<Joules>> = predicted
+                .iter()
+                .map(|&e| vec![e / slots as f64; slots])
+                .collect();
+            let subsets = dmr_level_subsets(obs.graph, dp.keep_per_level);
+
+            let mut best: Option<(usize, crate::longterm::DpResult)> = None;
+            for h in 0..obs.bank.len() {
+                let size = obs.bank.cap(h).expect("h in range").capacitance();
+                let cap = SuperCap::new(size, obs.storage).expect("validated params");
+                let v0 = obs.bank.state(h).expect("h in range").voltage();
+                let r = optimize_horizon(
+                    obs.graph,
+                    &subsets,
+                    &solar,
+                    grid.slot_duration(),
+                    &cap,
+                    cap.state_at(v0),
+                    obs.storage,
+                    obs.pmu,
+                    &dp,
+                );
+                self.complexity += r.complexity;
+                let better = match &best {
+                    None => true,
+                    Some((_, br)) => {
+                        (r.total_misses, -r.final_voltage.value())
+                            < (br.total_misses, -br.final_voltage.value())
+                    }
+                };
+                if better {
+                    best = Some((h, r));
+                }
+            }
+            let (h, r) = best.expect("bank is nonempty");
+            *cache = Some(MpcCache {
+                day: obs.period.day,
+                capacitor: h,
+                base_flat: flat,
+                plans: r.plans,
+            });
+        }
+
+        let c = cache.as_ref().expect("just planned");
+        let idx = flat - c.base_flat;
+        let plan = c
+            .plans
+            .get(idx)
+            .cloned()
+            .unwrap_or_else(|| PeriodPlan {
+                subset: vec![true; obs.graph.len()],
+                alpha: 1.0,
+                expected_misses: 0,
+                cap_energy: Joules::ZERO,
+            });
+        (c.capacitor, plan)
+    }
+
+    fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, Vec<bool>) {
+        let dbn = match &self.backend {
+            Backend::Dbn(d) => d,
+            Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
+        };
+        let grid = obs.grid;
+        let flat = grid.period_index(obs.period);
+        let mut input: Vec<f64> =
+            Vec::with_capacity(grid.slots_per_period() + obs.bank.len() + 1);
+        if flat == 0 {
+            input.extend(std::iter::repeat(0.0).take(grid.slots_per_period()));
+        } else {
+            let prev = grid.period_at(flat - 1);
+            input.extend(obs.trace.period_powers(prev).iter().map(|p| p.milliwatts()));
+        }
+        input.extend(obs.bank.voltages());
+        input.push(obs.accumulated_dmr);
+
+        // One DBN inference ≈ one state expansion worth of work.
+        self.complexity += 1;
+        let out = match dbn.predict(&input) {
+            Ok(out) => out,
+            Err(_) => {
+                // Shape mismatch (e.g. trained on another node) — fall
+                // back to "run everything".
+                return (obs.bank.active_index(), 1.0, vec![true; obs.graph.len()]);
+            }
+        };
+        let h_max = obs.bank.len().saturating_sub(1) as f64;
+        let cap = out[0].clamp(0.0, h_max).round() as usize;
+        let alpha = out[1].clamp(0.0, 10.0);
+        let mut allowed: Vec<bool> = out[2..].iter().map(|&b| b >= 0.5).collect();
+        allowed.resize(obs.graph.len(), false);
+        // Close under dependencies: an admitted task drags in its
+        // predecessors (the DBN's bits are independent sigmoids).
+        let topo = obs
+            .graph
+            .topological_order()
+            .expect("validated graphs are acyclic");
+        for &id in topo.iter().rev() {
+            if allowed[id.index()] {
+                for p in obs.graph.predecessors(id) {
+                    allowed[p.index()] = true;
+                }
+            }
+        }
+        // Abundant-solar override (the Section 5.2 selection method's
+        // "α too small" regime): when the most recent period's harvest
+        // alone can power the whole task set through the direct
+        // channel, committing to everything is dominant — it costs no
+        // stored energy and completes every deadline.
+        if flat > 0 {
+            let prev = grid.period_at(flat - 1);
+            let last_harvest = obs.trace.period_energy(prev);
+            let eta = obs.pmu.params().direct_efficiency;
+            let full_load = obs.graph.total_energy();
+            if last_harvest * eta * 0.85 >= full_load {
+                let alpha = full_load / (last_harvest * eta);
+                return (cap, alpha, vec![true; obs.graph.len()]);
+            }
+        }
+        (cap, alpha, allowed)
+    }
+}
+
+impl PeriodPlanner for ProposedPlanner {
+    fn name(&self) -> &'static str {
+        match self.backend {
+            Backend::Dbn(_) => "proposed-dbn",
+            Backend::Mpc { .. } => "proposed-mpc",
+        }
+    }
+
+    fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+        let (suggested_cap, alpha, allowed) = match self.backend {
+            Backend::Mpc { .. } => {
+                let (cap, plan) = self.plan_mpc(obs);
+                (cap, plan.alpha, plan.subset)
+            }
+            Backend::Dbn(_) => self.plan_dbn(obs),
+        };
+        PlanDecision {
+            capacitor: self.switch.decide(obs, suggested_cap),
+            allowed: Some(allowed),
+            pattern: OptimalPlanner::pattern_for_alpha(alpha, self.delta),
+        }
+    }
+
+    fn complexity(&self) -> u64 {
+        self.complexity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::engine::Engine;
+    use crate::planner::{FixedPlanner, Pattern};
+    use helio_common::time::TimeGrid;
+    use helio_common::units::{Farads, Seconds};
+    use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
+    use helio_tasks::benchmarks;
+
+    fn grid(days: usize) -> TimeGrid {
+        TimeGrid::new(days, 24, 10, Seconds::new(60.0)).unwrap()
+    }
+
+    fn node(days: usize) -> NodeConfig {
+        NodeConfig::builder(grid(days))
+            .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+            .build()
+            .unwrap()
+    }
+
+    fn trace(days: usize) -> SolarTrace {
+        TraceBuilder::new(grid(days), SolarPanel::paper_panel())
+            .seed(11)
+            .days(&[
+                DayArchetype::Clear,
+                DayArchetype::BrokenClouds,
+                DayArchetype::Overcast,
+                DayArchetype::Storm,
+            ])
+            .build()
+    }
+
+    #[test]
+    fn mpc_with_perfect_oracle_beats_baselines() {
+        let node = node(2);
+        let t = trace(2);
+        let g = benchmarks::ecg();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let mut mpc = ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            2 * 24,
+            DpConfig::default(),
+            0.5,
+            SwitchRule::default(),
+        );
+        let proposed = engine.run(&mut mpc).unwrap();
+        let inter = engine
+            .run(&mut FixedPlanner::new(Pattern::Inter, 1))
+            .unwrap();
+        assert!(
+            proposed.overall_dmr() <= inter.overall_dmr() + 0.02,
+            "proposed {} vs inter {}",
+            proposed.overall_dmr(),
+            inter.overall_dmr()
+        );
+        assert!(proposed.complexity > 0);
+    }
+
+    #[test]
+    fn switch_rule_keeps_charged_capacitor() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let storage = &node.storage;
+        let mut bank =
+            helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        bank.set_active(0).unwrap();
+        bank.charge_active(storage, Joules::new(10.0));
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        let rule = SwitchRule {
+            threshold: Joules::new(2.0),
+        };
+        // Charged above threshold: keep.
+        assert_eq!(rule.decide(&obs, 1), None);
+        // Same capacitor: trivially allowed.
+        assert_eq!(rule.decide(&obs, 0), Some(0));
+        // Drain below threshold: switch allowed.
+        let mut drained =
+            helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        drained.set_active(0).unwrap();
+        let obs2 = PlannerObservation { bank: &drained, ..obs };
+        assert_eq!(rule.decide(&obs2, 1), Some(1));
+    }
+
+    #[test]
+    fn mpc_replans_once_per_day() {
+        let node = node(2);
+        let t = trace(2);
+        let g = benchmarks::ecg();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let mut mpc = ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            24,
+            DpConfig {
+                voltage_buckets: 6,
+                keep_per_level: 1,
+            },
+            0.5,
+            SwitchRule::default(),
+        );
+        engine.run(&mut mpc).unwrap();
+        // 2 days × 2 capacitors × 24 periods × 6 buckets × subsets:
+        // complexity must correspond to exactly two replans (not one per
+        // period). With keep=1 ECG has 8 subset levels (incl. empty
+        // level kept once per size 0..=6 → 7) — just bound it loosely.
+        let per_day_upper = 2 * 24 * 6 * 20;
+        assert!(
+            mpc.complexity() <= 2 * per_day_upper as u64,
+            "complexity {} suggests per-period replanning",
+            mpc.complexity()
+        );
+    }
+
+    #[test]
+    fn dbn_backend_round_trip() {
+        // Train a tiny DBN on synthetic "always run everything on cap 0"
+        // samples and check the planner emits sane decisions.
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let in_dim = 10 + 2 + 1;
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let mut v = vec![(i % 7) as f64 * 10.0; in_dim];
+                v[in_dim - 1] = 0.3;
+                v
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..40)
+            .map(|_| {
+                let mut v = vec![0.0, 1.0];
+                v.extend(vec![1.0; g.len()]);
+                v
+            })
+            .collect();
+        let dbn =
+            helio_ann::Dbn::train(&inputs, &targets, &helio_ann::DbnConfig::small(2)).unwrap();
+        let mut planner = ProposedPlanner::from_dbn(dbn, 0.5, SwitchRule::default());
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let report = engine.run(&mut planner).unwrap();
+        assert_eq!(report.planner, "proposed-dbn");
+        // The all-ones teaching signal should admit everything.
+        assert!(report.overall_dmr() < 1.0);
+    }
+}

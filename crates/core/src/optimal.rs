@@ -1,0 +1,343 @@
+//! The static optimal planner — the paper's upper bound ("a static
+//! optimal scheduler is provided as an upper bound based on the given
+//! solar power", Section 6.3).
+//!
+//! It runs the long-term DP of Section 4.2 on the *true* solar trace,
+//! choosing the best supercapacitor per day and the best task subset
+//! per period, then replays those decisions during simulation. The
+//! per-period `(observation, decision)` pairs it records double as the
+//! DBN training samples of the offline pipeline.
+
+use helio_common::time::PeriodRef;
+use helio_common::units::{Joules, Volts};
+use helio_solar::SolarTrace;
+use helio_storage::SuperCap;
+use helio_tasks::TaskGraph;
+
+use crate::config::NodeConfig;
+use crate::error::CoreError;
+use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
+use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerObservation};
+use crate::subsets::dmr_level_subsets;
+
+/// One recorded training sample: the observation vector the online DBN
+/// will see, and the optimal decision vector it should produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalSample {
+    /// `[prev-period slot powers (mW) ×N_s, capacitor voltages ×H,
+    /// accumulated DMR]`.
+    pub input: Vec<f64>,
+    /// `[capacitor index, α, te bits ×N]`.
+    pub target: Vec<f64>,
+}
+
+/// The precomputed optimal plan, replayed period by period.
+#[derive(Debug, Clone)]
+pub struct OptimalPlanner {
+    decisions: Vec<(usize, PeriodPlan)>,
+    samples: Vec<OptimalSample>,
+    delta: f64,
+    complexity: u64,
+    periods_per_day: usize,
+}
+
+impl OptimalPlanner {
+    /// Computes the optimal plan for a node/task-set/trace triple.
+    ///
+    /// `delta` is the pattern-selection threshold of Section 5.2: when
+    /// `|1 − α| > delta` the period uses plain inter-task scheduling,
+    /// otherwise intra-task load matching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] variants for invalid configuration or task
+    /// sets.
+    pub fn compute(
+        node: &NodeConfig,
+        graph: &TaskGraph,
+        trace: &SolarTrace,
+        dp: &DpConfig,
+        delta: f64,
+    ) -> Result<Self, CoreError> {
+        if trace.grid() != &node.grid {
+            return Err(CoreError::TraceMismatch(
+                "optimal planner trace must match the node grid".into(),
+            ));
+        }
+        graph
+            .validate(node.grid.period_duration())
+            .map_err(|e| CoreError::Tasks(e.to_string()))?;
+
+        let grid = &node.grid;
+        let storage = &node.storage;
+        let pmu = &node.pmu;
+        let slot_duration = grid.slot_duration();
+        let subsets = dmr_level_subsets(graph, dp.keep_per_level);
+        let caps: Vec<SuperCap> = node
+            .capacitors
+            .iter()
+            .map(|&c| SuperCap::new(c, storage))
+            .collect::<Result<_, _>>()?;
+
+        let mut voltages: Vec<Volts> = caps.iter().map(|c| c.v_cutoff()).collect();
+        let mut decisions: Vec<(usize, PeriodPlan)> = Vec::with_capacity(grid.total_periods());
+        let mut samples: Vec<OptimalSample> = Vec::with_capacity(grid.total_periods());
+        let mut complexity = 0u64;
+        let mut acc_misses = 0usize;
+        let mut acc_tasks = 0usize;
+
+        for day in 0..grid.days() {
+            // Per-period per-slot solar of this day.
+            let solar: Vec<Vec<Joules>> = (0..grid.periods_per_day())
+                .map(|j| {
+                    grid.slots_in(PeriodRef::new(day, j))
+                        .map(|s| trace.slot_energy(s))
+                        .collect()
+                })
+                .collect();
+
+            // Choose the day's capacitor: run the DP per candidate and
+            // keep the one with the fewest misses (ties: most final
+            // energy).
+            let mut best: Option<(usize, crate::longterm::DpResult)> = None;
+            for (h, cap) in caps.iter().enumerate() {
+                let r = optimize_horizon(
+                    graph,
+                    &subsets,
+                    &solar,
+                    slot_duration,
+                    cap,
+                    cap.state_at(voltages[h]),
+                    storage,
+                    pmu,
+                    dp,
+                );
+                complexity += r.complexity;
+                let better = match &best {
+                    None => true,
+                    Some((bh, br)) => {
+                        (r.total_misses, -r.final_voltage.value())
+                            < (br.total_misses, -caps[*bh].state_at(br.final_voltage).voltage().value())
+                    }
+                };
+                if better {
+                    best = Some((h, r));
+                }
+            }
+            let (h_star, result) = best.expect("at least one capacitor");
+
+            // Record decisions and training samples, replaying period by
+            // period so the sample's voltage vector tracks the bank.
+            for (j, plan) in result.plans.iter().enumerate() {
+                let period = PeriodRef::new(day, j);
+                let acc_dmr = if acc_tasks == 0 {
+                    0.0
+                } else {
+                    acc_misses as f64 / acc_tasks as f64
+                };
+                let mut input: Vec<f64> = Vec::with_capacity(
+                    grid.slots_per_period() + caps.len() + 1,
+                );
+                // Previous period's slot powers (mW); zeros before the
+                // first period.
+                let flat = grid.period_index(period);
+                if flat == 0 {
+                    input.extend(std::iter::repeat(0.0).take(grid.slots_per_period()));
+                } else {
+                    let prev = grid.period_at(flat - 1);
+                    input.extend(
+                        trace
+                            .period_powers(prev)
+                            .iter()
+                            .map(|p| p.milliwatts()),
+                    );
+                }
+                input.extend(voltages.iter().map(|v| v.value()));
+                input.push(acc_dmr);
+
+                let mut target = vec![h_star as f64, plan.alpha];
+                target.extend(plan.subset.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+                samples.push(OptimalSample { input, target });
+
+                decisions.push((h_star, plan.clone()));
+                acc_misses += plan.expected_misses;
+                acc_tasks += graph.len();
+
+                // Advance voltages: active capacitor per the plan, the
+                // others leak.
+                let period_secs = grid.period_duration();
+                for (h, cap) in caps.iter().enumerate() {
+                    if h == h_star {
+                        let mut bank =
+                            helio_storage::CapacitorBank::new(&[cap.capacitance()], storage)?;
+                        bank.set_state(0, cap.state_at(voltages[h]))?;
+                        helio_sched::simulate_subset(
+                            graph,
+                            &plan.subset,
+                            &solar[j],
+                            slot_duration,
+                            &mut bank,
+                            pmu,
+                            storage,
+                        );
+                        voltages[h] = bank.state(0)?.voltage();
+                    } else {
+                        let mut state = cap.state_at(voltages[h]);
+                        cap.leak(&mut state, storage, period_secs);
+                        voltages[h] = state.voltage();
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            decisions,
+            samples,
+            delta,
+            complexity,
+            periods_per_day: grid.periods_per_day(),
+        })
+    }
+
+    /// The recorded DBN training samples.
+    pub fn samples(&self) -> &[OptimalSample] {
+        &self.samples
+    }
+
+    /// The per-period plans (capacitor index, plan).
+    pub fn decisions(&self) -> &[(usize, PeriodPlan)] {
+        &self.decisions
+    }
+
+    /// Pattern chosen by the `δ` rule for a given `α`.
+    pub fn pattern_for_alpha(alpha: f64, delta: f64) -> Pattern {
+        if (1.0 - alpha).abs() > delta {
+            Pattern::Inter
+        } else {
+            Pattern::Intra
+        }
+    }
+}
+
+impl PeriodPlanner for OptimalPlanner {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+        let flat = obs.period.day * self.periods_per_day + obs.period.period;
+        match self.decisions.get(flat) {
+            Some((cap, plan)) => PlanDecision {
+                capacitor: Some(*cap),
+                allowed: Some(plan.subset.clone()),
+                pattern: Self::pattern_for_alpha(plan.alpha, self.delta),
+            },
+            None => PlanDecision::everything(Pattern::Intra),
+        }
+    }
+
+    fn complexity(&self) -> u64 {
+        self.complexity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::planner::FixedPlanner;
+    use helio_common::time::TimeGrid;
+    use helio_common::units::{Farads, Seconds};
+    use helio_solar::{DayArchetype, SolarPanel, TraceBuilder};
+    use helio_tasks::benchmarks;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(2, 24, 10, Seconds::new(60.0)).unwrap()
+    }
+
+    fn node() -> NodeConfig {
+        NodeConfig::builder(grid())
+            .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+            .build()
+            .unwrap()
+    }
+
+    fn trace() -> SolarTrace {
+        TraceBuilder::new(grid(), SolarPanel::paper_panel())
+            .seed(3)
+            .days(&[DayArchetype::Clear, DayArchetype::Overcast])
+            .build()
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_baselines() {
+        let node = node();
+        let t = trace();
+        let g = benchmarks::ecg();
+        let mut optimal =
+            OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let opt_report = engine.run(&mut optimal).unwrap();
+        for pattern in [Pattern::Intra, Pattern::Inter, Pattern::Asap] {
+            for cap in 0..2 {
+                let base = engine
+                    .run(&mut FixedPlanner::new(pattern, cap))
+                    .unwrap();
+                assert!(
+                    opt_report.overall_dmr() <= base.overall_dmr() + 0.02,
+                    "optimal {} must beat {}@{cap} {}",
+                    opt_report.overall_dmr(),
+                    base.planner,
+                    base.overall_dmr()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_have_consistent_shapes() {
+        let node = node();
+        let t = trace();
+        let g = benchmarks::ecg();
+        let planner =
+            OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        let in_dim = grid().slots_per_period() + 2 + 1;
+        let out_dim = 2 + g.len();
+        assert_eq!(planner.samples().len(), grid().total_periods());
+        for s in planner.samples() {
+            assert_eq!(s.input.len(), in_dim);
+            assert_eq!(s.target.len(), out_dim);
+            assert!(s.target[0] == 0.0 || s.target[0] == 1.0, "cap index");
+            assert!((0.0..=10.0).contains(&s.target[1]), "alpha");
+        }
+    }
+
+    #[test]
+    fn pattern_rule_matches_paper() {
+        assert_eq!(
+            OptimalPlanner::pattern_for_alpha(10.0, 0.5),
+            Pattern::Inter,
+            "no solar at night: plain inter-task"
+        );
+        assert_eq!(
+            OptimalPlanner::pattern_for_alpha(1.1, 0.5),
+            Pattern::Intra,
+            "balanced load: fine-grained matching pays off"
+        );
+        assert_eq!(
+            OptimalPlanner::pattern_for_alpha(0.05, 0.5),
+            Pattern::Inter,
+            "abundant solar: intra-task effort is unnecessary"
+        );
+    }
+
+    #[test]
+    fn complexity_is_reported() {
+        let node = node();
+        let t = trace();
+        let g = benchmarks::ecg();
+        let planner =
+            OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        assert!(planner.complexity() > 1000);
+    }
+}

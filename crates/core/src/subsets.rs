@@ -1,0 +1,146 @@
+//! Enumeration of the per-period task subsets the planners choose
+//! among.
+//!
+//! The paper's simplified formulation replaces raw scheduling variables
+//! with per-period DMR levels (Section 4.2): a period commits to
+//! completing some dependency-closed subset of the task set. For the
+//! DMR objective every task weighs the same, so among subsets of equal
+//! size only the cheapest (by energy) few matter — this is the
+//! `(N+1)`-level reduction that makes the long-term DP tractable.
+
+use helio_tasks::TaskGraph;
+
+/// All dependency-closed subsets (every predecessor of an included task
+/// is included), as masks over the task ids. Includes the empty and
+/// full subsets.
+///
+/// # Panics
+///
+/// Panics for graphs with more than 20 tasks (enumeration is 2^N; the
+/// paper's benchmarks have at most 8).
+pub fn closed_subsets(graph: &TaskGraph) -> Vec<Vec<bool>> {
+    let n = graph.len();
+    assert!(n <= 20, "subset enumeration is exponential; got {n} tasks");
+    let mut out = Vec::new();
+    'mask: for mask in 0u32..(1u32 << n) {
+        for (from, to) in graph.edges() {
+            if mask & (1 << to.index()) != 0 && mask & (1 << from.index()) == 0 {
+                continue 'mask;
+            }
+        }
+        out.push((0..n).map(|i| mask & (1 << i) != 0).collect());
+    }
+    out
+}
+
+/// The DMR-level reduction: for each subset size `k ∈ 0..=N`, the
+/// `keep` dependency-closed subsets with the smallest total energy.
+/// The result is sorted by size then energy, deduplicated, and always
+/// contains the empty and full subsets.
+pub fn dmr_level_subsets(graph: &TaskGraph, keep: usize) -> Vec<Vec<bool>> {
+    let all = closed_subsets(graph);
+    let energy = |mask: &Vec<bool>| -> f64 {
+        graph
+            .ids()
+            .filter(|id| mask[id.index()])
+            .map(|id| graph.task(id).energy().value())
+            .sum()
+    };
+    let n = graph.len();
+    let mut out: Vec<Vec<bool>> = Vec::new();
+    for k in 0..=n {
+        let mut level: Vec<&Vec<bool>> = all
+            .iter()
+            .filter(|m| m.iter().filter(|&&b| b).count() == k)
+            .collect();
+        level.sort_by(|a, b| {
+            energy(a)
+                .partial_cmp(&energy(b))
+                .expect("finite energies")
+        });
+        for m in level.into_iter().take(keep.max(1)) {
+            out.push(m.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_tasks::benchmarks;
+
+    #[test]
+    fn closed_subsets_respect_dependencies() {
+        let g = benchmarks::ecg();
+        let subsets = closed_subsets(&g);
+        for s in &subsets {
+            for (from, to) in g.edges() {
+                if s[to.index()] {
+                    assert!(s[from.index()], "subset {s:?} breaks {from:?}->{to:?}");
+                }
+            }
+        }
+        // Empty and full present.
+        assert!(subsets.iter().any(|s| s.iter().all(|&b| !b)));
+        assert!(subsets.iter().any(|s| s.iter().all(|&b| b)));
+    }
+
+    #[test]
+    fn chain_reduces_subset_count() {
+        // ECG's filter chain forbids most of 2^6 = 64 masks.
+        let g = benchmarks::ecg();
+        let subsets = closed_subsets(&g);
+        assert!(subsets.len() < 64, "got {}", subsets.len());
+        assert!(subsets.len() >= 7, "at least the chain prefixes");
+    }
+
+    #[test]
+    fn independent_tasks_enumerate_fully() {
+        let g = benchmarks::shm(); // 2 edges on 5 tasks
+        let subsets = closed_subsets(&g);
+        // 5 tasks, edges accel->fft->tx: count masks where fft⇒accel and
+        // tx⇒fft: chain of 3 has 4 valid prefixes × 2² free = 16.
+        assert_eq!(subsets.len(), 16);
+    }
+
+    #[test]
+    fn dmr_levels_cover_every_size_and_are_cheap_first() {
+        let g = benchmarks::wam();
+        let levels = dmr_level_subsets(&g, 2);
+        let n = g.len();
+        for k in 0..=n {
+            let count = levels
+                .iter()
+                .filter(|m| m.iter().filter(|&&b| b).count() == k)
+                .count();
+            assert!(count >= 1, "size {k} missing");
+            assert!(count <= 2, "size {k} kept too many");
+        }
+        // The single-task level keeps the cheapest task
+        // (heart_rate_sampling: 0.6 J).
+        let singles: Vec<&Vec<bool>> = levels
+            .iter()
+            .filter(|m| m.iter().filter(|&&b| b).count() == 1)
+            .collect();
+        let cheapest = singles
+            .iter()
+            .map(|m| {
+                g.ids()
+                    .find(|id| m[id.index()])
+                    .map(|id| g.task(id).energy().value())
+                    .unwrap_or(f64::MAX)
+            })
+            .fold(f64::MAX, f64::min);
+        assert!(cheapest < 0.7, "cheapest single {cheapest}");
+    }
+
+    #[test]
+    fn dmr_levels_always_include_empty_and_full() {
+        for g in benchmarks::all_six() {
+            let levels = dmr_level_subsets(&g, 1);
+            assert!(levels.iter().any(|s| s.iter().all(|&b| !b)), "{}", g.name());
+            assert!(levels.iter().any(|s| s.iter().all(|&b| b)), "{}", g.name());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-period execution state: the remaining execution times
+//! `S'_{i,j,m}(n)` (Eq. 4) and deadline bookkeeping (Eq. 5).
+
+use helio_common::units::Seconds;
+use helio_tasks::{TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Execution progress of every task within the current period, in
+/// whole slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecState {
+    remaining: Vec<usize>,
+    needed: Vec<usize>,
+    deadline_slot: Vec<usize>,
+}
+
+impl ExecState {
+    /// Fresh state at the start of a period: every task has its full
+    /// execution time remaining.
+    pub fn new(graph: &TaskGraph, slot: Seconds) -> Self {
+        let needed: Vec<usize> = graph.tasks().iter().map(|t| t.slots_needed(slot)).collect();
+        let deadline_slot = graph
+            .tasks()
+            .iter()
+            .map(|t| t.deadline_slot(slot))
+            .collect();
+        Self {
+            remaining: needed.clone(),
+            needed,
+            deadline_slot,
+        }
+    }
+
+    /// Remaining slots of `id` (`S'` in slot units).
+    pub fn remaining(&self, id: TaskId) -> usize {
+        self.remaining[id.index()]
+    }
+
+    /// Total slots `id` needs per period.
+    pub fn needed(&self, id: TaskId) -> usize {
+        self.needed[id.index()]
+    }
+
+    /// Whether `id` has completed this period.
+    pub fn is_complete(&self, id: TaskId) -> bool {
+        self.remaining[id.index()] == 0
+    }
+
+    /// The first slot index at/after which `id` can no longer make its
+    /// deadline (`D_n` rounded up to the next slot boundary).
+    pub fn deadline_slot(&self, id: TaskId) -> usize {
+        self.deadline_slot[id.index()]
+    }
+
+    /// Slack of `id` at the start of slot `m`: how many slots it could
+    /// idle and still finish by its deadline. `None` once the deadline
+    /// can no longer be met.
+    pub fn slack(&self, id: TaskId, m: usize) -> Option<usize> {
+        if self.is_complete(id) {
+            return None;
+        }
+        let finish_if_continuous = m + self.remaining[id.index()];
+        if finish_if_continuous > self.deadline_slot[id.index()] {
+            None
+        } else {
+            Some(self.deadline_slot[id.index()] - finish_if_continuous)
+        }
+    }
+
+    /// Whether every dependency of `id` has completed (constraint 7).
+    pub fn deps_met(&self, graph: &TaskGraph, id: TaskId) -> bool {
+        graph.predecessors(id).iter().all(|&p| self.is_complete(p))
+    }
+
+    /// Whether `id` has already missed its deadline as of the start of
+    /// slot `m` (Eq. 5's θ at the deadline boundary, or a provably
+    /// unreachable deadline).
+    pub fn is_doomed(&self, id: TaskId, m: usize) -> bool {
+        !self.is_complete(id) && self.slack(id, m).is_none()
+    }
+
+    /// Tasks worth scheduling in slot `m`: incomplete, dependencies met,
+    /// deadline still reachable.
+    pub fn runnable(&self, graph: &TaskGraph, m: usize) -> Vec<TaskId> {
+        graph
+            .ids()
+            .filter(|&id| {
+                !self.is_complete(id) && !self.is_doomed(id, m) && self.deps_met(graph, id)
+            })
+            .collect()
+    }
+
+    /// Records one slot of progress on `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is already complete — schedulers must not run
+    /// finished tasks.
+    pub fn advance(&mut self, id: TaskId) {
+        assert!(
+            self.remaining[id.index()] > 0,
+            "task {id} advanced past completion"
+        );
+        self.remaining[id.index()] -= 1;
+    }
+
+    /// Number of tasks that missed their deadline this period, assuming
+    /// the period has ended (every incomplete task has missed: deadlines
+    /// never exceed the period).
+    pub fn misses(&self) -> usize {
+        self.remaining.iter().filter(|&&r| r > 0).count()
+    }
+
+    /// Deadline-miss rate of the period: misses / N (the per-period
+    /// `DMR_{i,j}` of Eq. 16).
+    pub fn dmr(&self) -> f64 {
+        if self.remaining.is_empty() {
+            0.0
+        } else {
+            self.misses() as f64 / self.remaining.len() as f64
+        }
+    }
+
+    /// Tasks that completed this period (`te_{i,j}(n)` bits, Eq. 17
+    /// measured on completions).
+    pub fn completed_mask(&self) -> Vec<bool> {
+        self.remaining.iter().map(|&r| r == 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_tasks::benchmarks;
+
+    const SLOT: Seconds = Seconds::new(60.0);
+
+    #[test]
+    fn fresh_state_has_full_remaining() {
+        let g = benchmarks::ecg();
+        let s = ExecState::new(&g, SLOT);
+        for id in g.ids() {
+            assert_eq!(s.remaining(id), g.task(id).slots_needed(SLOT));
+            assert!(!s.is_complete(id));
+        }
+        assert_eq!(s.misses(), g.len());
+        assert!((s.dmr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_completion() {
+        let g = benchmarks::ecg();
+        let mut s = ExecState::new(&g, SLOT);
+        let id = g.ids().next().unwrap(); // lpf: 1 slot
+        s.advance(id);
+        assert!(s.is_complete(id));
+        assert_eq!(s.misses(), g.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "advanced past completion")]
+    fn advance_past_completion_panics() {
+        let g = benchmarks::ecg();
+        let mut s = ExecState::new(&g, SLOT);
+        let id = g.ids().next().unwrap();
+        s.advance(id);
+        s.advance(id);
+    }
+
+    #[test]
+    fn dependencies_gate_runnability() {
+        let g = benchmarks::ecg();
+        let mut s = ExecState::new(&g, SLOT);
+        let ids: Vec<TaskId> = g.ids().collect();
+        // Initially only lpf (τ0) is runnable on the dependency chain;
+        // qrs (τ3) waits for hpf2.
+        let runnable = s.runnable(&g, 0);
+        assert!(runnable.contains(&ids[0]));
+        assert!(!runnable.contains(&ids[3]));
+        // Complete the filter chain.
+        s.advance(ids[0]);
+        s.advance(ids[1]);
+        s.advance(ids[2]);
+        assert!(s.runnable(&g, 3).contains(&ids[3]));
+    }
+
+    #[test]
+    fn slack_counts_down_and_dooms() {
+        let g = benchmarks::ecg();
+        let mut s = ExecState::new(&g, SLOT);
+        let lpf = g.ids().next().unwrap(); // 1 slot, deadline slot 3
+        assert_eq!(s.slack(lpf, 0), Some(2));
+        assert_eq!(s.slack(lpf, 2), Some(0));
+        assert_eq!(s.slack(lpf, 3), None);
+        assert!(s.is_doomed(lpf, 3));
+        assert!(!s.runnable(&g, 3).contains(&lpf));
+        // Completed tasks have no slack and are not doomed.
+        s.advance(lpf);
+        assert_eq!(s.slack(lpf, 0), None);
+        assert!(!s.is_doomed(lpf, 9));
+    }
+
+    #[test]
+    fn completed_mask_matches_state() {
+        let g = benchmarks::shm();
+        let mut s = ExecState::new(&g, SLOT);
+        let first = g.ids().next().unwrap();
+        s.advance(first);
+        let mask = s.completed_mask();
+        assert!(mask[0]);
+        assert!(!mask[1]);
+    }
+}

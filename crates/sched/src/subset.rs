@@ -1,0 +1,326 @@
+//! The per-period subset-execution kernel shared by the offline LUT
+//! builder (Eq. 15: minimise the capacitor energy consumed to achieve a
+//! target DMR) and the online planner.
+//!
+//! Given the set of tasks a period commits to (`te_{i,j}(n)` bits), the
+//! kernel simulates the period slot by slot with a solar-following
+//! policy: zero-slack tasks run unconditionally (deferring them
+//! forfeits their deadline), other admitted tasks run only when the
+//! direct solar channel can power them — deferring work into sunshine
+//! and minimising the energy drawn from the supercapacitor.
+
+use helio_common::units::{Joules, Seconds};
+use helio_nvp::Pmu;
+use helio_storage::{CapacitorBank, StorageModelParams};
+use helio_tasks::{TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+use crate::exec::ExecState;
+
+/// Energy and deadline ledger of one simulated period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsetOutcome {
+    /// Tasks that missed their deadline (over the *whole* graph, not
+    /// just the subset — excluded tasks miss by definition).
+    pub misses: usize,
+    /// Per-period deadline-miss rate `DMR_{i,j}`.
+    pub dmr: f64,
+    /// Whether every task in the subset completed.
+    pub completed_all: bool,
+    /// Energy drawn from the active capacitor (`E^c_{i,j}` of Eq. 15).
+    pub cap_drawn: Joules,
+    /// Solar energy absorbed into the capacitor during the period.
+    pub cap_stored: Joules,
+    /// Solar surplus that found no room (capacitor full).
+    pub wasted: Joules,
+    /// Load demand actually served.
+    pub served: Joules,
+    /// Number of slots that browned out (demand unserved).
+    pub brownouts: usize,
+}
+
+/// Simulates one period executing exactly the tasks of `subset`
+/// (a mask over the graph's task ids; dependencies of included tasks
+/// must be included for them to complete).
+///
+/// `solar` holds the per-slot harvested energies of the period; the
+/// bank's *active* capacitor is charged/discharged in place, so the
+/// caller sees the post-period storage state.
+///
+/// # Panics
+///
+/// Panics when `subset.len() != graph.len()` or `solar.len()` differs
+/// from the implied slot count.
+pub fn simulate_subset(
+    graph: &TaskGraph,
+    subset: &[bool],
+    solar: &[Joules],
+    slot_duration: Seconds,
+    bank: &mut CapacitorBank,
+    pmu: &Pmu,
+    storage: &StorageModelParams,
+) -> SubsetOutcome {
+    assert_eq!(subset.len(), graph.len(), "subset mask must cover the graph");
+    let slots = solar.len();
+    let mut exec = ExecState::new(graph, slot_duration);
+    let mut cap_drawn = Joules::ZERO;
+    let mut cap_stored = Joules::ZERO;
+    let mut wasted = Joules::ZERO;
+    let mut served = Joules::ZERO;
+    let mut brownouts = 0usize;
+
+    for m in 0..slots {
+        bank.leak_all(storage, slot_duration);
+        let harvest = solar[m];
+
+        // Candidate tasks: runnable members of the subset.
+        let mut candidates: Vec<TaskId> = exec
+            .runnable(graph, m)
+            .into_iter()
+            .filter(|id| subset[id.index()])
+            .collect();
+        candidates.sort_by_key(|&id| (exec.slack(id, m).unwrap_or(usize::MAX), id.index()));
+
+        let mut picked: Vec<TaskId> = Vec::new();
+        let mut nvp_used = vec![false; graph.nvp_count()];
+        let direct_capacity = harvest * pmu.params().direct_efficiency;
+        let mut committed = Joules::ZERO;
+        // Urgent pass: an NVP must run when any deadline horizon of its
+        // pending subset tasks has no spare slot left (classic busy
+        // condition — per-task slack alone misses same-NVP contention).
+        for &id in &candidates {
+            let nvp = graph.task(id).nvp;
+            if nvp_used[nvp] {
+                continue;
+            }
+            if nvp_is_forced(graph, subset, &exec, nvp, m) {
+                // Candidates are slack-sorted, so `id` is this NVP's
+                // most urgent runnable task.
+                picked.push(id);
+                nvp_used[nvp] = true;
+                committed += graph.task(id).power * slot_duration;
+            }
+        }
+        // Opportunistic pass: spend free sunshine.
+        for &id in &candidates {
+            let nvp = graph.task(id).nvp;
+            if nvp_used[nvp] {
+                continue;
+            }
+            let cost = graph.task(id).power * slot_duration;
+            if committed + cost <= direct_capacity {
+                picked.push(id);
+                nvp_used[nvp] = true;
+                committed += cost;
+            }
+        }
+
+        let demand: Joules = picked
+            .iter()
+            .map(|&id| graph.task(id).power * slot_duration)
+            .sum();
+        let flow = pmu.settle_slot(harvest, demand, bank, storage);
+        cap_drawn += flow.served_storage;
+        cap_stored += flow.stored;
+        wasted += flow.wasted;
+        served += flow.served_direct + flow.served_storage;
+        if flow.fully_served() {
+            for id in picked {
+                exec.advance(id);
+            }
+        } else {
+            // Brown-out: the energy is spent but the slot makes no
+            // progress (the NVPs back up and stall).
+            brownouts += 1;
+        }
+    }
+
+    let completed_all = graph
+        .ids()
+        .filter(|id| subset[id.index()])
+        .all(|id| exec.is_complete(id));
+    SubsetOutcome {
+        misses: exec.misses(),
+        dmr: exec.dmr(),
+        completed_all,
+        cap_drawn,
+        cap_stored,
+        wasted,
+        served,
+        brownouts,
+    }
+}
+
+/// Whether NVP `nvp` has no spare slot before some deadline horizon:
+/// for any deadline slot `d` of its incomplete subset tasks, the total
+/// remaining work due by `d` must fit into `d − m` slots; equality (or
+/// overflow) forces the NVP to run now.
+fn nvp_is_forced(
+    graph: &TaskGraph,
+    subset: &[bool],
+    exec: &ExecState,
+    nvp: usize,
+    m: usize,
+) -> bool {
+    let mut horizons: Vec<usize> = graph
+        .tasks_on_nvp(nvp)
+        .into_iter()
+        .filter(|&id| subset[id.index()] && !exec.is_complete(id) && !exec.is_doomed(id, m))
+        .map(|id| exec.deadline_slot(id))
+        .collect();
+    horizons.sort_unstable();
+    horizons.dedup();
+    for d in horizons {
+        if d <= m {
+            continue;
+        }
+        let due: usize = graph
+            .tasks_on_nvp(nvp)
+            .into_iter()
+            .filter(|&id| {
+                subset[id.index()]
+                    && !exec.is_complete(id)
+                    && !exec.is_doomed(id, m)
+                    && exec.deadline_slot(id) <= d
+            })
+            .map(|id| exec.remaining(id))
+            .sum();
+        if due >= d - m {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::units::Farads;
+    use helio_tasks::benchmarks;
+
+    const SLOT: Seconds = Seconds::new(60.0);
+
+    fn setup(initial_charge: f64) -> (CapacitorBank, Pmu, StorageModelParams) {
+        let storage = StorageModelParams::default();
+        let mut bank = CapacitorBank::new(&[Farads::new(10.0)], &storage).unwrap();
+        if initial_charge > 0.0 {
+            bank.charge_active(&storage, Joules::new(initial_charge));
+        }
+        (bank, Pmu::default(), storage)
+    }
+
+    fn sunny(slots: usize) -> Vec<Joules> {
+        vec![Joules::new(5.0); slots] // ~83 mW
+    }
+
+    fn dark(slots: usize) -> Vec<Joules> {
+        vec![Joules::ZERO; slots]
+    }
+
+    #[test]
+    fn full_subset_on_sunny_period_completes_without_cap_draw() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(0.0);
+        let subset = vec![true; g.len()];
+        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        assert_eq!(out.misses, 0, "{out:?}");
+        assert!(out.completed_all);
+        assert!(
+            out.cap_drawn.value() < 0.2,
+            "sunshine should power everything: drew {}",
+            out.cap_drawn
+        );
+        assert!(out.cap_stored.value() > 5.0, "surplus should store");
+    }
+
+    #[test]
+    fn empty_subset_misses_everything_but_stores_all() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(0.0);
+        let subset = vec![false; g.len()];
+        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        assert_eq!(out.misses, g.len());
+        assert!((out.dmr - 1.0).abs() < 1e-12);
+        assert_eq!(out.served, Joules::ZERO);
+        assert!(out.cap_stored.value() > 20.0);
+    }
+
+    #[test]
+    fn dark_period_draws_from_capacitor() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(60.0);
+        let subset = vec![true; g.len()];
+        let out = simulate_subset(&g, &subset, &dark(10), SLOT, &mut bank, &pmu, &storage);
+        assert_eq!(out.misses, 0, "{out:?}");
+        assert!(out.cap_drawn.value() > 5.0);
+    }
+
+    #[test]
+    fn dark_period_without_storage_misses_all() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(0.0);
+        let subset = vec![true; g.len()];
+        let out = simulate_subset(&g, &subset, &dark(10), SLOT, &mut bank, &pmu, &storage);
+        assert_eq!(out.misses, g.len());
+        assert!(out.brownouts > 0);
+        assert!(!out.completed_all);
+    }
+
+    #[test]
+    fn excluding_dependencies_dooms_dependents() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(0.0);
+        // Exclude lpf: the whole filter chain (and qrs, aes) can never
+        // become runnable.
+        let mut subset = vec![true; g.len()];
+        subset[0] = false;
+        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        assert!(!out.completed_all);
+        assert!(out.misses >= 5, "chain is blocked: {out:?}");
+    }
+
+    #[test]
+    fn solar_following_defers_into_sunshine() {
+        // Solar only in the second half: tasks with slack wait, so the
+        // capacitor draw stays near zero.
+        let g = benchmarks::shm();
+        let (mut bank, pmu, storage) = setup(10.0);
+        let mut solar = dark(10);
+        for s in solar.iter_mut().skip(3) {
+            *s = Joules::new(6.0);
+        }
+        let subset = vec![true; g.len()];
+        let out = simulate_subset(&g, &subset, &solar, SLOT, &mut bank, &pmu, &storage);
+        assert_eq!(out.misses, 0, "{out:?}");
+        assert!(
+            out.cap_drawn.value() < 3.0,
+            "most work should ride the sun: drew {}",
+            out.cap_drawn
+        );
+    }
+
+    #[test]
+    fn subset_partial_reduces_demand() {
+        let g = benchmarks::wam();
+        let (mut bank1, pmu, storage) = setup(0.0);
+        let all = vec![true; g.len()];
+        let full = simulate_subset(&g, &all, &sunny(10), SLOT, &mut bank1, &pmu, &storage);
+        let (mut bank2, _, _) = setup(0.0);
+        // Only the two root sensing tasks.
+        let mut some = vec![false; g.len()];
+        some[0] = true;
+        some[1] = true;
+        let part = simulate_subset(&g, &some, &sunny(10), SLOT, &mut bank2, &pmu, &storage);
+        assert!(part.served < full.served);
+        assert!(part.cap_stored > full.cap_stored, "unspent solar stores");
+        assert_eq!(part.misses, g.len() - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset mask must cover")]
+    fn wrong_mask_length_panics() {
+        let g = benchmarks::ecg();
+        let (mut bank, pmu, storage) = setup(0.0);
+        simulate_subset(&g, &[true], &sunny(10), SLOT, &mut bank, &pmu, &storage);
+    }
+}

@@ -1,0 +1,90 @@
+//! The [`SlotScheduler`] trait the simulation engine drives, plus the
+//! NVP-exclusive EDF selection helper every concrete scheduler uses.
+
+use helio_tasks::{TaskGraph, TaskId};
+
+use crate::context::{PeriodStart, SlotContext};
+
+/// A scheduler that decides, slot by slot, which tasks run.
+///
+/// The engine calls [`SlotScheduler::begin_period`] once per period and
+/// [`SlotScheduler::select`] once per slot; the returned task set is
+/// executed if the PMU can power it (the engine handles brown-outs).
+/// Implementations must respect NVP exclusivity — at most one returned
+/// task per NVP (the engine asserts this).
+pub trait SlotScheduler {
+    /// Scheduler name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Observes the period-start context (predicted energy, admission
+    /// mask). Default: no-op for stateless schedulers.
+    fn begin_period(&mut self, ctx: &PeriodStart<'_>) {
+        let _ = ctx;
+    }
+
+    /// Chooses the tasks to run in this slot.
+    fn select(&mut self, ctx: &SlotContext<'_>) -> Vec<TaskId>;
+}
+
+/// Picks at most one task per NVP from `candidates`, preferring the
+/// earliest deadline (ties: least slack, then lowest id) — the
+/// canonical priority rule all schedulers here share.
+pub fn edf_pick(graph: &TaskGraph, candidates: &[TaskId], slot: usize) -> Vec<TaskId> {
+    let mut per_nvp: Vec<Option<TaskId>> = vec![None; graph.nvp_count()];
+    let mut sorted = candidates.to_vec();
+    sorted.sort_by(|&a, &b| {
+        let ta = graph.task(a);
+        let tb = graph.task(b);
+        ta.deadline
+            .value()
+            .partial_cmp(&tb.deadline.value())
+            .expect("finite deadlines")
+            .then(a.index().cmp(&b.index()))
+    });
+    let _ = slot;
+    for id in sorted {
+        let nvp = graph.task(id).nvp;
+        if per_nvp[nvp].is_none() {
+            per_nvp[nvp] = Some(id);
+        }
+    }
+    per_nvp.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_tasks::benchmarks;
+
+    #[test]
+    fn edf_pick_respects_nvp_exclusivity() {
+        let g = benchmarks::wam();
+        let all: Vec<TaskId> = g.ids().collect();
+        let picked = edf_pick(&g, &all, 0);
+        // One per NVP at most.
+        let mut nvps: Vec<usize> = picked.iter().map(|&id| g.task(id).nvp).collect();
+        nvps.sort_unstable();
+        nvps.dedup();
+        assert_eq!(nvps.len(), picked.len());
+        assert!(picked.len() <= g.nvp_count());
+    }
+
+    #[test]
+    fn edf_pick_prefers_earliest_deadline() {
+        let g = benchmarks::wam();
+        let all: Vec<TaskId> = g.ids().collect();
+        let picked = edf_pick(&g, &all, 0);
+        // On NVP 0 the earliest deadline is heart_rate_sampling (150 s).
+        let nvp0 = picked
+            .iter()
+            .find(|&&id| g.task(id).nvp == 0)
+            .expect("nvp0 candidate");
+        assert_eq!(g.task(*nvp0).name, "heart_rate_sampling");
+    }
+
+    #[test]
+    fn edf_pick_empty_candidates() {
+        let g = benchmarks::wam();
+        assert!(edf_pick(&g, &[], 0).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the subset-execution kernel — the workhorse every
+//! planner calls thousands of times per optimisation.
+
+use helio_common::units::{Farads, Joules, Seconds};
+use helio_nvp::Pmu;
+use helio_sched::simulate_subset;
+use helio_storage::{CapacitorBank, StorageModelParams};
+use helio_tasks::{benchmarks, TaskGraph};
+use proptest::prelude::*;
+
+const SLOT: Seconds = Seconds::new(60.0);
+
+fn graph_for(idx: usize) -> TaskGraph {
+    let all = benchmarks::all_six();
+    all[idx % all.len()].clone()
+}
+
+/// A dependency-closed random mask over a graph.
+fn close_mask(graph: &TaskGraph, mut mask: Vec<bool>) -> Vec<bool> {
+    mask.resize(graph.len(), false);
+    let topo = graph.topological_order().expect("benchmarks are acyclic");
+    for &id in topo.iter().rev() {
+        if mask[id.index()] {
+            for p in graph.predecessors(id) {
+                mask[p.index()] = true;
+            }
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any benchmark, subset, initial charge and solar profile the
+    /// kernel's ledger stays physical.
+    #[test]
+    fn kernel_outcomes_are_physical(
+        graph_idx in 0usize..6,
+        raw_mask in prop::collection::vec(any::<bool>(), 8),
+        solar_mw in prop::collection::vec(0.0f64..120.0, 10),
+        capacitance in 1.0f64..80.0,
+        precharge in 0.0f64..60.0,
+    ) {
+        let graph = graph_for(graph_idx);
+        let subset = close_mask(&graph, raw_mask);
+        let storage = StorageModelParams::default();
+        let mut bank = CapacitorBank::new(&[Farads::new(capacitance)], &storage)
+            .expect("valid capacitance");
+        bank.charge_active(&storage, Joules::new(precharge));
+        let before = bank.total_usable();
+        let solar: Vec<Joules> = solar_mw
+            .iter()
+            .map(|&mw| Joules::new(mw * 1e-3 * SLOT.value()))
+            .collect();
+        let out = simulate_subset(
+            &graph,
+            &subset,
+            &solar,
+            SLOT,
+            &mut bank,
+            &Pmu::default(),
+            &storage,
+        );
+        prop_assert!((0.0..=1.0).contains(&out.dmr));
+        prop_assert!(out.misses <= graph.len());
+        prop_assert!(out.cap_drawn.value() >= 0.0);
+        prop_assert!(out.served.value() >= 0.0);
+        // Storage cannot hand out more than it held plus what arrived.
+        prop_assert!(
+            out.cap_drawn <= before + out.cap_stored + Joules::new(1e-9),
+            "drawn {} > held {} + stored {}",
+            out.cap_drawn, before, out.cap_stored
+        );
+        // Tasks excluded from the subset are always counted as misses.
+        let excluded = subset.iter().filter(|&&b| !b).count();
+        prop_assert!(out.misses >= excluded);
+    }
+
+    /// Adding solar energy can only help (weak monotonicity on misses
+    /// for the full subset).
+    #[test]
+    fn more_solar_never_hurts(
+        graph_idx in 0usize..6,
+        base_mw in 1.0f64..40.0,
+    ) {
+        let graph = graph_for(graph_idx);
+        let subset = vec![true; graph.len()];
+        let storage = StorageModelParams::default();
+        let run = |scale: f64| {
+            let mut bank = CapacitorBank::new(&[Farads::new(10.0)], &storage)
+                .expect("valid");
+            let solar = vec![Joules::new(base_mw * scale * 1e-3 * SLOT.value()); 10];
+            simulate_subset(&graph, &subset, &solar, SLOT, &mut bank, &Pmu::default(), &storage)
+        };
+        let dim = run(1.0);
+        let bright = run(4.0);
+        prop_assert!(
+            bright.misses <= dim.misses,
+            "4x solar missed more: {} vs {}",
+            bright.misses,
+            dim.misses
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # helio-solar
+//!
+//! Synthetic solar-power substrate for the DAC'15 reproduction.
+//!
+//! The paper drives its experiments from the NREL Measurement and
+//! Instrumentation Data Center database and a 3.5×4.5 cm², 6 %-efficient
+//! panel. This crate replaces the database with a seeded synthetic
+//! irradiance generator: four canonical day *archetypes* (clear, broken
+//! clouds, overcast, storm) matching the "four patterns" of the paper's
+//! Fig. 7, a day-to-day weather Markov process for multi-month traces,
+//! and the panel model that converts irradiance to harvested electrical
+//! power `P^s_{i,j,m}`.
+//!
+//! It also implements the solar predictors the schedulers consume: the
+//! WCMA (Weather-Conditioned Moving Average) algorithm used by the
+//! paper's inter-task baseline \[3\], an EWMA baseline, and a noisy-oracle
+//! horizon forecaster whose error grows with prediction distance — the
+//! mechanism behind the prediction-length trade-off of Fig. 10(a).
+//!
+//! ## Example
+//!
+//! ```
+//! use helio_common::time::TimeGrid;
+//! use helio_solar::{DayArchetype, SolarPanel, TraceBuilder};
+//!
+//! # fn main() -> Result<(), helio_common::CommonError> {
+//! let grid = TimeGrid::with_minute_slots(4, 144, 10)?;
+//! let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+//!     .seed(7)
+//!     .days(&[
+//!         DayArchetype::Clear,
+//!         DayArchetype::BrokenClouds,
+//!         DayArchetype::Overcast,
+//!         DayArchetype::Storm,
+//!     ])
+//!     .build();
+//! // Fig. 7: daily harvest decreases from Day 1 to Day 4.
+//! let daily: Vec<f64> = (0..4).map(|d| trace.day_energy(d).value()).collect();
+//! assert!(daily[0] > daily[1] && daily[1] > daily[2] && daily[2] > daily[3]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod archetype;
+pub mod io;
+pub mod forecast;
+pub mod panel;
+pub mod trace;
+pub mod weather;
+
+pub use archetype::DayArchetype;
+pub use io::{from_csv, to_csv, ParseTraceError};
+pub use forecast::{EwmaPredictor, NoisyOracle, SolarPredictor, WcmaPredictor};
+pub use panel::SolarPanel;
+pub use trace::{SolarTrace, TraceBuilder};
+pub use weather::WeatherProcess;

@@ -1,0 +1,60 @@
+//! Error type for the storage subsystem.
+
+use std::fmt;
+
+/// Errors produced by the storage model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A capacitor was constructed with a non-positive or non-finite
+    /// capacitance.
+    InvalidCapacitance(f64),
+    /// Model parameters are inconsistent (e.g. `V_L >= V_H`).
+    InvalidParams(String),
+    /// A bank operation referenced a capacitor index outside the bank.
+    CapacitorIndex {
+        /// Requested index.
+        index: usize,
+        /// Number of capacitors in the bank.
+        len: usize,
+    },
+    /// The sizing routine received an empty or degenerate input.
+    SizingInput(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidCapacitance(c) => {
+                write!(f, "capacitance must be positive and finite (got {c} F)")
+            }
+            StorageError::InvalidParams(msg) => write!(f, "invalid storage parameters: {msg}"),
+            StorageError::CapacitorIndex { index, len } => {
+                write!(f, "capacitor index {index} out of range for bank of {len}")
+            }
+            StorageError::SizingInput(msg) => write!(f, "invalid sizing input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StorageError::InvalidCapacitance(-1.0)
+            .to_string()
+            .contains("-1"));
+        let e = StorageError::CapacitorIndex { index: 3, len: 2 };
+        assert_eq!(e.to_string(), "capacitor index 3 out of range for bank of 2");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

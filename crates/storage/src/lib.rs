@@ -1,0 +1,56 @@
+//! # helio-storage
+//!
+//! Distributed-supercapacitor energy-storage model for the DAC'15
+//! reproduction: regulator efficiency curves (Fig. 5), supercapacitor
+//! voltage dynamics with leakage and cycle efficiency (Eqs. 1–3, 11),
+//! the energy-migration experiment behind Table 2, a fine-grained
+//! reference simulator standing in for the paper's hardware
+//! measurements, capacitor *sizing* (Eq. 10) and clustering into the
+//! `H` distributed sizes, and the capacitor bank managed by the PMU.
+//!
+//! ## Physical picture
+//!
+//! Energy migrated into a capacitor pays the input-regulator efficiency
+//! `η_chr(V)` and the cycle efficiency `η_cycle(C)`; energy drawn out
+//! pays `η_dis(V)·η_cycle(C)`; while stored, the capacitor leaks at a
+//! rate that grows with both capacitance and voltage. Small capacitors
+//! ride at high voltage (good regulator efficiency, high per-farad
+//! leakage, small capacity), large ones sit near the cut-off voltage
+//! (poor regulator efficiency, leakage ∝ C). This trade-off creates the
+//! size-dependent optimum the paper exploits (Fig. 2, Table 2).
+//!
+//! ## Example
+//!
+//! ```
+//! use helio_common::units::{Farads, Joules, Seconds};
+//! use helio_storage::{MigrationSpec, StorageModelParams, SuperCap};
+//!
+//! # fn main() -> Result<(), helio_storage::StorageError> {
+//! let params = StorageModelParams::default();
+//! let spec = MigrationSpec::new(Joules::new(7.0), Seconds::from_minutes(60.0));
+//! let small = SuperCap::new(Farads::new(1.0), &params)?;
+//! let large = SuperCap::new(Farads::new(100.0), &params)?;
+//! let eff_small = helio_storage::migration_efficiency(&small, &params, spec);
+//! let eff_large = helio_storage::migration_efficiency(&large, &params, spec);
+//! // Small capacitors win at small quantity / short distance (Table 2).
+//! assert!(eff_small > eff_large);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bank;
+pub mod capacitor;
+pub mod error;
+pub mod migration;
+pub mod params;
+pub mod reference;
+pub mod regulator;
+pub mod sizing;
+
+pub use bank::CapacitorBank;
+pub use capacitor::{CapState, SuperCap};
+pub use error::StorageError;
+pub use migration::{migration_efficiency, MigrationOutcome, MigrationSpec};
+pub use params::StorageModelParams;
+pub use regulator::RegulatorCurve;
+pub use sizing::{cluster_sizes, optimal_capacitance, SizingOutcome};

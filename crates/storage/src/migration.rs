@@ -1,0 +1,282 @@
+//! The energy-migration experiment (paper Table 2 and Fig. 2).
+//!
+//! *Energy migration* moves surplus harvested energy forward in time
+//! through a supercapacitor: a *quantity* of energy arrives early and is
+//! needed after a *distance* (the holding duration). The migration
+//! efficiency is the fraction of the offered energy that reaches the
+//! load, after input/output regulator losses, cycle losses, leakage over
+//! the holding time, and capacity overflow (a small capacitor simply
+//! cannot hold a large quantity).
+
+use helio_common::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::capacitor::SuperCap;
+use crate::params::StorageModelParams;
+
+/// Specification of a migration experiment: move `quantity` joules across
+/// `duration` of wall-clock time.
+///
+/// The protocol charges at constant power during the first
+/// `charge_fraction` of the duration, holds, then discharges everything
+/// it can during the final `discharge_fraction`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationSpec {
+    /// Energy offered for migration (J).
+    pub quantity: Joules,
+    /// Migration distance: total duration from arrival to use (s).
+    pub duration: Seconds,
+    /// Fraction of the duration spent charging (default 0.25).
+    pub charge_fraction: f64,
+    /// Fraction of the duration spent discharging (default 0.25).
+    pub discharge_fraction: f64,
+}
+
+impl MigrationSpec {
+    /// Creates a spec with the default charge/discharge windows.
+    pub fn new(quantity: Joules, duration: Seconds) -> Self {
+        Self {
+            quantity,
+            duration,
+            charge_fraction: 0.25,
+            discharge_fraction: 0.25,
+        }
+    }
+
+    /// The paper's first migration pattern: 7 J across 60 minutes.
+    pub fn small_short() -> Self {
+        Self::new(Joules::new(7.0), Seconds::from_minutes(60.0))
+    }
+
+    /// The paper's second migration pattern: 30 J across 400 minutes.
+    pub fn large_long() -> Self {
+        Self::new(Joules::new(30.0), Seconds::from_minutes(400.0))
+    }
+}
+
+/// Energy ledger of one migration experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Energy offered at the source side.
+    pub offered: Joules,
+    /// Energy actually drawn from the source into the capacitor path.
+    pub absorbed: Joules,
+    /// Energy delivered to the load at the end.
+    pub delivered: Joules,
+    /// Energy lost to leakage while stored.
+    pub leaked: Joules,
+    /// Offered energy that never fit into the capacitor (overflow).
+    pub overflow: Joules,
+}
+
+impl MigrationOutcome {
+    /// Migration efficiency: delivered / offered, in `[0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        if self.offered.value() <= 0.0 {
+            0.0
+        } else {
+            (self.delivered / self.offered).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Runs the migration experiment with the coarse (slot-level) model and
+/// returns the full energy ledger.
+///
+/// The simulation steps at `dt`; the top-level
+/// [`migration_efficiency`] convenience uses one-minute steps like the
+/// scheduling engine.
+pub fn migrate(
+    cap: &SuperCap,
+    params: &StorageModelParams,
+    spec: MigrationSpec,
+    dt: Seconds,
+) -> MigrationOutcome {
+    let total_slots = (spec.duration.value() / dt.value()).round().max(1.0) as usize;
+    let charge_slots = ((total_slots as f64) * spec.charge_fraction).round().max(1.0) as usize;
+    let discharge_slots = ((total_slots as f64) * spec.discharge_fraction)
+        .round()
+        .max(1.0) as usize;
+    let charge_slots = charge_slots.min(total_slots);
+    let discharge_start = total_slots.saturating_sub(discharge_slots);
+
+    let offered_per_slot = spec.quantity / charge_slots as f64;
+
+    let mut state = cap.empty_state();
+    let mut absorbed = Joules::ZERO;
+    let mut delivered = Joules::ZERO;
+    let mut leaked = Joules::ZERO;
+    let mut overflow = Joules::ZERO;
+
+    for slot in 0..total_slots {
+        // Leakage at beginning-of-slot voltage (Eq. 1).
+        leaked += cap.leak(&mut state, params, dt);
+        if slot < charge_slots {
+            let drawn = cap.charge(&mut state, params, offered_per_slot);
+            absorbed += drawn;
+            overflow += offered_per_slot - drawn;
+        } else if slot >= discharge_start {
+            // Demand everything remaining, spread over the window.
+            let remaining_slots = (total_slots - slot) as f64;
+            let target = cap.deliverable(&state, params) / remaining_slots;
+            delivered += cap.discharge(&mut state, &params.clone(), target);
+        }
+    }
+    // Drain whatever is left at the final instant (the load takes it).
+    let final_target = cap.deliverable(&state, params);
+    delivered += cap.discharge(&mut state, params, final_target);
+
+    MigrationOutcome {
+        offered: spec.quantity,
+        absorbed,
+        delivered,
+        leaked,
+        overflow,
+    }
+}
+
+/// Migration efficiency of `cap` for `spec` with one-minute steps — the
+/// headline quantity of Table 2.
+pub fn migration_efficiency(cap: &SuperCap, params: &StorageModelParams, spec: MigrationSpec) -> f64 {
+    migrate(cap, params, spec, Seconds::new(60.0)).efficiency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::units::Farads;
+
+    fn cap(c: f64, params: &StorageModelParams) -> SuperCap {
+        SuperCap::new(Farads::new(c), params).unwrap()
+    }
+
+    #[test]
+    fn efficiency_is_a_fraction() {
+        let params = StorageModelParams::default();
+        for c in [1.0, 10.0, 50.0, 100.0] {
+            for spec in [MigrationSpec::small_short(), MigrationSpec::large_long()] {
+                let eff = migration_efficiency(&cap(c, &params), &params, spec);
+                assert!((0.0..=1.0).contains(&eff), "C={c}: eff={eff}");
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_balances() {
+        let params = StorageModelParams::default();
+        let c = cap(10.0, &params);
+        let out = migrate(&c, &params, MigrationSpec::small_short(), Seconds::new(60.0));
+        // offered = absorbed + overflow
+        assert!(
+            (out.offered - out.absorbed - out.overflow).abs() < Joules::new(1e-6),
+            "offered {} != absorbed {} + overflow {}",
+            out.offered,
+            out.absorbed,
+            out.overflow
+        );
+        // delivered <= absorbed (conversion + leakage losses)
+        assert!(out.delivered <= out.absorbed);
+    }
+
+    #[test]
+    fn table2_small_short_prefers_small_caps() {
+        // Paper Table 2, 7 J / 60 min column: 1 F (36.8 %) > 10 F (27.8 %)
+        // > 50 F (25.9 %) > 100 F (25.0 %).
+        let params = StorageModelParams::default();
+        let effs: Vec<f64> = [1.0, 10.0, 50.0, 100.0]
+            .iter()
+            .map(|&c| migration_efficiency(&cap(c, &params), &params, MigrationSpec::small_short()))
+            .collect();
+        assert!(
+            effs.windows(2).all(|w| w[0] > w[1]),
+            "efficiency must fall with size at 7 J/60 min: {effs:?}"
+        );
+        assert!(effs[0] > 0.25 && effs[0] < 0.55, "1 F eff {}", effs[0]);
+    }
+
+    #[test]
+    fn table2_large_long_prefers_mid_caps() {
+        // Paper Table 2, 30 J / 400 min column: 10 F (40.7 %) best,
+        // 1 F worst (8.58 %), 50 F (27.3 %) > 100 F (20.1 %).
+        let params = StorageModelParams::default();
+        let eff = |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
+        let (e1, e10, e50, e100) = (eff(1.0), eff(10.0), eff(50.0), eff(100.0));
+        assert!(
+            e10 > e1 && e10 > e50 && e10 > e100,
+            "10 F must win at 30 J/400 min: 1F={e1:.3} 10F={e10:.3} 50F={e50:.3} 100F={e100:.3}"
+        );
+        assert!(e1 < e100, "1 F must be worst (overflow + leak): 1F={e1:.3} 100F={e100:.3}");
+        assert!(e50 > e100, "50 F must beat 100 F: {e50:.3} vs {e100:.3}");
+    }
+
+    #[test]
+    fn efficiency_spread_is_large() {
+        // The paper reports up to a 30.5 % spread across sizes; require a
+        // substantial spread so sizing actually matters.
+        let params = StorageModelParams::default();
+        let eff = |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
+        let effs = [eff(1.0), eff(10.0), eff(50.0), eff(100.0)];
+        let max = effs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = effs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.2, "spread {:.3} too small: {effs:?}", max - min);
+    }
+
+    #[test]
+    fn overflow_dominates_small_cap_large_quantity() {
+        let params = StorageModelParams::default();
+        let c = cap(1.0, &params);
+        let out = migrate(&c, &params, MigrationSpec::large_long(), Seconds::new(60.0));
+        assert!(
+            out.overflow.value() > 10.0,
+            "1 F cannot hold 30 J; overflow was {}",
+            out.overflow
+        );
+    }
+
+    #[test]
+    fn longer_distance_leaks_more() {
+        let params = StorageModelParams::default();
+        let c = cap(1.0, &params);
+        let short = migrate(
+            &c,
+            &params,
+            MigrationSpec::new(Joules::new(7.0), Seconds::from_minutes(60.0)),
+            Seconds::new(60.0),
+        );
+        let long = migrate(
+            &c,
+            &params,
+            MigrationSpec::new(Joules::new(7.0), Seconds::from_minutes(400.0)),
+            Seconds::new(60.0),
+        );
+        assert!(long.leaked > short.leaked);
+        assert!(long.efficiency() < short.efficiency());
+    }
+
+    #[test]
+    fn zero_quantity_yields_zero_efficiency() {
+        let params = StorageModelParams::default();
+        let c = cap(10.0, &params);
+        let out = migrate(
+            &c,
+            &params,
+            MigrationSpec::new(Joules::ZERO, Seconds::from_minutes(60.0)),
+            Seconds::new(60.0),
+        );
+        assert_eq!(out.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn finer_steps_converge() {
+        let params = StorageModelParams::default();
+        let c = cap(10.0, &params);
+        let coarse = migrate(&c, &params, MigrationSpec::large_long(), Seconds::new(60.0));
+        let fine = migrate(&c, &params, MigrationSpec::large_long(), Seconds::new(10.0));
+        assert!(
+            (coarse.efficiency() - fine.efficiency()).abs() < 0.05,
+            "step-size sensitivity too high: {} vs {}",
+            coarse.efficiency(),
+            fine.efficiency()
+        );
+    }
+}

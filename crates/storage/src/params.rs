@@ -1,0 +1,214 @@
+//! Calibration parameters of the storage model.
+
+use helio_common::units::{Farads, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::error::StorageError;
+use crate::regulator::RegulatorCurve;
+
+/// Calibration parameters shared by every supercapacitor in the node.
+///
+/// Defaults are tuned so that the migration experiment reproduces the
+/// qualitative structure of the paper's Table 2 (see
+/// `migration::tests`): the best capacitor size moves from 1 F at
+/// (7 J, 60 min) to 10 F at (30 J, 400 min), with an efficiency spread of
+/// roughly 30 % across sizes.
+///
+/// Construct with [`StorageModelParams::default`] and customise through
+/// the builder-style `with_*` methods:
+///
+/// ```
+/// use helio_storage::StorageModelParams;
+///
+/// let params = StorageModelParams::default().with_cycle_efficiency(0.95);
+/// assert!((params.cycle_efficiency_base - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageModelParams {
+    /// Fully-charged voltage `V_H` shared by all capacitors (V).
+    pub v_full: Volts,
+    /// Cut-off voltage `V_L` below which the output regulator stops (V).
+    pub v_cutoff: Volts,
+    /// Input-regulator efficiency fit `η_chr(V)`.
+    pub charge_curve: RegulatorCurve,
+    /// Output-regulator efficiency fit `η_dis(V)`.
+    pub discharge_curve: RegulatorCurve,
+    /// Voltage-independent component of the per-farad leakage current
+    /// (A/F).
+    pub leak_base_per_farad: f64,
+    /// Voltage-dependent component of the per-farad leakage current at
+    /// `V = v_full` (A/F); scales as `(V / V_H)^leak_exponent`.
+    pub leak_scale_per_farad: f64,
+    /// Exponent of the voltage dependence of leakage.
+    pub leak_exponent: f64,
+    /// Cycle efficiency `η_cycle` of a 1 F capacitor; larger capacitances
+    /// are marginally better (lower equivalent series resistance per
+    /// stored joule): `η_cycle(C) = base + span·(1 − C^-cycle_shape)`.
+    pub cycle_efficiency_base: f64,
+    /// Additional cycle efficiency reached asymptotically by large
+    /// capacitors.
+    pub cycle_efficiency_span: f64,
+    /// Shape of the capacitance dependence of the cycle efficiency.
+    pub cycle_shape: f64,
+}
+
+impl Default for StorageModelParams {
+    fn default() -> Self {
+        Self {
+            v_full: Volts::new(5.0),
+            v_cutoff: Volts::new(1.0),
+            charge_curve: RegulatorCurve::default_charge(),
+            discharge_curve: RegulatorCurve::default_discharge(),
+            // Calibrated against Table 2: a 1 F capacitor held fully
+            // charged leaks ~0.8 mW, draining ~10 J over 400 minutes,
+            // while a 100 F capacitor near cut-off leaks ~0.1 mW.
+            leak_base_per_farad: 0.8e-6,
+            leak_scale_per_farad: 160.0e-6,
+            leak_exponent: 4.0,
+            cycle_efficiency_base: 0.92,
+            cycle_efficiency_span: 0.03,
+            cycle_shape: 0.5,
+        }
+    }
+}
+
+impl StorageModelParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when the voltage window is
+    /// empty, any leakage coefficient is negative, or the cycle
+    /// efficiency leaves `(0, 1]`.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        if !(self.v_cutoff.value() >= 0.0 && self.v_cutoff < self.v_full) {
+            return Err(StorageError::InvalidParams(format!(
+                "voltage window must satisfy 0 <= V_L < V_H (got {} .. {})",
+                self.v_cutoff, self.v_full
+            )));
+        }
+        if self.leak_base_per_farad < 0.0
+            || self.leak_scale_per_farad < 0.0
+            || self.leak_exponent < 0.0
+        {
+            return Err(StorageError::InvalidParams(
+                "leakage coefficients must be nonnegative".into(),
+            ));
+        }
+        let max_cycle = self.cycle_efficiency_base + self.cycle_efficiency_span;
+        if !(self.cycle_efficiency_base > 0.0 && max_cycle <= 1.0) {
+            return Err(StorageError::InvalidParams(format!(
+                "cycle efficiency must lie in (0, 1] (base {} span {})",
+                self.cycle_efficiency_base, self.cycle_efficiency_span
+            )));
+        }
+        Ok(())
+    }
+
+    /// Leakage current of a capacitor of size `c` at voltage `v` (A),
+    /// after Brunelli et al.: grows with capacitance and superlinearly
+    /// with voltage.
+    pub fn leakage_current(&self, c: Farads, v: Volts) -> f64 {
+        let ratio = (v.value() / self.v_full.value()).max(0.0);
+        c.value() * (self.leak_base_per_farad + self.leak_scale_per_farad * ratio.powf(self.leak_exponent))
+    }
+
+    /// Leakage power `P_leak(V)` of a capacitor of size `c` at voltage
+    /// `v` (W).
+    pub fn leakage_power(&self, c: Farads, v: Volts) -> f64 {
+        self.leakage_current(c, v) * v.value()
+    }
+
+    /// Average cycle efficiency `η_cycle(C)`.
+    pub fn cycle_efficiency(&self, c: Farads) -> f64 {
+        let base = self.cycle_efficiency_base;
+        let span = self.cycle_efficiency_span;
+        base + span * (1.0 - c.value().max(1e-6).powf(-self.cycle_shape))
+    }
+
+    /// Returns a copy with a different base cycle efficiency.
+    #[must_use]
+    pub fn with_cycle_efficiency(mut self, base: f64) -> Self {
+        self.cycle_efficiency_base = base;
+        self
+    }
+
+    /// Returns a copy with scaled leakage coefficients (`1.0` keeps the
+    /// calibration; `0.0` disables leakage — useful in tests).
+    #[must_use]
+    pub fn with_leakage_scale(mut self, scale: f64) -> Self {
+        self.leak_base_per_farad *= scale;
+        self.leak_scale_per_farad *= scale;
+        self
+    }
+
+    /// Returns a copy with a different voltage window.
+    #[must_use]
+    pub fn with_voltage_window(mut self, v_cutoff: Volts, v_full: Volts) -> Self {
+        self.v_cutoff = v_cutoff;
+        self.v_full = v_full;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        StorageModelParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_voltage_window() {
+        let p = StorageModelParams::default()
+            .with_voltage_window(Volts::new(5.0), Volts::new(1.0));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_cycle_efficiency() {
+        let p = StorageModelParams::default().with_cycle_efficiency(0.0);
+        assert!(p.validate().is_err());
+        let p = StorageModelParams::default().with_cycle_efficiency(0.99);
+        assert!(p.validate().is_err(), "base+span exceeds 1");
+    }
+
+    #[test]
+    fn leakage_grows_with_voltage_and_capacitance() {
+        let p = StorageModelParams::default();
+        let c1 = Farads::new(1.0);
+        let c100 = Farads::new(100.0);
+        let low = p.leakage_power(c1, Volts::new(1.5));
+        let high = p.leakage_power(c1, Volts::new(4.5));
+        assert!(high > 5.0 * low, "leakage must be strongly superlinear in V");
+        assert!(
+            p.leakage_power(c100, Volts::new(1.5)) > 50.0 * low,
+            "leakage must scale with capacitance"
+        );
+    }
+
+    #[test]
+    fn fully_charged_1f_leaks_fractions_of_milliwatt() {
+        let p = StorageModelParams::default();
+        let mw = p.leakage_power(Farads::new(1.0), Volts::new(5.0)) * 1e3;
+        assert!(mw > 0.2 && mw < 1.0, "got {mw} mW");
+    }
+
+    #[test]
+    fn cycle_efficiency_improves_with_size_but_bounded() {
+        let p = StorageModelParams::default();
+        let e1 = p.cycle_efficiency(Farads::new(1.0));
+        let e100 = p.cycle_efficiency(Farads::new(100.0));
+        assert!(e100 > e1);
+        assert!(e100 <= p.cycle_efficiency_base + p.cycle_efficiency_span + 1e-12);
+        assert!((e1 - p.cycle_efficiency_base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scale_zero_disables_leakage() {
+        let p = StorageModelParams::default().with_leakage_scale(0.0);
+        assert_eq!(p.leakage_power(Farads::new(50.0), Volts::new(5.0)), 0.0);
+    }
+}

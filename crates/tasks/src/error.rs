@@ -1,0 +1,67 @@
+//! Error type for task-graph construction and validation.
+
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced by task-graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskError {
+    /// An edge referenced a task index outside the graph.
+    UnknownTask(TaskId),
+    /// The dependence relation contains a cycle through this task.
+    DependencyCycle(TaskId),
+    /// A task's parameters are invalid for the given period.
+    InvalidTask {
+        /// The offending task.
+        id: TaskId,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The graph is empty.
+    Empty,
+    /// A self-loop edge was supplied.
+    SelfLoop(TaskId),
+    /// The same edge was supplied twice.
+    DuplicateEdge(TaskId, TaskId),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::UnknownTask(id) => write!(f, "edge references unknown task {id}"),
+            TaskError::DependencyCycle(id) => {
+                write!(f, "dependency cycle detected through {id}")
+            }
+            TaskError::InvalidTask { id, reason } => write!(f, "invalid task {id}: {reason}"),
+            TaskError::Empty => write!(f, "task graph has no tasks"),
+            TaskError::SelfLoop(id) => write!(f, "self-dependency on {id}"),
+            TaskError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            TaskError::UnknownTask(TaskId(7)).to_string(),
+            "edge references unknown task τ7"
+        );
+        assert!(TaskError::DuplicateEdge(TaskId(1), TaskId(2))
+            .to_string()
+            .contains("τ1 -> τ2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaskError>();
+    }
+}

@@ -1,0 +1,154 @@
+//! Time-feasibility analysis of a task graph on a period, independent
+//! of energy: per-NVP utilisation, critical-path length, and minimum
+//! per-period energy demand. Planners use these to reason about what a
+//! period *could* achieve given unlimited power.
+
+use helio_common::units::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::TaskGraph;
+
+/// Summary of a graph's timing and energy demands over one period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// Per-NVP busy time divided by the period, one entry per NVP.
+    pub nvp_utilisation: Vec<f64>,
+    /// Length of the longest dependency chain including NVP
+    /// serialisation (earliest possible makespan), in seconds.
+    pub makespan: Seconds,
+    /// Whether every task can meet its deadline with unlimited energy.
+    pub time_feasible: bool,
+    /// Energy to run every task once.
+    pub energy_per_period: Joules,
+    /// Average power the graph demands when spread over the full
+    /// period.
+    pub average_power_mw: f64,
+}
+
+/// Analyses `graph` against a period length.
+///
+/// # Example
+///
+/// ```
+/// use helio_tasks::{analyze, benchmarks};
+/// use helio_common::units::Seconds;
+///
+/// let report = analyze(&benchmarks::wam(), Seconds::new(600.0));
+/// assert!(report.time_feasible);
+/// assert!(report.energy_per_period.value() > 5.0);
+/// ```
+pub fn analyze(graph: &TaskGraph, period: Seconds) -> FeasibilityReport {
+    let n_nvps = graph.nvp_count();
+    let mut busy = vec![0.0f64; n_nvps];
+    for task in graph.tasks() {
+        busy[task.nvp] += task.exec_time.value();
+    }
+    let nvp_utilisation: Vec<f64> = busy.iter().map(|b| b / period.value()).collect();
+
+    let (makespan, time_feasible) = match graph.edf_finish_times() {
+        Err(_) => (Seconds::new(f64::INFINITY), false),
+        Ok(finish) => {
+            let mut feasible = true;
+            let mut makespan = 0.0f64;
+            for id in graph.ids() {
+                let end = finish[id.index()].value();
+                if end > graph.task(id).deadline.value() + 1e-9 {
+                    feasible = false;
+                }
+                makespan = makespan.max(end);
+            }
+            (Seconds::new(makespan), feasible)
+        }
+    };
+
+    let energy = graph.total_energy();
+    FeasibilityReport {
+        nvp_utilisation,
+        makespan,
+        time_feasible,
+        energy_per_period: energy,
+        average_power_mw: (energy / period).milliwatts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn wam_report_is_consistent() {
+        let r = analyze(&benchmarks::wam(), Seconds::new(600.0));
+        assert!(r.time_feasible);
+        assert_eq!(r.nvp_utilisation.len(), 3);
+        assert!(r.nvp_utilisation.iter().all(|&u| u > 0.0 && u <= 1.0));
+        assert!(r.makespan.value() <= 600.0);
+        assert!(r.average_power_mw > 5.0 && r.average_power_mw < 80.0);
+    }
+
+    #[test]
+    fn all_benchmarks_are_time_feasible() {
+        for g in benchmarks::all_six() {
+            let r = analyze(&g, Seconds::new(600.0));
+            assert!(r.time_feasible, "{} not time feasible", g.name());
+        }
+    }
+
+    #[test]
+    fn makespan_covers_longest_chain() {
+        // ECG chain: lpf(60) -> hpf1(60) -> hpf2(60) -> qrs(120) ->
+        // aes(60) with fft(120) interleaved on NVP1; makespan >= 360 s.
+        let r = analyze(&benchmarks::ecg(), Seconds::new(600.0));
+        assert!(r.makespan.value() >= 360.0);
+    }
+
+    #[test]
+    fn infeasible_graph_is_flagged() {
+        use crate::task::Task;
+        use helio_common::units::Watts;
+        // Two 300 s tasks on one NVP, both due by 400 s: even EDF cannot
+        // finish the second before 600 s.
+        let mut g = TaskGraph::new("tight");
+        g.add_task(Task::new(
+            "a",
+            Seconds::new(300.0),
+            Seconds::new(400.0),
+            Watts::ZERO,
+            0,
+        ));
+        g.add_task(Task::new(
+            "b",
+            Seconds::new(300.0),
+            Seconds::new(400.0),
+            Watts::ZERO,
+            0,
+        ));
+        let r = analyze(&g, Seconds::new(600.0));
+        assert!(!r.time_feasible);
+        assert!((r.makespan.value() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edf_order_rescues_tight_deadlines() {
+        use crate::task::Task;
+        use helio_common::units::Watts;
+        // Insertion order is anti-deadline order; EDF still fits both.
+        let mut g = TaskGraph::new("edf");
+        g.add_task(Task::new(
+            "late",
+            Seconds::new(300.0),
+            Seconds::new(600.0),
+            Watts::ZERO,
+            0,
+        ));
+        g.add_task(Task::new(
+            "early",
+            Seconds::new(300.0),
+            Seconds::new(300.0),
+            Watts::ZERO,
+            0,
+        ));
+        let r = analyze(&g, Seconds::new(600.0));
+        assert!(r.time_feasible);
+    }
+}

@@ -1,0 +1,132 @@
+//! The periodic task model (`τ_n` of Table 1).
+
+use helio_common::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Index of a task within its [`TaskGraph`](crate::TaskGraph).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(i: usize) -> Self {
+        TaskId(i)
+    }
+}
+
+/// One periodic task: released at the start of every period, must
+/// accumulate `exec_time` of processor time before its `deadline`
+/// (measured from the period start), drawing `power` while running, on
+/// its assigned NVP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name (benchmark task names from the paper's
+    /// footnotes).
+    pub name: String,
+    /// Total execution time per period, `S_n`.
+    pub exec_time: Seconds,
+    /// Relative deadline within the period, `D_n`.
+    pub deadline: Seconds,
+    /// Average execution power, `P_n^τ`.
+    pub power: Watts,
+    /// The NVP this task runs on (`A_k` membership); a task is bound to
+    /// one NVP.
+    pub nvp: usize,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(
+        name: impl Into<String>,
+        exec_time: Seconds,
+        deadline: Seconds,
+        power: Watts,
+        nvp: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            exec_time,
+            deadline,
+            power,
+            nvp,
+        }
+    }
+
+    /// Energy consumed by one complete execution: `S_n · P_n^τ`.
+    pub fn energy(&self) -> Joules {
+        self.power * self.exec_time
+    }
+
+    /// Number of whole slots of `slot` duration needed to complete the
+    /// task (rounded up).
+    pub fn slots_needed(&self, slot: Seconds) -> usize {
+        (self.exec_time.value() / slot.value()).ceil() as usize
+    }
+
+    /// The last slot index (0-based, exclusive bound) by which the task
+    /// must have finished: `floor(D_n / Δt)`, i.e. the deadline rounded
+    /// *up* to the next slot boundary per Section 3.2's convention.
+    pub fn deadline_slot(&self, slot: Seconds) -> usize {
+        (self.deadline.value() / slot.value()).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::new(
+            "fft",
+            Seconds::new(120.0),
+            Seconds::new(480.0),
+            Watts::from_milliwatts(32.0),
+            1,
+        )
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = task().energy();
+        assert!((e.value() - 0.032 * 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_needed_rounds_up() {
+        let t = task();
+        assert_eq!(t.slots_needed(Seconds::new(60.0)), 2);
+        assert_eq!(t.slots_needed(Seconds::new(50.0)), 3);
+        assert_eq!(t.slots_needed(Seconds::new(120.0)), 1);
+    }
+
+    #[test]
+    fn deadline_slot_rounds_up() {
+        let t = task();
+        assert_eq!(t.deadline_slot(Seconds::new(60.0)), 8);
+        let odd = Task::new("x", Seconds::new(60.0), Seconds::new(130.0), Watts::ZERO, 0);
+        // 130 s with 60 s slots: the nearest slot boundary after the
+        // deadline is slot 3's start.
+        assert_eq!(odd.deadline_slot(Seconds::new(60.0)), 3);
+    }
+
+    #[test]
+    fn task_id_display_and_conversion() {
+        let id: TaskId = 3.into();
+        assert_eq!(id.to_string(), "τ3");
+        assert_eq!(id.index(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Distributed supercapacitor sizing, step by step (paper Section 4.1
+//! and the Fig. 2 motivation).
+//!
+//! Shows why one size cannot fit all: the loss-minimising capacitance
+//! depends on how much energy a day migrates and for how long. Then
+//! runs the full sizing pipeline: per-day optima from the ASAP
+//! migration pattern, clustered into H physical sizes.
+//!
+//! ```text
+//! cargo run --release --example capacitor_sizing
+//! ```
+
+use heliosched::prelude::*;
+use heliosched::offline::asap_demand_profile;
+use helio_common::units::Joules;
+use helio_nvp::Pmu;
+use helio_storage::{migration_efficiency, MigrationSpec, SuperCap};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let storage = StorageModelParams::default();
+
+    // --- Fig. 2: the migration-efficiency trade-off -------------------
+    println!("# migration efficiency by capacitor size");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "size", "7 J / 60 min", "30 J / 400 min"
+    );
+    for c in [0.5, 1.0, 2.0, 5.0, 10.0, 22.0, 50.0, 100.0] {
+        let cap = SuperCap::new(Farads::new(c), &storage)?;
+        println!(
+            "{:>9}F {:>13.1}% {:>13.1}%",
+            c,
+            100.0 * migration_efficiency(&cap, &storage, MigrationSpec::small_short()),
+            100.0 * migration_efficiency(&cap, &storage, MigrationSpec::large_long()),
+        );
+    }
+    println!("small caps win short/small migrations; mid caps win long/large ones.");
+
+    // --- Section 4.1: the sizing pipeline ------------------------------
+    let grid = TimeGrid::new(8, 48, 10, Seconds::new(60.0))?;
+    let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+        .seed(321)
+        .weather(helio_solar::WeatherProcess::temperate())
+        .build();
+    let graph = benchmarks::wam();
+
+    // Step 1: the ASAP migration pattern dE (Eq. 2).
+    let demand = asap_demand_profile(&graph, grid.slots_per_period(), grid.slot_duration());
+    let total_demand: f64 = demand.iter().map(|e| e.value()).sum();
+    println!();
+    println!(
+        "ASAP per-period demand: {:.1} J across {} slots",
+        total_demand,
+        demand.len()
+    );
+
+    // Step 2: per-day optimal capacitance (Eq. 10).
+    println!();
+    println!("# per-day optimal capacitances");
+    for day in 0..grid.days() {
+        let day_trace = trace.extract_day(day);
+        let mut delta_e = Vec::new();
+        for j in 0..grid.periods_per_day() {
+            for (m, s) in day_trace
+                .grid()
+                .slots_in(PeriodRef::new(0, j))
+                .enumerate()
+            {
+                delta_e.push(day_trace.slot_energy(s) - demand[m]);
+            }
+        }
+        let out = helio_storage::optimal_capacitance(
+            &delta_e,
+            grid.slot_duration(),
+            &storage,
+            Farads::new(0.3),
+            Farads::new(150.0),
+        )?;
+        println!(
+            "  day {day} ({}): C_opt = {:6.1} F, loss {:6.1} J",
+            trace.day_archetype(day).expect("synthetic"),
+            out.capacitance.value(),
+            out.loss.value()
+        );
+    }
+
+    // Step 3: cluster into H sizes.
+    for h in [2usize, 4] {
+        let sizes = size_capacitors(&graph, &trace, h, &storage, &Pmu::default())?;
+        println!(
+            "clustered into H={h}: [{}] F",
+            sizes
+                .iter()
+                .map(|c| format!("{:.1}", c.value()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(())
+}

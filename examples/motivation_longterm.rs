@@ -1,0 +1,83 @@
+//! The paper's Fig. 1 motivation, reproduced: a scheduler that
+//! maximises the *current* period's completions spends the capacitor
+//! during the day and has nothing left at night; a long-term planner
+//! accepts slightly worse daytime DMR and banks energy for the dark
+//! hours.
+//!
+//! ```text
+//! cargo run --release --example motivation_longterm
+//! ```
+
+use heliosched::prelude::*;
+use heliosched::DpConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = TimeGrid::new(1, 48, 10, Seconds::new(60.0))?;
+    let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+        .seed(9)
+        .days(&[DayArchetype::Overcast])
+        .build();
+    let graph = benchmarks::shm();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(15.0)])
+        .build()?;
+    let engine = Engine::new(&node, &graph, &trace)?;
+
+    let mut greedy = FixedPlanner::new(Pattern::Intra, 0);
+    let greedy_report = engine.run(&mut greedy)?;
+    let mut optimal = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)?;
+    let longterm_report = engine.run(&mut optimal)?;
+
+    println!("# Fig. 1 motivation: per-period DMR, greedy vs long-term");
+    println!("{:>6} {:>8} {:>8} {:>10}", "hour", "greedy", "longterm", "solar(mW)");
+    for (j, (g, l)) in greedy_report
+        .periods
+        .iter()
+        .zip(&longterm_report.periods)
+        .enumerate()
+    {
+        if j % 2 != 0 {
+            continue; // print every other period for brevity
+        }
+        let solar_mw =
+            g.harvested.value() / grid.period_duration().value() * 1e3;
+        println!(
+            "{:>6.1} {:>7.0}% {:>7.0}% {:>10.1}",
+            grid.hour_of_day(PeriodRef::new(0, j)),
+            100.0 * g.dmr(),
+            100.0 * l.dmr(),
+            solar_mw
+        );
+    }
+
+    // Aggregate day vs night.
+    let split = |r: &heliosched::SimReport, night: bool| {
+        let (m, t) = r
+            .periods
+            .iter()
+            .filter(|p| {
+                let h = grid.hour_of_day(p.period);
+                let is_night = !(6.0..18.0).contains(&h);
+                is_night == night
+            })
+            .fold((0usize, 0usize), |(m, t), p| (m + p.misses, t + p.tasks));
+        m as f64 / t.max(1) as f64
+    };
+    println!();
+    println!(
+        "daytime DMR: greedy {:5.1}% vs long-term {:5.1}%",
+        100.0 * split(&greedy_report, false),
+        100.0 * split(&longterm_report, false)
+    );
+    println!(
+        "night DMR:   greedy {:5.1}% vs long-term {:5.1}%",
+        100.0 * split(&greedy_report, true),
+        100.0 * split(&longterm_report, true)
+    );
+    println!(
+        "total DMR:   greedy {:5.1}% vs long-term {:5.1}%",
+        100.0 * greedy_report.overall_dmr(),
+        100.0 * longterm_report.overall_dmr()
+    );
+    Ok(())
+}

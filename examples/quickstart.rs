@@ -1,0 +1,67 @@
+//! Quickstart: simulate one day of the ECG benchmark on the
+//! dual-channel solar node and compare a baseline scheduler against
+//! the static optimal.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use heliosched::prelude::*;
+use heliosched::DpConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A one-day horizon: 48 periods of ten 60-second slots.
+    let grid = TimeGrid::new(1, 48, 10, Seconds::new(60.0))?;
+
+    // Synthetic solar for a broken-clouds day on the paper's
+    // 3.5x4.5 cm^2, 6 %-efficient panel.
+    let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+        .seed(42)
+        .days(&[DayArchetype::BrokenClouds])
+        .build();
+    println!(
+        "harvested energy over the day: {:.1} J",
+        trace.total_energy().value()
+    );
+
+    // The ECG task set: six tasks (filters, QRS detection, FFT, AES).
+    let graph = benchmarks::ecg();
+    println!(
+        "task set `{}`: {} tasks, {:.1} J per period",
+        graph.name(),
+        graph.len(),
+        graph.total_energy().value()
+    );
+
+    // A node with two supercapacitors.
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(2.0), Farads::new(22.0)])
+        .build()?;
+
+    let engine = Engine::new(&node, &graph, &trace)?;
+
+    // Baseline: intra-task load matching on the big capacitor.
+    let mut intra = FixedPlanner::new(Pattern::Intra, 1);
+    let base = engine.run(&mut intra)?;
+
+    // Upper bound: the long-term DP on the true solar trace.
+    let mut optimal = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)?;
+    let best = engine.run(&mut optimal)?;
+
+    println!();
+    println!(
+        "intra-task baseline: DMR {:5.1}%  energy utilisation {:5.1}%",
+        100.0 * base.overall_dmr(),
+        100.0 * base.energy_utilisation()
+    );
+    println!(
+        "static optimal:      DMR {:5.1}%  energy utilisation {:5.1}%",
+        100.0 * best.overall_dmr(),
+        100.0 * best.energy_utilisation()
+    );
+    println!(
+        "long-term planning saves {:.1} DMR points on this day",
+        100.0 * (base.overall_dmr() - best.overall_dmr())
+    );
+    Ok(())
+}

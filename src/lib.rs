@@ -1,0 +1,12 @@
+//! Top-level convenience re-exports for the heliosched reproduction
+//! workspace. The substance lives in the `crates/` members; see the
+//! README for the map.
+
+pub use heliosched;
+pub use helio_ann as ann;
+pub use helio_common as common;
+pub use helio_nvp as nvp;
+pub use helio_sched as sched;
+pub use helio_solar as solar;
+pub use helio_storage as storage;
+pub use helio_tasks as tasks;

@@ -1,0 +1,128 @@
+//! Cross-crate energy-ledger invariants: no joule may appear or
+//! disappear unaccounted anywhere between the panel and the load.
+
+use heliosched::prelude::*;
+use heliosched::{DpConfig, NodeConfig};
+
+fn grid(days: usize) -> TimeGrid {
+    TimeGrid::new(days, 24, 10, Seconds::new(60.0)).expect("valid grid")
+}
+
+fn run_one(
+    pattern: Pattern,
+    archetypes: &[DayArchetype],
+    caps: &[f64],
+) -> (heliosched::SimReport, NodeConfig) {
+    let days = archetypes.len();
+    let trace = TraceBuilder::new(grid(days), SolarPanel::paper_panel())
+        .seed(17)
+        .days(archetypes)
+        .build();
+    let sizes: Vec<Farads> = caps.iter().map(|&c| Farads::new(c)).collect();
+    let node = NodeConfig::builder(grid(days))
+        .capacitors(&sizes)
+        .build()
+        .expect("node");
+    let graph = benchmarks::wam();
+    let report = Engine::new(&node, &graph, &trace)
+        .expect("engine")
+        .run(&mut FixedPlanner::new(pattern, 0))
+        .expect("run");
+    (report, node)
+}
+
+#[test]
+fn harvest_ledger_balances_every_period() {
+    for pattern in [Pattern::Asap, Pattern::Inter, Pattern::Intra] {
+        let (report, node) = run_one(
+            pattern,
+            &[DayArchetype::Clear, DayArchetype::Storm],
+            &[10.0],
+        );
+        let eta = node.pmu.params().direct_efficiency;
+        for p in &report.periods {
+            let harvested = p.harvested.value();
+            let accounted =
+                p.served_direct.value() / eta + p.stored.value() + p.wasted.value();
+            assert!(
+                (harvested - accounted).abs() < 1e-6,
+                "{pattern}: period {} harvested {harvested} vs accounted {accounted}",
+                p.period
+            );
+        }
+    }
+}
+
+#[test]
+fn storage_never_creates_energy() {
+    // Over any horizon, the energy delivered from storage cannot exceed
+    // the energy absorbed into it (round-trip efficiency < 1).
+    for archetypes in [
+        vec![DayArchetype::Clear],
+        vec![DayArchetype::BrokenClouds, DayArchetype::Overcast],
+        vec![DayArchetype::Clear, DayArchetype::Storm, DayArchetype::Storm],
+    ] {
+        let (report, _) = run_one(Pattern::Intra, &archetypes, &[22.0]);
+        let stored: f64 = report.periods.iter().map(|p| p.stored.value()).sum();
+        let delivered: f64 = report
+            .periods
+            .iter()
+            .map(|p| p.served_storage.value())
+            .sum();
+        assert!(
+            delivered <= stored + 1e-6,
+            "{archetypes:?}: delivered {delivered} > stored {stored}"
+        );
+        if stored > 1.0 {
+            assert!(
+                delivered / stored < 0.95,
+                "round trip too good to be true: {}",
+                delivered / stored
+            );
+        }
+    }
+}
+
+#[test]
+fn served_energy_never_exceeds_demand_or_supply() {
+    let (report, _) = run_one(
+        Pattern::Asap,
+        &[DayArchetype::Overcast, DayArchetype::Overcast],
+        &[5.0, 50.0],
+    );
+    let harvested = report.total_harvested().value();
+    let served = report.total_served().value();
+    assert!(served <= harvested, "served {served} > harvested {harvested}");
+    for p in &report.periods {
+        let served_p = p.served_direct.value() + p.served_storage.value();
+        let demand_p = served_p + p.unmet.value();
+        assert!(served_p <= demand_p + 1e-9);
+    }
+}
+
+#[test]
+fn optimal_planner_obeys_the_same_ledger() {
+    let trace = TraceBuilder::new(grid(2), SolarPanel::paper_panel())
+        .seed(18)
+        .days(&[DayArchetype::BrokenClouds, DayArchetype::Storm])
+        .build();
+    let node = NodeConfig::builder(grid(2))
+        .capacitors(&[Farads::new(2.0), Farads::new(22.0)])
+        .build()
+        .expect("node");
+    let graph = benchmarks::ecg();
+    let mut planner =
+        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+            .expect("optimal");
+    let report = Engine::new(&node, &graph, &trace)
+        .expect("engine")
+        .run(&mut planner)
+        .expect("run");
+    let eta = node.pmu.params().direct_efficiency;
+    for p in &report.periods {
+        let accounted = p.served_direct.value() / eta + p.stored.value() + p.wasted.value();
+        assert!((p.harvested.value() - accounted).abs() < 1e-6);
+    }
+    // Misses never exceed the task count.
+    assert!(report.periods.iter().all(|p| p.misses <= p.tasks));
+}

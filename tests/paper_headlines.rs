@@ -1,0 +1,167 @@
+//! Small-scale regression tests pinning the paper's headline *shapes*
+//! so they cannot silently rot. These mirror the full experiments in
+//! `helio-bench` at unit-test scale.
+
+use helio_common::units::Farads;
+use helio_solar::WeatherProcess;
+use heliosched::prelude::*;
+use heliosched::{day_night_split, DpConfig, NodeConfig};
+
+fn grid(days: usize) -> TimeGrid {
+    TimeGrid::new(days, 24, 10, Seconds::new(60.0)).expect("valid grid")
+}
+
+fn archetype_trace(archetypes: &[DayArchetype], seed: u64) -> helio_solar::SolarTrace {
+    TraceBuilder::new(grid(archetypes.len()), SolarPanel::paper_panel())
+        .seed(seed)
+        .days(archetypes)
+        .build()
+}
+
+fn node(days: usize) -> NodeConfig {
+    NodeConfig::builder(grid(days))
+        .capacitors(&[Farads::new(2.0), Farads::new(22.0)])
+        .build()
+        .expect("node")
+}
+
+/// Fig. 1 / Fig. 8 headline: the long-term planner's advantage over the
+/// greedy baseline comes from the dark hours.
+#[test]
+fn longterm_advantage_concentrates_at_night() {
+    let trace = archetype_trace(&[DayArchetype::Overcast], 21);
+    let node = node(1);
+    let graph = benchmarks::shm();
+    let engine = Engine::new(&node, &graph, &trace).expect("engine");
+
+    let greedy = engine
+        .run(&mut FixedPlanner::new(Pattern::Intra, 1))
+        .expect("greedy");
+    let mut planner = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+        .expect("optimal");
+    let longterm = engine.run(&mut planner).expect("optimal run");
+
+    assert!(longterm.overall_dmr() <= greedy.overall_dmr() + 1e-9);
+    let g_split = day_night_split(&greedy, &node.grid);
+    let l_split = day_night_split(&longterm, &node.grid);
+    let night_gain = g_split.night_dmr - l_split.night_dmr;
+    let day_gain = g_split.day_dmr - l_split.day_dmr;
+    assert!(
+        night_gain >= day_gain - 0.05,
+        "the night should benefit at least as much: night {night_gain} day {day_gain}"
+    );
+}
+
+/// Fig. 8 headline: the advantage grows as daily solar energy shrinks.
+#[test]
+fn advantage_grows_as_solar_shrinks() {
+    let graph = benchmarks::ecg();
+    let mut gains = Vec::new();
+    for archetype in [DayArchetype::Clear, DayArchetype::Overcast] {
+        let trace = archetype_trace(&[archetype], 22);
+        let node = node(1);
+        let engine = Engine::new(&node, &graph, &trace).expect("engine");
+        let inter = engine
+            .run(&mut FixedPlanner::new(Pattern::Inter, 1))
+            .expect("inter");
+        let mut planner =
+            OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+                .expect("optimal");
+        let opt = engine.run(&mut planner).expect("run");
+        gains.push(inter.overall_dmr() - opt.overall_dmr());
+    }
+    assert!(
+        gains[1] >= gains[0] - 0.02,
+        "overcast gain {} should be at least the clear-day gain {}",
+        gains[1],
+        gains[0]
+    );
+}
+
+/// Table 2 headline: the best capacitor size depends on the migration
+/// pattern (already tested in helio-storage; here we pin the crossover
+/// itself).
+#[test]
+fn capacitor_optimum_crosses_over_with_pattern() {
+    use helio_storage::{migration_efficiency, MigrationSpec, StorageModelParams, SuperCap};
+    let params = StorageModelParams::default();
+    let small = SuperCap::new(Farads::new(1.0), &params).expect("cap");
+    let mid = SuperCap::new(Farads::new(10.0), &params).expect("cap");
+    let short = MigrationSpec::small_short();
+    let long = MigrationSpec::large_long();
+    assert!(
+        migration_efficiency(&small, &params, short)
+            > migration_efficiency(&mid, &params, short)
+    );
+    assert!(
+        migration_efficiency(&mid, &params, long) > migration_efficiency(&small, &params, long)
+    );
+}
+
+/// Section 6.4 headline: more supercapacitors cannot hurt the optimal
+/// planner (it may ignore the extra sizes).
+#[test]
+fn more_capacitors_never_hurt() {
+    let trace = TraceBuilder::new(grid(2), SolarPanel::paper_panel())
+        .seed(23)
+        .weather(WeatherProcess::temperate())
+        .build();
+    let graph = benchmarks::random_case(1);
+    let mut dmrs = Vec::new();
+    for sizes in [
+        vec![Farads::new(10.0)],
+        vec![Farads::new(2.0), Farads::new(10.0), Farads::new(47.0)],
+    ] {
+        let node = NodeConfig::builder(grid(2))
+            .capacitors(&sizes)
+            .build()
+            .expect("node");
+        let mut planner =
+            OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+                .expect("optimal");
+        let r = Engine::new(&node, &graph, &trace)
+            .expect("engine")
+            .run(&mut planner)
+            .expect("run");
+        dmrs.push(r.overall_dmr());
+    }
+    assert!(
+        dmrs[1] <= dmrs[0] + 0.03,
+        "3 caps {} should not lose to 1 cap {}",
+        dmrs[1],
+        dmrs[0]
+    );
+}
+
+/// Section 6.5 headline: the scheduler's own energy stays under 3 % of
+/// the workload for every benchmark.
+#[test]
+fn scheduler_overhead_is_negligible() {
+    let model = heliosched::OverheadModel::default();
+    let g = grid(1);
+    for graph in benchmarks::all_six() {
+        let r = model.estimate(&graph, &g);
+        assert!(r.energy_fraction < 0.03, "{}", graph.name());
+    }
+}
+
+/// NVP backup/restore bookkeeping survives the whole pipeline: a
+/// greedy run on a storm day must brown out, back up state, and charge
+/// the microjoule-scale overhead.
+#[test]
+fn brownouts_trigger_nvp_backups() {
+    let trace = archetype_trace(&[DayArchetype::Storm], 24);
+    let node = node(1);
+    let graph = benchmarks::wam();
+    let report = Engine::new(&node, &graph, &trace)
+        .expect("engine")
+        .run(&mut FixedPlanner::new(Pattern::Asap, 1))
+        .expect("run");
+    assert!(report.nvp_backups > 0, "storm + ASAP must brown out");
+    assert!(report.nvp_overhead.value() > 0.0);
+    assert!(
+        report.nvp_overhead.value() < 0.01,
+        "backup overhead must stay microjoule-scale: {}",
+        report.nvp_overhead
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the core data structures and physical
+//! invariants, spanning crates.
+
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Joules, Seconds, Volts, Watts};
+use helio_nvp::Pmu;
+use helio_storage::{
+    migration_efficiency, CapacitorBank, MigrationSpec, StorageModelParams, SuperCap,
+};
+use helio_tasks::{random_graph, RandomGraphConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any migration (quantity, duration, size) yields an efficiency in
+    /// [0, 1].
+    #[test]
+    fn migration_efficiency_is_a_fraction(
+        c in 0.2f64..200.0,
+        quantity in 0.1f64..100.0,
+        minutes in 5.0f64..1000.0,
+    ) {
+        let params = StorageModelParams::default();
+        let cap = SuperCap::new(Farads::new(c), &params).unwrap();
+        let spec = MigrationSpec::new(Joules::new(quantity), Seconds::from_minutes(minutes));
+        let eff = migration_efficiency(&cap, &params, spec);
+        prop_assert!((0.0..=1.0).contains(&eff), "eff {}", eff);
+    }
+
+    /// Charging then fully discharging never yields more than was
+    /// absorbed.
+    #[test]
+    fn round_trip_never_gains(
+        c in 0.2f64..200.0,
+        offered in 0.1f64..500.0,
+        v0 in 1.0f64..5.0,
+    ) {
+        let params = StorageModelParams::default();
+        let cap = SuperCap::new(Farads::new(c), &params).unwrap();
+        let mut state = cap.state_at(Volts::new(v0));
+        let before = state.stored_energy(&cap);
+        let drawn = cap.charge(&mut state, &params, Joules::new(offered));
+        let delivered = cap.discharge(&mut state, &params, Joules::new(1e9));
+        // Delivered can use pre-existing charge, so compare against
+        // drawn + initial usable energy.
+        let budget = drawn + before;
+        prop_assert!(delivered <= budget + Joules::new(1e-9),
+            "delivered {} > drawn {} + initial {}", delivered, drawn, before);
+    }
+
+    /// The leakage step removes exactly the energy it reports.
+    #[test]
+    fn leak_is_accounted(
+        c in 0.2f64..200.0,
+        v0 in 0.5f64..5.0,
+        minutes in 1.0f64..2000.0,
+    ) {
+        let params = StorageModelParams::default();
+        let cap = SuperCap::new(Farads::new(c), &params).unwrap();
+        let mut state = cap.state_at(Volts::new(v0));
+        let before = state.stored_energy(&cap);
+        let lost = cap.leak(&mut state, &params, Seconds::from_minutes(minutes));
+        let after = state.stored_energy(&cap);
+        prop_assert!((before.value() - after.value() - lost.value()).abs() < 1e-9);
+        prop_assert!(after.value() >= -1e-12);
+    }
+
+    /// PMU slot settlement conserves both ledgers for arbitrary inputs.
+    #[test]
+    fn pmu_ledgers_balance(
+        harvest in 0.0f64..50.0,
+        demand in 0.0f64..50.0,
+        c in 0.5f64..100.0,
+        precharge in 0.0f64..100.0,
+    ) {
+        let storage = StorageModelParams::default();
+        let mut bank = CapacitorBank::new(&[Farads::new(c)], &storage).unwrap();
+        bank.charge_active(&storage, Joules::new(precharge));
+        let pmu = Pmu::default();
+        let flow = pmu.settle_slot(Joules::new(harvest), Joules::new(demand), &mut bank, &storage);
+        let demand_side = (flow.served_direct + flow.served_storage + flow.unmet).value();
+        prop_assert!((flow.demand.value() - demand_side).abs() < 1e-9);
+        let harvest_side = (flow.used_direct + flow.stored + flow.wasted).value();
+        prop_assert!((flow.harvested.value() - harvest_side).abs() < 1e-9);
+        prop_assert!(flow.unmet.value() >= -1e-12);
+    }
+
+    /// Random task graphs always validate and expose consistent
+    /// structure.
+    #[test]
+    fn random_graphs_are_well_formed(seed in 0u64..500) {
+        let cfg = RandomGraphConfig::paper_ranges();
+        let g = random_graph("prop", seed, &cfg);
+        prop_assert!(g.validate(Seconds::new(cfg.period)).is_ok());
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.len());
+        // Every edge goes forward in the topological order.
+        for (from, to) in g.edges() {
+            let pf = order.iter().position(|x| x == from).unwrap();
+            let pt = order.iter().position(|x| x == to).unwrap();
+            prop_assert!(pf < pt);
+        }
+        // EDF finish times are within the period and cover exec times.
+        let finish = g.edf_finish_times().unwrap();
+        for id in g.ids() {
+            prop_assert!(finish[id.index()].value() >= g.task(id).exec_time.value() - 1e-9);
+            prop_assert!(finish[id.index()].value() <= cfg.period + 1e-9);
+        }
+    }
+
+    /// Time-grid index mappings are bijective.
+    #[test]
+    fn grid_indexing_round_trips(
+        days in 1usize..5,
+        periods in 1usize..40,
+        slots in 1usize..15,
+        pick in 0usize..10_000,
+    ) {
+        let grid = TimeGrid::new(days, periods, slots, Seconds::new(60.0)).unwrap();
+        let idx = pick % grid.total_slots();
+        let slot = grid.slot_at(idx);
+        prop_assert_eq!(grid.slot_index(slot), idx);
+        let pidx = pick % grid.total_periods();
+        let period = grid.period_at(pidx);
+        prop_assert_eq!(grid.period_index(period), pidx);
+    }
+
+    /// Unit arithmetic: (P·t)/t == P and capacitor energy round trips.
+    #[test]
+    fn unit_algebra_round_trips(p_mw in 0.01f64..1000.0, secs in 0.1f64..10_000.0, c in 0.1f64..200.0) {
+        let p = Watts::from_milliwatts(p_mw);
+        let t = Seconds::new(secs);
+        let e = p * t;
+        let p2 = e / t;
+        prop_assert!((p2.value() - p.value()).abs() < 1e-12 * p.value().max(1.0));
+        let cap = Farads::new(c);
+        let v = cap.voltage_for_energy(e);
+        let e2 = cap.stored_energy(v);
+        prop_assert!((e2.value() - e.value()).abs() < 1e-9 * e.value().max(1.0));
+    }
+}
