@@ -77,7 +77,10 @@ impl Matrix {
     /// Panics out of range.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -88,7 +91,10 @@ impl Matrix {
     /// Panics out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -110,13 +116,7 @@ impl Matrix {
             ));
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -133,10 +133,10 @@ impl Matrix {
             ));
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
-            for c in 0..self.cols {
-                out[c] += self.data[r * self.cols + c] * xr;
+        for (r, &xr) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w * xr;
             }
         }
         Ok(out)
@@ -154,9 +154,10 @@ impl Matrix {
                 format!("{}-vec and {}-vec", a.len(), b.len()),
             ));
         }
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                self.data[r * self.cols + c] += scale * a[r] * b[c];
+        for (r, &ar) in a.iter().enumerate() {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, &bc) in row.iter_mut().zip(b) {
+                *w += scale * ar * bc;
             }
         }
         Ok(())
@@ -165,6 +166,117 @@ impl Matrix {
     /// Frobenius norm (for convergence diagnostics in tests).
     pub fn frobenius(&self) -> f64 {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The transpose, row-major.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Packs `other` transposed, then runs the cache-blocked row-dot
+    /// kernel of [`Matrix::matmul_bt`]; every output element is the
+    /// same ascending-index dot product [`Matrix::matvec`] computes, so
+    /// batching is bitwise identical to per-column products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when `self.cols() !=
+    /// other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Result<Self, AnnError> {
+        if self.cols != other.rows {
+            return Err(AnnError::dims(
+                format!("{} rows on the right", self.cols),
+                format!("{}", other.rows),
+            ));
+        }
+        self.matmul_bt(&other.transposed())
+    }
+
+    /// Matrix product `self · other` written into `out` (no
+    /// allocation beyond the transposed packing of `other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when the inner
+    /// dimensions or `out`'s shape do not line up.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) -> Result<(), AnnError> {
+        if self.cols != other.rows {
+            return Err(AnnError::dims(
+                format!("{} rows on the right", self.cols),
+                format!("{}", other.rows),
+            ));
+        }
+        self.matmul_bt_into(&other.transposed(), out)
+    }
+
+    /// Matrix product against a pre-transposed right operand:
+    /// `self · otherᵀ`, where `other` is stored `cols_out × k`
+    /// row-major. Both operands are then read along contiguous rows,
+    /// which is what makes the blocked kernel cache-friendly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when the shared inner
+    /// dimension differs.
+    pub fn matmul_bt(&self, other: &Self) -> Result<Self, AnnError> {
+        let mut out = Self::zeros(self.rows, other.rows);
+        self.matmul_bt_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_bt`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when the inner dimension
+    /// or `out`'s shape do not line up.
+    pub fn matmul_bt_into(&self, other: &Self, out: &mut Self) -> Result<(), AnnError> {
+        if self.cols != other.cols {
+            return Err(AnnError::dims(
+                format!("shared inner dimension {}", self.cols),
+                format!("{}", other.cols),
+            ));
+        }
+        if out.rows != self.rows || out.cols != other.rows {
+            return Err(AnnError::dims(
+                format!("{}x{} output", self.rows, other.rows),
+                format!("{}x{}", out.rows, out.cols),
+            ));
+        }
+        // Tile over (i, j) so a block of `other` rows stays hot in
+        // cache while a block of `self` rows streams through it. The
+        // k loop is NOT tiled: each element keeps the single
+        // ascending-k accumulator of `matvec`, so the blocked product
+        // is bitwise identical to the naive one.
+        const BLOCK: usize = 32;
+        let k = self.cols;
+        for i0 in (0..self.rows).step_by(BLOCK) {
+            let i_end = (i0 + BLOCK).min(self.rows);
+            for j0 in (0..other.rows).step_by(BLOCK) {
+                let j_end = (j0 + BLOCK).min(other.rows);
+                for i in i0..i_end {
+                    let a = &self.data[i * k..(i + 1) * k];
+                    let row_out = &mut out.data[i * out.cols..(i + 1) * out.cols];
+                    for (j, o) in row_out.iter_mut().enumerate().take(j_end).skip(j0) {
+                        let b = &other.data[j * k..(j + 1) * k];
+                        let mut acc = 0.0;
+                        for t in 0..k {
+                            acc += a[t] * b[t];
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -245,5 +357,88 @@ mod tests {
     fn frobenius_norm() {
         let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
         assert!((m.frobenius() - 5.0).abs() < 1e-12);
+    }
+
+    /// Naive triple loop with the same ascending-k accumulation order
+    /// as the blocked kernel.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for t in 0..a.cols() {
+                    acc += a.get(i, t) * b.get(t, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::random(7, 3, 1.0, &mut seeded(20));
+        let t = m.transposed();
+        assert_eq!((t.rows(), t.cols()), (3, 7));
+        assert_eq!(t.get(2, 5), m.get(5, 2));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_naive_across_block_boundaries() {
+        // Sizes straddling the 32-wide tiles exercise partial blocks.
+        let mut rng = seeded(21);
+        for (m, k, n) in [(1, 1, 1), (5, 9, 3), (33, 40, 65), (70, 37, 45)] {
+            let a = Matrix::random(m, k, 1.0, &mut rng);
+            let b = Matrix::random(k, n, 1.0, &mut rng);
+            let blocked = a.matmul(&b).unwrap();
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(blocked, naive, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_bt_rows_are_bitwise_matvec() {
+        let mut rng = seeded(22);
+        let w = Matrix::random(40, 33, 1.0, &mut rng);
+        let xs = Matrix::random(50, 33, 1.0, &mut rng);
+        let batch = xs.matmul_bt(&w).unwrap();
+        for r in 0..xs.rows() {
+            let single = w.matvec(xs.row(r)).unwrap();
+            assert_eq!(batch.row(r), single.as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_output() {
+        let mut rng = seeded(23);
+        let a = Matrix::random(6, 4, 1.0, &mut rng);
+        let b = Matrix::random(4, 5, 1.0, &mut rng);
+        let mut out = Matrix::zeros(6, 5);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Stale contents must be overwritten, not accumulated.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_bt(&Matrix::zeros(5, 4)).is_err());
+        let c = Matrix::zeros(3, 2);
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(a.matmul_into(&c, &mut wrong).is_err());
     }
 }

@@ -32,6 +32,20 @@ impl Layer {
         }
         Ok(z)
     }
+
+    /// Forward pass on a whole batch (`samples × in` rows in, `samples
+    /// × out` rows out) via the blocked matmul. `X · Wᵀ` computes the
+    /// same ascending-index dot products as the per-sample `W · x`, so
+    /// the result is bitwise identical to mapping [`Layer::forward`].
+    fn forward_batch(&self, x: &Matrix) -> Result<Matrix, AnnError> {
+        let mut z = x.matmul_bt(&self.weights)?;
+        for r in 0..z.rows() {
+            for (c, b) in self.bias.iter().enumerate() {
+                z.set(r, c, sigmoid(z.get(r, c) + b));
+            }
+        }
+        Ok(z)
+    }
 }
 
 /// A multi-layer perceptron with sigmoid activations throughout
@@ -55,7 +69,7 @@ impl Mlp {
                 "MLP needs at least input and output sizes".into(),
             ));
         }
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err(AnnError::BadConfig("layer sizes must be nonzero".into()));
         }
         let layers = sizes
@@ -86,6 +100,26 @@ impl Mlp {
             a = layer.forward(&a)?;
         }
         Ok(a)
+    }
+
+    /// Forward pass over a batch of inputs, one output row per input
+    /// row. Runs each layer as one blocked matrix product instead of
+    /// `samples` matrix–vector products; results are bitwise identical
+    /// to calling [`Mlp::forward`] per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for ragged or
+    /// wrong-width inputs.
+    pub fn forward_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
+        if xs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut a = Matrix::from_rows(xs)?;
+        for layer in &self.layers {
+            a = layer.forward_batch(&a)?;
+        }
+        Ok((0..a.rows()).map(|r| a.row(r).to_vec()).collect())
     }
 
     /// Forward pass keeping every layer's activation (for backprop).
@@ -215,11 +249,7 @@ impl Mlp {
             || bias.len() != layer.bias.len()
         {
             return Err(AnnError::dims(
-                format!(
-                    "{}x{} weights",
-                    layer.weights.rows(),
-                    layer.weights.cols()
-                ),
+                format!("{}x{} weights", layer.weights.rows(), layer.weights.cols()),
                 format!("{}x{}", weights.rows(), weights.cols()),
             ));
         }
@@ -294,6 +324,22 @@ mod tests {
         let bad = Matrix::zeros(4, 2);
         assert!(mlp.load_layer(0, bad, vec![0.0; 4]).is_err());
         assert!(mlp.load_layer(5, Matrix::zeros(1, 4), vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn forward_batch_is_bitwise_per_sample_forward() {
+        let mut rng = seeded(11);
+        let mlp = Mlp::new(&[7, 40, 35, 3], &mut rng).unwrap();
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| (0..7).map(|j| ((i * 7 + j) as f64).sin()).collect())
+            .collect();
+        let batch = mlp.forward_batch(&xs).unwrap();
+        assert_eq!(batch.len(), xs.len());
+        for (x, y) in xs.iter().zip(&batch) {
+            assert_eq!(y, &mlp.forward(x).unwrap());
+        }
+        assert!(mlp.forward_batch(&[vec![0.0; 2]]).is_err());
+        assert!(mlp.forward_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -64,6 +64,29 @@ impl Rbm {
         Ok(act)
     }
 
+    /// [`Rbm::hidden_probs`] over a batch of visible vectors as one
+    /// blocked matrix product — the feature-extraction step that feeds
+    /// each pre-trained RBM's activations to the next layer. Bitwise
+    /// identical to mapping [`Rbm::hidden_probs`] per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for ragged or
+    /// wrong-width inputs.
+    pub fn hidden_probs_batch(&self, visibles: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, AnnError> {
+        if visibles.is_empty() {
+            return Ok(Vec::new());
+        }
+        let v = Matrix::from_rows(visibles)?;
+        let mut z = v.matmul_bt(&self.weights)?;
+        for r in 0..z.rows() {
+            for (c, b) in self.hidden_bias.iter().enumerate() {
+                z.set(r, c, sigmoid(z.get(r, c) + b));
+            }
+        }
+        Ok((0..z.rows()).map(|r| z.row(r).to_vec()).collect())
+    }
+
     /// Visible reconstruction probabilities `P(v=1 | h)`.
     ///
     /// # Errors
@@ -212,6 +235,19 @@ mod tests {
         assert!(rbm.visible_probs(&[0.0; 5]).is_err());
         assert!(rbm.cd1_step(&[0.0; 2], 0.1, &mut rng).is_err());
         assert!(rbm.train(&[], 1, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn hidden_probs_batch_is_bitwise_per_sample() {
+        let mut rng = seeded(5);
+        let rbm = Rbm::new(6, 4, &mut rng);
+        let data = patterns();
+        let batch = rbm.hidden_probs_batch(&data).unwrap();
+        for (v, h) in data.iter().zip(&batch) {
+            assert_eq!(h, &rbm.hidden_probs(v).unwrap());
+        }
+        assert!(rbm.hidden_probs_batch(&[vec![0.0; 3]]).is_err());
+        assert!(rbm.hidden_probs_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -137,6 +137,99 @@ fn fig8_fig9_dp(c: &mut Criterion) {
     group.finish();
 }
 
+fn matmul_kernels(c: &mut Criterion) {
+    // Batch-forward shape: 128 samples × 64 features against a 32×64
+    // weight matrix (X · Wᵀ). The blocked product replaces one matvec
+    // per sample in the RBM/MLP batch paths.
+    let x = helio_ann::Matrix::from_rows(
+        &(0..128)
+            .map(|i| {
+                (0..64)
+                    .map(|k| ((i * 31 + k * 7) % 97) as f64 / 97.0)
+                    .collect()
+            })
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("x");
+    let w = helio_ann::Matrix::from_rows(
+        &(0..32)
+            .map(|j| {
+                (0..64)
+                    .map(|k| ((j * 13 + k * 11) % 89) as f64 / 89.0)
+                    .collect()
+            })
+            .collect::<Vec<Vec<f64>>>(),
+    )
+    .expect("w");
+    let mut group = c.benchmark_group("matmul");
+    group.bench_function("matvec_per_row_128x64x32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..128 {
+                let row: Vec<f64> = (0..64).map(|k| x.get(i, k)).collect();
+                acc += w.matvec(black_box(&row)).expect("matvec")[0];
+            }
+            acc
+        })
+    });
+    group.bench_function("blocked_bt_128x64x32", |b| {
+        b.iter(|| x.matmul_bt(black_box(&w)).expect("matmul"))
+    });
+    group.finish();
+}
+
+fn dp_memoization(c: &mut Criterion) {
+    // Serial reference vs memoized+parallel DP on identical inputs —
+    // the speedup `bench_offline` reports, under Criterion's sampling.
+    let storage = StorageModelParams::default();
+    let pmu = Pmu::default();
+    let graph = benchmarks::ecg();
+    let subsets = dmr_level_subsets(&graph, 2);
+    let cap = SuperCap::new(Farads::new(10.0), &storage).expect("valid");
+    let grid = paper_grid(1, 48);
+    let trace = weather_trace(1, 48, 5);
+    let solar: Vec<Vec<Joules>> = (0..grid.periods_per_day())
+        .map(|j| {
+            grid.slots_in(helio_common::time::PeriodRef::new(0, j))
+                .map(|s| trace.slot_energy(s))
+                .collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("dp_memoization");
+    group.sample_size(10);
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| {
+            heliosched::optimize_horizon_serial(
+                &graph,
+                &subsets,
+                black_box(&solar),
+                Seconds::new(60.0),
+                &cap,
+                cap.empty_state(),
+                &storage,
+                &pmu,
+                &DpConfig::default(),
+            )
+        })
+    });
+    group.bench_function("cached_parallel", |b| {
+        b.iter(|| {
+            optimize_horizon(
+                &graph,
+                &subsets,
+                black_box(&solar),
+                Seconds::new(60.0),
+                &cap,
+                cap.empty_state(),
+                &storage,
+                &pmu,
+                &DpConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn fig10a_mpc(c: &mut Criterion) {
     let storage = StorageModelParams::default();
     let pmu = Pmu::default();
@@ -150,10 +243,7 @@ fn fig10a_mpc(c: &mut Criterion) {
     for hours in [6usize, 24, 48] {
         let horizon = hours * 6;
         let predicted = oracle.forecast(&trace, helio_common::time::PeriodRef::new(0, 0), horizon);
-        let solar: Vec<Vec<Joules>> = predicted
-            .iter()
-            .map(|&e| vec![e / 10.0; 10])
-            .collect();
+        let solar: Vec<Vec<Joules>> = predicted.iter().map(|&e| vec![e / 10.0; 10]).collect();
         group.bench_with_input(
             BenchmarkId::new("replan", format!("{hours}h")),
             &solar,
@@ -256,6 +346,8 @@ criterion_group!(
     table2_migration,
     fig8_engine,
     fig8_fig9_dp,
+    matmul_kernels,
+    dp_memoization,
     fig10a_mpc,
     fig10b_sizing,
     sec65_dbn

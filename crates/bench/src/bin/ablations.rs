@@ -11,7 +11,7 @@
 //! All runs use a compact grid (48 periods/day) so the whole suite
 //! completes in roughly a minute.
 
-use helio_bench::{pct, sized_node, weather_trace};
+use helio_bench::{par_sweep, pct, sized_node, weather_trace};
 use helio_common::units::Joules;
 use helio_solar::NoisyOracle;
 use helio_tasks::{benchmarks, scale_graph, DvfsLaw};
@@ -23,11 +23,7 @@ use heliosched::{
 const PERIODS: usize = 48;
 const DAYS: usize = 6;
 
-fn mpc(
-    noise: (f64, f64),
-    switch: SwitchRule,
-    delta: f64,
-) -> ProposedPlanner {
+fn mpc(noise: (f64, f64), switch: SwitchRule, delta: f64) -> ProposedPlanner {
     ProposedPlanner::mpc(
         Box::new(NoisyOracle::new(77, noise.0, noise.1)),
         PERIODS,
@@ -50,32 +46,41 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("# Ablation 1 — capacitor-switch threshold E_th (Eq. 22), MPC backend");
-    for (label, e_th) in [
+    // Each threshold is an independent simulation: sweep them across the
+    // worker pool and print in input order.
+    let e_th_cases = [
         ("always switch (E_th = inf)", f64::INFINITY),
         ("default (E_th = 2 J)", 2.0),
         ("never switch (E_th = 0)", 0.0),
-    ] {
+    ];
+    let e_th_dmrs = par_sweep(&e_th_cases, |(_, e_th)| {
         let mut planner = mpc(
             (0.05, 0.12),
             SwitchRule {
-                threshold: Joules::new(e_th),
+                threshold: Joules::new(*e_th),
             },
             0.5,
         );
-        let r = engine.run(&mut planner).expect("run");
-        println!("  {label:<28} DMR {}", pct(r.overall_dmr()));
+        engine.run(&mut planner).expect("run").overall_dmr()
+    });
+    for ((label, _), dmr) in e_th_cases.iter().zip(&e_th_dmrs) {
+        println!("  {label:<28} DMR {}", pct(*dmr));
     }
 
     // ------------------------------------------------------------------
     println!();
     println!("# Ablation 2 — pattern-selection threshold delta (Section 5.2)");
-    for delta in [0.1, 0.3, 0.5, 1.0, 2.0] {
-        let mut planner = mpc((0.05, 0.12), SwitchRule::default(), delta);
+    let deltas = [0.1, 0.3, 0.5, 1.0, 2.0];
+    let delta_rows = par_sweep(&deltas, |delta| {
+        let mut planner = mpc((0.05, 0.12), SwitchRule::default(), *delta);
         let r = engine.run(&mut planner).expect("run");
         let (_, inter, intra) = heliosched::analysis::pattern_usage(&r);
+        (r.overall_dmr(), inter, intra)
+    });
+    for (delta, (dmr, inter, intra)) in deltas.iter().zip(&delta_rows) {
         println!(
             "  delta = {delta:<4} DMR {}  (inter {} / intra {} periods)",
-            pct(r.overall_dmr()),
+            pct(*dmr),
             inter,
             intra
         );
@@ -92,10 +97,12 @@ fn main() {
             grid: *training.grid(),
             ..node_sized.clone()
         };
-        let mut dbn =
-            train_proposed(&node_train, &graph, &training, &offline).expect("training");
+        let mut dbn = train_proposed(&node_train, &graph, &training, &offline).expect("training");
         let r = engine.run(&mut dbn).expect("run");
-        println!("  DBN (paper's deployed design)   DMR {}", pct(r.overall_dmr()));
+        println!(
+            "  DBN (paper's deployed design)   DMR {}",
+            pct(r.overall_dmr())
+        );
     }
     for (label, noise) in [
         ("MPC, noisy forecast", (0.05, 0.12)),
@@ -106,20 +113,21 @@ fn main() {
         println!("  {label:<30} DMR {}", pct(r.overall_dmr()));
     }
     {
-        let mut optimal =
-            OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5)
-                .expect("optimal");
+        let mut optimal = OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5)
+            .expect("optimal");
         let r = engine.run(&mut optimal).expect("run");
-        println!("  static optimal (upper bound)   DMR {}", pct(r.overall_dmr()));
+        println!(
+            "  static optimal (upper bound)   DMR {}",
+            pct(r.overall_dmr())
+        );
     }
 
     // ------------------------------------------------------------------
     println!();
     println!("# Ablation 4 — sizing: sized 4-capacitor bank vs one fixed capacitor");
     {
-        let mut optimal =
-            OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5)
-                .expect("optimal");
+        let mut optimal = OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5)
+            .expect("optimal");
         let r = engine.run(&mut optimal).expect("run");
         println!(
             "  sized bank {:?} F  DMR {}  migr.eff {}",
@@ -155,17 +163,22 @@ fn main() {
     println!("# Ablation 5 — uniform DVFS slow-down (refs [5,6] direction), intra baseline");
     let period = eval.grid().period_duration();
     let slot = eval.grid().slot_duration();
-    for f in [1.0, 0.9, 0.8] {
-        match scale_graph(&graph, f, DvfsLaw::default(), period, slot) {
-            Ok(scaled) => {
-                let engine_s = Engine::new(&node, &scaled, &eval).expect("engine");
-                let r = engine_s
-                    .run(&mut FixedPlanner::new(Pattern::Intra, 1))
-                    .expect("run");
+    let freqs = [1.0, 0.9, 0.8];
+    let dvfs_rows = par_sweep(&freqs, |f| {
+        scale_graph(&graph, *f, DvfsLaw::default(), period, slot).map(|scaled| {
+            let engine_s = Engine::new(&node, &scaled, &eval).expect("engine");
+            let r = engine_s
+                .run(&mut FixedPlanner::new(Pattern::Intra, 1))
+                .expect("run");
+            (scaled.total_energy().value(), r.overall_dmr())
+        })
+    });
+    for (f, row) in freqs.iter().zip(dvfs_rows) {
+        match row {
+            Ok((energy, dmr)) => {
                 println!(
-                    "  f = {f:<4} energy/period {:5.1} J  DMR {}",
-                    scaled.total_energy().value(),
-                    pct(r.overall_dmr())
+                    "  f = {f:<4} energy/period {energy:5.1} J  DMR {}",
+                    pct(dmr)
                 );
             }
             Err(e) => println!("  f = {f:<4} infeasible: {e}"),

@@ -37,10 +37,7 @@ fn main() {
     let per_hour = (periods as f64 / 24.0).round() as usize;
 
     println!("# Fig. 10(a) — DMR and complexity vs prediction length (random1, {days} days)");
-    println!(
-        "{:>10} {:>9} {:>14}",
-        "horizon", "DMR", "complexity"
-    );
+    println!("{:>10} {:>9} {:>14}", "horizon", "DMR", "complexity");
     let mut series: Vec<(usize, f64, u64)> = Vec::new();
     for &h in &hours {
         let horizon_periods = (h * per_hour).max(1);
@@ -67,7 +64,7 @@ fn main() {
 
     let best = series
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite DMR"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("nonempty series");
     println!();
     println!(

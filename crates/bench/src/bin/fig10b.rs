@@ -32,10 +32,7 @@ fn main() {
     let eval = weather_trace(eval_days, periods, 4100);
 
     println!("# Fig. 10(b) — migration efficiency and DMR vs number of supercapacitors");
-    println!(
-        "{:>4} {:>12} {:>9}   sizes (F)",
-        "H", "migr. eff.", "DMR"
-    );
+    println!("{:>4} {:>12} {:>9}   sizes (F)", "H", "migr. eff.", "DMR");
     let mut series: Vec<(usize, f64, f64)> = Vec::new();
     for h in 1..=8usize {
         let sizes: Vec<Farads> =

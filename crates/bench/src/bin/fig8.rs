@@ -10,12 +10,58 @@
 //! advantage grows as solar energy decreases (Day 1 → Day 4).
 
 use helio_bench::{
-    baseline_capacitor, fast_mode, four_day_trace, pct, run_baselines, sized_node, weather_trace,
+    baseline_capacitor, fast_mode, four_day_trace, par_sweep, pct, run_baselines, sized_node,
+    weather_trace,
 };
-use helio_tasks::benchmarks;
-use heliosched::{
-    train_proposed, DpConfig, Engine, NodeConfig, OfflineConfig, OptimalPlanner,
-};
+use helio_tasks::{benchmarks, TaskGraph};
+use heliosched::{train_proposed, DpConfig, Engine, NodeConfig, OfflineConfig, OptimalPlanner};
+
+/// The full pipeline for one benchmark: size, train, evaluate the four
+/// schedulers, return one `(inter, intra, proposed, optimal)` DMR tuple
+/// per day. Each benchmark is independent, so the six run concurrently.
+fn run_benchmark(
+    graph: &TaskGraph,
+    periods: usize,
+    train_days: usize,
+    dp: DpConfig,
+    delta: f64,
+) -> Vec<(f64, f64, f64, f64)> {
+    let training = weather_trace(train_days, periods, 1000);
+    let node_train = sized_node(graph, &training, 4).expect("sizing succeeds");
+
+    let mut offline = OfflineConfig {
+        dp,
+        delta,
+        ..OfflineConfig::default()
+    };
+    if fast_mode() {
+        offline.dbn.bp_epochs = 150;
+    }
+    let mut proposed =
+        train_proposed(&node_train, graph, &training, &offline).expect("training succeeds");
+
+    let eval = four_day_trace(periods, 7);
+    let node = NodeConfig {
+        grid: *eval.grid(),
+        ..node_train
+    };
+    let engine = Engine::new(&node, graph, &eval).expect("engine");
+    let (inter, intra) = run_baselines(&engine, baseline_capacitor(&node)).expect("baselines");
+    let proposed_report = engine.run(&mut proposed).expect("proposed run");
+    let mut optimal = OptimalPlanner::compute(&node, graph, &eval, &dp, delta).expect("optimal");
+    let optimal_report = engine.run(&mut optimal).expect("optimal run");
+
+    (0..4)
+        .map(|day| {
+            (
+                inter.day_dmr(day),
+                intra.day_dmr(day),
+                proposed_report.day_dmr(day),
+                optimal_report.day_dmr(day),
+            )
+        })
+        .collect()
+}
 
 fn main() {
     let (periods, train_days) = if fast_mode() { (48, 3) } else { (144, 6) };
@@ -32,40 +78,16 @@ fn main() {
     let mut opt_gaps: Vec<f64> = Vec::new();
     let mut day_gains = vec![Vec::new(); 4];
 
-    for graph in benchmarks::all_six() {
-        let training = weather_trace(train_days, periods, 1000);
-        let node_train = sized_node(&graph, &training, 4).expect("sizing succeeds");
+    // Fan the six benchmarks out across the worker pool; `par_sweep`
+    // returns results in benchmark order, so the table below is stable
+    // regardless of which benchmark finishes first.
+    let graphs = benchmarks::all_six();
+    let results = par_sweep(&graphs, |graph| {
+        run_benchmark(graph, periods, train_days, dp, delta)
+    });
 
-        let mut offline = OfflineConfig {
-            dp,
-            delta,
-            ..OfflineConfig::default()
-        };
-        if fast_mode() {
-            offline.dbn.bp_epochs = 150;
-        }
-        let mut proposed =
-            train_proposed(&node_train, &graph, &training, &offline).expect("training succeeds");
-
-        let eval = four_day_trace(periods, 7);
-        let node = NodeConfig {
-            grid: *eval.grid(),
-            ..node_train
-        };
-        let engine = Engine::new(&node, &graph, &eval).expect("engine");
-        let (inter, intra) = run_baselines(&engine, baseline_capacitor(&node)).expect("baselines");
-        let proposed_report = engine.run(&mut proposed).expect("proposed run");
-        let mut optimal =
-            OptimalPlanner::compute(&node, &graph, &eval, &dp, delta).expect("optimal");
-        let optimal_report = engine.run(&mut optimal).expect("optimal run");
-
-        for day in 0..4 {
-            let row = (
-                inter.day_dmr(day),
-                intra.day_dmr(day),
-                proposed_report.day_dmr(day),
-                optimal_report.day_dmr(day),
-            );
+    for (graph, rows) in graphs.iter().zip(&results) {
+        for (day, row) in rows.iter().enumerate() {
             println!(
                 "{:>9} {:>5} {:>9} {:>9} {:>9} {:>9}",
                 graph.name(),
@@ -88,10 +110,7 @@ fn main() {
         "max DMR reduction vs inter-task [3]: {} (paper: up to 27.8%)",
         pct(max_impr)
     );
-    println!(
-        "average gap to optimal: {} (paper: 3.69%)",
-        pct(avg_gap)
-    );
+    println!("average gap to optimal: {} (paper: 3.69%)", pct(avg_gap));
     print!("average gain per day (proposed vs inter): ");
     for (d, gains) in day_gains.iter().enumerate() {
         let avg = gains.iter().sum::<f64>() / gains.len() as f64;

@@ -7,16 +7,18 @@
 //! baselines (average differences 5.53 % vs \[3\] and 10.6 % vs \[9\]) —
 //! maximising energy utilisation is not the same as minimising DMR.
 
-use helio_bench::{
-    baseline_capacitor, fast_mode, pct, run_baselines, sized_node, weather_trace,
-};
+use helio_bench::{baseline_capacitor, fast_mode, pct, run_baselines, sized_node, weather_trace};
 use helio_tasks::benchmarks;
 use heliosched::{
     train_proposed, DpConfig, Engine, NodeConfig, OfflineConfig, OptimalPlanner, SimReport,
 };
 
 fn main() {
-    let (periods, days, train_days) = if fast_mode() { (48, 10, 4) } else { (144, 60, 10) };
+    let (periods, days, train_days) = if fast_mode() {
+        (48, 10, 4)
+    } else {
+        (144, 60, 10)
+    };
     let graph = benchmarks::wam();
     let dp = DpConfig::default();
     let delta = 0.5;

@@ -12,7 +12,10 @@ use heliosched::OverheadModel;
 fn main() {
     let grid = paper_grid(1, 144);
     let model = OverheadModel::default();
-    println!("# Section 6.5 — algorithm overhead at {:.1} kHz", model.clock_hz / 1e3);
+    println!(
+        "# Section 6.5 — algorithm overhead at {:.1} kHz",
+        model.clock_hz / 1e3
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "benchmark", "coarse (s)", "fine (s)", "coarse mW", "fine mW", "energy %"

@@ -21,10 +21,7 @@ fn main() {
         "{:>10} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}",
         "Capacity", "Model", "Test", "Error", "Model", "Test", "Error"
     );
-    println!(
-        "{:>10} | {:^28} | {:^28}",
-        "", specs[0].0, specs[1].0
-    );
+    println!("{:>10} | {:^28} | {:^28}", "", specs[0].0, specs[1].0);
     let mut errors = Vec::new();
     let mut best: Vec<(f64, f64)> = vec![(0.0, 0.0); specs.len()];
     for c in [1.0, 10.0, 50.0, 100.0] {

@@ -19,6 +19,8 @@
 //! library half holds the shared experiment plumbing; the Criterion
 //! benches in `benches/` time the underlying kernels.
 
+use std::time::Instant;
+
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, SolarPanel, SolarTrace, TraceBuilder, WeatherProcess};
@@ -27,6 +29,7 @@ use heliosched::{
     size_capacitors, CoreError, Engine, FixedPlanner, NodeConfig, OptimalPlanner, Pattern,
     SimReport,
 };
+use serde::{Deserialize, Serialize};
 
 /// The paper's experiment grid: 10-minute periods of ten 60 s slots.
 /// `periods_per_day` defaults to 144 (a full day); experiments that
@@ -103,7 +106,10 @@ pub struct DmrRow {
 }
 
 /// Runs the two baselines on an engine (the proposed/optimal runs are
-/// experiment-specific and supplied by the caller).
+/// experiment-specific and supplied by the caller). The two runs are
+/// independent simulations, so they execute on separate workers; the
+/// returned `(inter, intra)` order is fixed regardless of which
+/// finishes first.
 ///
 /// # Errors
 ///
@@ -112,9 +118,60 @@ pub fn run_baselines(
     engine: &Engine<'_>,
     baseline_cap: usize,
 ) -> Result<(SimReport, SimReport), CoreError> {
-    let inter = engine.run(&mut FixedPlanner::new(Pattern::Inter, baseline_cap))?;
-    let intra = engine.run(&mut FixedPlanner::new(Pattern::Intra, baseline_cap))?;
+    let patterns = [Pattern::Inter, Pattern::Intra];
+    let mut reports = helio_par::par_map_range(2, |i| {
+        engine.run(&mut FixedPlanner::new(patterns[i], baseline_cap))
+    });
+    let intra = reports.pop().expect("two runs")?;
+    let inter = reports.pop().expect("two runs")?;
     Ok((inter, intra))
+}
+
+/// Maps `f` over `items` on the worker pool, preserving input order in
+/// the output — the sweep primitive of the experiment binaries. Honours
+/// `HELIO_THREADS`/`HELIO_SERIAL`.
+pub fn par_sweep<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    helio_par::par_map(items, f)
+}
+
+/// Runs `f` and returns its result plus the wall-clock milliseconds it
+/// took.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One timed stage of the offline pipeline (see `bench_offline`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchStage {
+    /// Stage label, e.g. `"sizing"`.
+    pub name: String,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Machine-readable result of the `bench_offline` binary
+/// (`results/BENCH_offline.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOfflineReport {
+    /// Worker threads the parallel stages used
+    /// (`HELIO_THREADS`/`HELIO_SERIAL` aware).
+    pub threads: usize,
+    /// Wall-clock per pipeline stage, in execution order.
+    pub stages: Vec<BenchStage>,
+    /// Subset-simulation cache hits during the optimal plan.
+    pub cache_hits: u64,
+    /// Subset-simulation cache misses during the optimal plan.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` of the plan's memo cache.
+    pub cache_hit_rate: f64,
+    /// Serial reference DP wall-clock over cached+parallel DP
+    /// wall-clock (same inputs, bitwise-identical outputs).
+    pub dp_speedup_vs_serial: f64,
+    /// Whether the cached+parallel DP reproduced the serial reference
+    /// result exactly (hard failure if ever false).
+    pub dp_matches_serial: bool,
 }
 
 /// Convenience: run the static optimal planner.
@@ -141,7 +198,7 @@ pub fn pct(x: f64) -> String {
 /// Reads an environment flag that shrinks experiments for smoke runs
 /// (`HELIO_FAST=1`).
 pub fn fast_mode() -> bool {
-    std::env::var("HELIO_FAST").map_or(false, |v| v == "1")
+    std::env::var("HELIO_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Standard capacitance ladder used when an experiment needs explicit

@@ -144,12 +144,10 @@ pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> Result<Vec<f64>> {
         ));
     }
     if values.iter().any(|v| !v.is_finite()) {
-        return Err(CommonError::InvalidArgument(
-            "values must be finite".into(),
-        ));
+        return Err(CommonError::InvalidArgument("values must be finite".into()));
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     if k >= sorted.len() {
         // Degenerate: at most one point per cluster; centres are the points
         // themselves (deduplicated by position, padded by repetition).
@@ -178,7 +176,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> Result<Vec<f64>> {
                 .iter()
                 .enumerate()
                 .map(|(ci, &c)| (ci, (v - c).abs()))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k > 0");
             if assign[vi] != best {
                 assign[vi] = best;
@@ -200,7 +198,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, iters: usize) -> Result<Vec<f64>> {
             break;
         }
     }
-    centres.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    centres.sort_by(f64::total_cmp);
     Ok(centres)
 }
 

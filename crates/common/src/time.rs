@@ -110,7 +110,7 @@ impl TimeGrid {
                 "grid dimensions must be nonzero (got {days}×{periods_per_day}×{slots_per_period})"
             )));
         }
-        if !(slot_duration.value() > 0.0) || !slot_duration.is_finite() {
+        if slot_duration.value() <= 0.0 || !slot_duration.is_finite() {
             return Err(CommonError::InvalidGrid(format!(
                 "slot duration must be positive and finite (got {slot_duration})"
             )));

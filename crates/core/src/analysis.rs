@@ -159,7 +159,11 @@ mod tests {
             .map(|j| {
                 let hour = 24.0 * j as f64 / 24.0;
                 let misses = if (6.0..18.0).contains(&hour) { 0 } else { 4 };
-                let pattern = if misses > 0 { Pattern::Inter } else { Pattern::Intra };
+                let pattern = if misses > 0 {
+                    Pattern::Inter
+                } else {
+                    Pattern::Intra
+                };
                 record(j, misses, pattern, j % 2)
             })
             .collect();

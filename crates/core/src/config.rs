@@ -85,7 +85,7 @@ impl NodeConfigBuilder {
         if self
             .capacitors
             .iter()
-            .any(|c| !(c.value() > 0.0) || !c.is_finite())
+            .any(|c| c.value() <= 0.0 || !c.is_finite())
         {
             return Err(CoreError::Config("capacitances must be positive".into()));
         }

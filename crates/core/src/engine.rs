@@ -30,7 +30,9 @@ pub struct Engine<'a> {
     node: &'a NodeConfig,
     graph: &'a TaskGraph,
     trace: &'a SolarTrace,
-    predictor: Box<dyn SolarPredictor + 'a>,
+    // `Send + Sync` so one engine can serve concurrent `run` calls
+    // from the parallel experiment sweeps.
+    predictor: Box<dyn SolarPredictor + Send + Sync + 'a>,
 }
 
 impl<'a> Engine<'a> {
@@ -66,7 +68,7 @@ impl<'a> Engine<'a> {
     /// Replaces the per-period energy predictor the fine-grained
     /// schedulers see (default: WCMA, as in the paper's baseline \[3\]).
     #[must_use]
-    pub fn with_predictor(mut self, predictor: Box<dyn SolarPredictor + 'a>) -> Self {
+    pub fn with_predictor(mut self, predictor: Box<dyn SolarPredictor + Send + Sync + 'a>) -> Self {
         self.predictor = predictor;
         self
     }
@@ -156,9 +158,11 @@ impl<'a> Engine<'a> {
 
             for m in 0..grid.slots_per_period() {
                 record.leaked += bank.leak_all(storage, slot_duration);
-                let harvest = self
-                    .trace
-                    .slot_energy(helio_common::time::SlotRef::new(period.day, period.period, m));
+                let harvest = self.trace.slot_energy(helio_common::time::SlotRef::new(
+                    period.day,
+                    period.period,
+                    m,
+                ));
                 let picked = {
                     let ctx = SlotContext {
                         graph: self.graph,
@@ -174,15 +178,12 @@ impl<'a> Engine<'a> {
                 };
                 fleet.begin_slot();
                 for &id in &picked {
-                    fleet
-                        .assign(self.graph, id)
-                        .unwrap_or_else(|other|
-
-                            panic!(
-                                "scheduler {} violated NVP exclusivity: {id} vs {other}",
-                                scheduler.name()
-                            )
-                        );
+                    fleet.assign(self.graph, id).map_err(|other| {
+                        CoreError::SchedulerContract(format!(
+                            "scheduler {} violated NVP exclusivity: {id} vs {other}",
+                            scheduler.name()
+                        ))
+                    })?;
                 }
                 let demand: Joules = picked
                     .iter()
@@ -334,7 +335,9 @@ mod tests {
         let t = trace(2, &[DayArchetype::BrokenClouds, DayArchetype::Overcast]);
         let g = graph();
         let engine = Engine::new(&node, &g, &t).unwrap();
-        let asap = engine.run(&mut FixedPlanner::new(Pattern::Asap, 0)).unwrap();
+        let asap = engine
+            .run(&mut FixedPlanner::new(Pattern::Asap, 0))
+            .unwrap();
         let intra = engine
             .run(&mut FixedPlanner::new(Pattern::Intra, 0))
             .unwrap();
@@ -361,10 +364,10 @@ mod tests {
         let r = engine
             .run(&mut FixedPlanner::new(Pattern::Intra, 0))
             .unwrap();
+        let direct_eff = node.pmu.params().direct_efficiency;
         for p in &r.periods {
             let harvest = p.harvested.value();
-            let accounted =
-                (p.served_direct / 0.95 + p.stored + p.wasted).value();
+            let accounted = (p.served_direct / direct_eff + p.stored + p.wasted).value();
             assert!(
                 (harvest - accounted).abs() < 1e-6,
                 "harvest {harvest} != accounted {accounted} in {:?}",

@@ -16,6 +16,9 @@ pub enum CoreError {
     TraceMismatch(String),
     /// Offline training failed.
     Training(String),
+    /// A scheduler broke an engine invariant (e.g. assigned one task's
+    /// NVP to two slots at once).
+    SchedulerContract(String),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +29,7 @@ impl fmt::Display for CoreError {
             CoreError::Storage(m) => write!(f, "storage error: {m}"),
             CoreError::TraceMismatch(m) => write!(f, "trace/grid mismatch: {m}"),
             CoreError::Training(m) => write!(f, "training failed: {m}"),
+            CoreError::SchedulerContract(m) => write!(f, "scheduler contract violation: {m}"),
         }
     }
 }

@@ -64,11 +64,16 @@ pub mod overhead;
 pub mod planner;
 pub mod subsets;
 
-pub use analysis::{capacitor_usage, day_night_split, dmr_improvement, DayNightSplit, TradeoffPoint};
+pub use analysis::{
+    capacitor_usage, day_night_split, dmr_improvement, DayNightSplit, TradeoffPoint,
+};
 pub use config::NodeConfig;
 pub use engine::Engine;
 pub use error::CoreError;
-pub use longterm::{optimize_horizon, DpConfig, DpResult, PeriodPlan};
+pub use longterm::{
+    optimize_horizon, optimize_horizon_serial, optimize_horizon_with_cache, DpConfig, DpResult,
+    PeriodPlan,
+};
 pub use metrics::{PeriodRecord, SimReport};
 pub use offline::{size_capacitors, train_proposed, OfflineConfig};
 pub use online::{ProposedPlanner, SwitchRule};

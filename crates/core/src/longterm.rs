@@ -10,10 +10,11 @@
 //! trick that turns the exponential sequence search into
 //! `O(periods × buckets × subsets)`.
 
-use helio_common::units::{Joules, Volts};
+use helio_common::units::{Joules, Seconds, Volts};
 use helio_nvp::Pmu;
-use helio_sched::{simulate_subset, SubsetOutcome};
-use helio_storage::{CapState, CapacitorBank, StorageModelParams, SuperCap};
+use helio_par::par_map_range;
+use helio_sched::{simulate_subset_at, SubsetOutcome, SubsetSimCache};
+use helio_storage::{CapState, StorageModelParams, SuperCap};
 use helio_tasks::TaskGraph;
 use serde::{Deserialize, Serialize};
 
@@ -81,23 +82,42 @@ fn voltage_bucket(cap: &SuperCap, v: Volts, buckets: usize) -> usize {
 }
 
 /// Simulates one period from an explicit capacitor voltage, returning
-/// the outcome and the final voltage.
+/// the outcome and the final voltage. Looked up in `cache` when one is
+/// supplied (hits are bitwise identical to re-simulating).
+#[allow(clippy::too_many_arguments)]
 fn step(
+    cache: Option<&SubsetSimCache>,
     graph: &TaskGraph,
     subset: &[bool],
     solar: &[Joules],
-    slot_duration: helio_common::units::Seconds,
+    slot_duration: Seconds,
     cap: &SuperCap,
     voltage: Volts,
     storage: &StorageModelParams,
     pmu: &Pmu,
 ) -> (SubsetOutcome, Volts) {
-    let mut bank =
-        CapacitorBank::new(&[cap.capacitance()], storage).expect("single cap is valid");
-    bank.set_state(0, cap.state_at(voltage)).expect("index 0");
-    let outcome = simulate_subset(graph, subset, solar, slot_duration, &mut bank, pmu, storage);
-    let v = bank.state(0).expect("index 0").voltage();
-    (outcome, v)
+    match cache {
+        Some(c) => c.simulate(
+            graph,
+            subset,
+            solar,
+            slot_duration,
+            cap,
+            voltage,
+            pmu,
+            storage,
+        ),
+        None => simulate_subset_at(
+            graph,
+            subset,
+            solar,
+            slot_duration,
+            cap,
+            voltage,
+            pmu,
+            storage,
+        ),
+    }
 }
 
 /// The scheduling-pattern index `α` of Eq. 18.
@@ -131,16 +151,107 @@ pub fn alpha_index(graph: &TaskGraph, subset: &[bool], solar_energy: Joules) -> 
 ///
 /// Panics when `subsets` masks do not match the graph or `solar` is
 /// empty.
+#[allow(clippy::too_many_arguments)]
 pub fn optimize_horizon(
     graph: &TaskGraph,
     subsets: &[Vec<bool>],
     solar: &[Vec<Joules>],
-    slot_duration: helio_common::units::Seconds,
+    slot_duration: Seconds,
     cap: &SuperCap,
     initial: CapState,
     storage: &StorageModelParams,
     pmu: &Pmu,
     cfg: &DpConfig,
+) -> DpResult {
+    let cache = SubsetSimCache::new();
+    run_horizon(
+        graph,
+        subsets,
+        solar,
+        slot_duration,
+        cap,
+        initial,
+        storage,
+        pmu,
+        cfg,
+        Some(&cache),
+        true,
+    )
+}
+
+/// [`optimize_horizon`] with a caller-supplied memo cache, so repeated
+/// DP runs (e.g. one per capacitor candidate, one per day) share period
+/// simulations and the caller can read the aggregate hit rate.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_horizon_with_cache(
+    graph: &TaskGraph,
+    subsets: &[Vec<bool>],
+    solar: &[Vec<Joules>],
+    slot_duration: Seconds,
+    cap: &SuperCap,
+    initial: CapState,
+    storage: &StorageModelParams,
+    pmu: &Pmu,
+    cfg: &DpConfig,
+    cache: &SubsetSimCache,
+) -> DpResult {
+    run_horizon(
+        graph,
+        subsets,
+        solar,
+        slot_duration,
+        cap,
+        initial,
+        storage,
+        pmu,
+        cfg,
+        Some(cache),
+        true,
+    )
+}
+
+/// [`optimize_horizon`] with no memoization and no worker threads — the
+/// reference implementation the differential tests compare against.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_horizon_serial(
+    graph: &TaskGraph,
+    subsets: &[Vec<bool>],
+    solar: &[Vec<Joules>],
+    slot_duration: Seconds,
+    cap: &SuperCap,
+    initial: CapState,
+    storage: &StorageModelParams,
+    pmu: &Pmu,
+    cfg: &DpConfig,
+) -> DpResult {
+    run_horizon(
+        graph,
+        subsets,
+        solar,
+        slot_duration,
+        cap,
+        initial,
+        storage,
+        pmu,
+        cfg,
+        None,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_horizon(
+    graph: &TaskGraph,
+    subsets: &[Vec<bool>],
+    solar: &[Vec<Joules>],
+    slot_duration: Seconds,
+    cap: &SuperCap,
+    initial: CapState,
+    storage: &StorageModelParams,
+    pmu: &Pmu,
+    cfg: &DpConfig,
+    cache: Option<&SubsetSimCache>,
+    parallel: bool,
 ) -> DpResult {
     assert!(!solar.is_empty(), "horizon must contain periods");
     assert!(!subsets.is_empty(), "need candidate subsets");
@@ -161,15 +272,28 @@ pub fn optimize_horizon(
     let mut choice = vec![vec![0usize; buckets]; horizon];
 
     for p in (0..horizon).rev() {
-        let mut new_value = vec![(f64::INFINITY, f64::INFINITY); buckets];
-        for b in 0..buckets {
+        // Buckets of one stage only read the previous stage's `value`,
+        // so they fan out across workers; results come back in bucket
+        // order, which keeps the stage bitwise identical to the serial
+        // loop (each bucket's subset scan is untouched).
+        let eval_bucket = |b: usize| -> ((f64, f64), usize, u64) {
             let v0 = bucket_voltage(cap, b, buckets);
             let mut best = (f64::INFINITY, f64::INFINITY);
             let mut best_s = 0usize;
+            let mut expansions = 0u64;
             for (si, subset) in subsets.iter().enumerate() {
-                complexity += 1;
-                let (outcome, v1) =
-                    step(graph, subset, &solar[p], slot_duration, cap, v0, storage, pmu);
+                expansions += 1;
+                let (outcome, v1) = step(
+                    cache,
+                    graph,
+                    subset,
+                    &solar[p],
+                    slot_duration,
+                    cap,
+                    v0,
+                    storage,
+                    pmu,
+                );
                 let b1 = voltage_bucket(cap, v1, buckets);
                 let next = value[b1];
                 let cand = (outcome.misses as f64 + next.0, next.1);
@@ -178,8 +302,18 @@ pub fn optimize_horizon(
                     best_s = si;
                 }
             }
+            (best, best_s, expansions)
+        };
+        let results: Vec<((f64, f64), usize, u64)> = if parallel {
+            par_map_range(buckets, eval_bucket)
+        } else {
+            (0..buckets).map(eval_bucket).collect()
+        };
+        let mut new_value = vec![(f64::INFINITY, f64::INFINITY); buckets];
+        for (b, (best, best_s, expansions)) in results.into_iter().enumerate() {
             new_value[b] = best;
             choice[p][b] = best_s;
+            complexity += expansions;
         }
         value = new_value;
     }
@@ -191,8 +325,17 @@ pub fn optimize_horizon(
     for (p, solar_p) in solar.iter().enumerate() {
         let b = voltage_bucket(cap, voltage, buckets);
         let subset = &subsets[choice[p][b]];
-        let (outcome, v1) =
-            step(graph, subset, solar_p, slot_duration, cap, voltage, storage, pmu);
+        let (outcome, v1) = step(
+            cache,
+            graph,
+            subset,
+            solar_p,
+            slot_duration,
+            cap,
+            voltage,
+            storage,
+            pmu,
+        );
         let solar_energy: Joules = solar_p.iter().copied().sum();
         plans.push(PeriodPlan {
             subset: subset.clone(),
@@ -284,7 +427,7 @@ mod tests {
         let mut v = cap.empty_state().voltage();
         let mut greedy_misses = 0;
         for p in &solar {
-            let (o, v1) = step(&g, &full, p, SLOT, &cap, v, &storage, &pmu);
+            let (o, v1) = step(None, &g, &full, p, SLOT, &cap, v, &storage, &pmu);
             greedy_misses += o.misses;
             v = v1;
         }
@@ -325,6 +468,75 @@ mod tests {
         // Extremes map to the ends.
         assert_eq!(voltage_bucket(&cap, cap.v_cutoff(), 12), 0);
         assert_eq!(voltage_bucket(&cap, cap.v_full(), 12), 11);
+    }
+
+    #[test]
+    fn cached_parallel_dp_matches_serial_reference() {
+        let (g, cap, storage, pmu) = setup();
+        let subsets = dmr_level_subsets(&g, 2);
+        let mut solar = vec![sunny_period(), sunny_period()];
+        solar.extend(vec![dark_period(); 3]);
+        let cfg = DpConfig::default();
+        let fast = optimize_horizon(
+            &g,
+            &subsets,
+            &solar,
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &cfg,
+        );
+        let reference = optimize_horizon_serial(
+            &g,
+            &subsets,
+            &solar,
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &cfg,
+        );
+        assert_eq!(fast, reference);
+        assert_eq!(
+            fast.final_voltage.value().to_bits(),
+            reference.final_voltage.value().to_bits(),
+            "replay voltages must match bitwise"
+        );
+    }
+
+    #[test]
+    fn shared_cache_reuses_repeated_periods() {
+        let (g, cap, storage, pmu) = setup();
+        let subsets = dmr_level_subsets(&g, 2);
+        let solar = vec![dark_period(); 4];
+        let cache = helio_sched::SubsetSimCache::new();
+        let r = optimize_horizon_with_cache(
+            &g,
+            &subsets,
+            &solar,
+            SLOT,
+            &cap,
+            cap.empty_state(),
+            &storage,
+            &pmu,
+            &DpConfig::default(),
+            &cache,
+        );
+        let stats = cache.stats();
+        // Four identical dark periods: stages after the first hit the
+        // cache for every (bucket, subset) cell.
+        assert!(
+            stats.hits > stats.misses,
+            "expected mostly hits, got {stats:?}"
+        );
+        // Complexity still counts every expansion, hit or miss.
+        assert_eq!(
+            r.complexity,
+            (solar.len() * DpConfig::default().voltage_buckets * subsets.len()) as u64
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Default for OfflineConfig {
 /// The per-slot load demand (J) of one period under the energy-blind
 /// ASAP rule — the schedule Section 4.1 uses to extract the migration
 /// patterns `ΔE_{i,j,m}`.
-pub fn asap_demand_profile(graph: &TaskGraph, slots_per_period: usize, slot: Seconds) -> Vec<Joules> {
+pub fn asap_demand_profile(
+    graph: &TaskGraph,
+    slots_per_period: usize,
+    slot: Seconds,
+) -> Vec<Joules> {
     let mut exec = ExecState::new(graph, slot);
     let mut asap = AsapScheduler::new();
     asap.begin_period(&PeriodStart {
@@ -70,10 +74,7 @@ pub fn asap_demand_profile(graph: &TaskGraph, slots_per_period: usize, slot: Sec
             direct_deliverable: Joules::ZERO,
             storage_deliverable: Joules::ZERO,
         });
-        let e: Joules = picked
-            .iter()
-            .map(|&id| graph.task(id).power * slot)
-            .sum();
+        let e: Joules = picked.iter().map(|&id| graph.task(id).power * slot).sum();
         for id in picked {
             exec.advance(id);
         }
@@ -103,8 +104,10 @@ pub fn size_capacitors(
     let slot = grid.slot_duration();
     let demand = asap_demand_profile(graph, grid.slots_per_period(), slot);
 
-    let mut daily_optima = Vec::with_capacity(grid.days());
-    for day in 0..grid.days() {
+    // Each day's bracket search only reads the trace and the shared
+    // ASAP demand profile, so days fan out across workers; results come
+    // back in day order, keeping the clustering input deterministic.
+    let daily: Vec<Result<Farads, CoreError>> = helio_par::par_map_range(grid.days(), |day| {
         // ΔE_{i,j,m} = harvested − ASAP load, per slot of the day
         // (Eq. 2).
         let mut delta_e = Vec::with_capacity(grid.slots_per_day());
@@ -120,8 +123,9 @@ pub fn size_capacitors(
             Farads::new(0.5),
             Farads::new(120.0),
         )?;
-        daily_optima.push(out.capacitance);
-    }
+        Ok(out.capacitance)
+    });
+    let daily_optima = daily.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(cluster_sizes(&daily_optima, h)?)
 }
 
@@ -141,11 +145,7 @@ pub fn train_proposed(
 ) -> Result<ProposedPlanner, CoreError> {
     let optimal = OptimalPlanner::compute(node, graph, training, &cfg.dp, cfg.delta)?;
     let inputs: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.input.clone()).collect();
-    let targets: Vec<Vec<f64>> = optimal
-        .samples()
-        .iter()
-        .map(|s| s.target.clone())
-        .collect();
+    let targets: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.target.clone()).collect();
     let dbn = Dbn::train(&inputs, &targets, &cfg.dbn)?;
     Ok(ProposedPlanner::from_dbn(dbn, cfg.delta, cfg.switch))
 }
@@ -154,7 +154,7 @@ pub fn train_proposed(
 mod tests {
     use super::*;
     use helio_common::time::TimeGrid;
-    use helio_solar::{DayArchetype, SolarPanel, TraceBuilder};
+    use helio_solar::{SolarPanel, TraceBuilder};
     use helio_tasks::benchmarks;
 
     fn grid(days: usize) -> TimeGrid {
@@ -213,6 +213,9 @@ mod tests {
             .run(&mut planner)
             .unwrap();
         assert_eq!(report.planner, "proposed-dbn");
-        assert!(report.overall_dmr() < 1.0, "planner must complete something");
+        assert!(
+            report.overall_dmr() < 1.0,
+            "planner must complete something"
+        );
     }
 }

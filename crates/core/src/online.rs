@@ -191,16 +191,12 @@ impl ProposedPlanner {
 
         let c = cache.as_ref().expect("just planned");
         let idx = flat - c.base_flat;
-        let plan = c
-            .plans
-            .get(idx)
-            .cloned()
-            .unwrap_or_else(|| PeriodPlan {
-                subset: vec![true; obs.graph.len()],
-                alpha: 1.0,
-                expected_misses: 0,
-                cap_energy: Joules::ZERO,
-            });
+        let plan = c.plans.get(idx).cloned().unwrap_or_else(|| PeriodPlan {
+            subset: vec![true; obs.graph.len()],
+            alpha: 1.0,
+            expected_misses: 0,
+            cap_energy: Joules::ZERO,
+        });
         (c.capacitor, plan)
     }
 
@@ -211,10 +207,9 @@ impl ProposedPlanner {
         };
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        let mut input: Vec<f64> =
-            Vec::with_capacity(grid.slots_per_period() + obs.bank.len() + 1);
+        let mut input: Vec<f64> = Vec::with_capacity(grid.slots_per_period() + obs.bank.len() + 1);
         if flat == 0 {
-            input.extend(std::iter::repeat(0.0).take(grid.slots_per_period()));
+            input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
         } else {
             let prev = grid.period_at(flat - 1);
             input.extend(obs.trace.period_powers(prev).iter().map(|p| p.milliwatts()));
@@ -363,8 +358,7 @@ mod tests {
         let t = trace(1);
         let g = benchmarks::ecg();
         let storage = &node.storage;
-        let mut bank =
-            helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let mut bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
         bank.set_active(0).unwrap();
         bank.charge_active(storage, Joules::new(10.0));
         let obs = PlannerObservation {
@@ -385,10 +379,12 @@ mod tests {
         // Same capacitor: trivially allowed.
         assert_eq!(rule.decide(&obs, 0), Some(0));
         // Drain below threshold: switch allowed.
-        let mut drained =
-            helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let mut drained = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
         drained.set_active(0).unwrap();
-        let obs2 = PlannerObservation { bank: &drained, ..obs };
+        let obs2 = PlannerObservation {
+            bank: &drained,
+            ..obs
+        };
         assert_eq!(rule.decide(&obs2, 1), Some(1));
     }
 

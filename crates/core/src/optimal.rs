@@ -10,13 +10,15 @@
 
 use helio_common::time::PeriodRef;
 use helio_common::units::{Joules, Volts};
+use helio_par::par_map_range;
+use helio_sched::{CacheStats, SubsetSimCache};
 use helio_solar::SolarTrace;
 use helio_storage::SuperCap;
 use helio_tasks::TaskGraph;
 
 use crate::config::NodeConfig;
 use crate::error::CoreError;
-use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
+use crate::longterm::{optimize_horizon_with_cache, DpConfig, PeriodPlan};
 use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerObservation};
 use crate::subsets::dmr_level_subsets;
 
@@ -38,6 +40,7 @@ pub struct OptimalPlanner {
     samples: Vec<OptimalSample>,
     delta: f64,
     complexity: u64,
+    cache_stats: CacheStats,
     periods_per_day: usize,
 }
 
@@ -85,6 +88,10 @@ impl OptimalPlanner {
         let mut complexity = 0u64;
         let mut acc_misses = 0usize;
         let mut acc_tasks = 0usize;
+        // One memo cache for the whole plan: candidate DPs of one day
+        // and the same capacitor across days revisit identical
+        // (subset, solar, voltage) cells constantly.
+        let cache = SubsetSimCache::new();
 
         for day in 0..grid.days() {
             // Per-period per-slot solar of this day.
@@ -98,26 +105,35 @@ impl OptimalPlanner {
 
             // Choose the day's capacitor: run the DP per candidate and
             // keep the one with the fewest misses (ties: most final
-            // energy).
-            let mut best: Option<(usize, crate::longterm::DpResult)> = None;
-            for (h, cap) in caps.iter().enumerate() {
-                let r = optimize_horizon(
+            // energy). The candidates only read the day's solar and
+            // their own start voltage, so they run in parallel; the
+            // selection below walks the results in candidate order,
+            // matching the serial tie-breaking exactly.
+            let candidates: Vec<crate::longterm::DpResult> = par_map_range(caps.len(), |h| {
+                optimize_horizon_with_cache(
                     graph,
                     &subsets,
                     &solar,
                     slot_duration,
-                    cap,
-                    cap.state_at(voltages[h]),
+                    &caps[h],
+                    caps[h].state_at(voltages[h]),
                     storage,
                     pmu,
                     dp,
-                );
+                    &cache,
+                )
+            });
+            let mut best: Option<(usize, crate::longterm::DpResult)> = None;
+            for (h, r) in candidates.into_iter().enumerate() {
                 complexity += r.complexity;
                 let better = match &best {
                     None => true,
                     Some((bh, br)) => {
                         (r.total_misses, -r.final_voltage.value())
-                            < (br.total_misses, -caps[*bh].state_at(br.final_voltage).voltage().value())
+                            < (
+                                br.total_misses,
+                                -caps[*bh].state_at(br.final_voltage).voltage().value(),
+                            )
                     }
                 };
                 if better {
@@ -135,22 +151,16 @@ impl OptimalPlanner {
                 } else {
                     acc_misses as f64 / acc_tasks as f64
                 };
-                let mut input: Vec<f64> = Vec::with_capacity(
-                    grid.slots_per_period() + caps.len() + 1,
-                );
+                let mut input: Vec<f64> =
+                    Vec::with_capacity(grid.slots_per_period() + caps.len() + 1);
                 // Previous period's slot powers (mW); zeros before the
                 // first period.
                 let flat = grid.period_index(period);
                 if flat == 0 {
-                    input.extend(std::iter::repeat(0.0).take(grid.slots_per_period()));
+                    input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
                 } else {
                     let prev = grid.period_at(flat - 1);
-                    input.extend(
-                        trace
-                            .period_powers(prev)
-                            .iter()
-                            .map(|p| p.milliwatts()),
-                    );
+                    input.extend(trace.period_powers(prev).iter().map(|p| p.milliwatts()));
                 }
                 input.extend(voltages.iter().map(|v| v.value()));
                 input.push(acc_dmr);
@@ -195,6 +205,7 @@ impl OptimalPlanner {
             samples,
             delta,
             complexity,
+            cache_stats: cache.stats(),
             periods_per_day: grid.periods_per_day(),
         })
     }
@@ -202,6 +213,12 @@ impl OptimalPlanner {
     /// The recorded DBN training samples.
     pub fn samples(&self) -> &[OptimalSample] {
         &self.samples
+    }
+
+    /// Hit/miss counters of the period-simulation memo cache the DP
+    /// runs shared while computing this plan.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
     }
 
     /// The per-period plans (capacitor index, plan).
@@ -280,9 +297,7 @@ mod tests {
         let opt_report = engine.run(&mut optimal).unwrap();
         for pattern in [Pattern::Intra, Pattern::Inter, Pattern::Asap] {
             for cap in 0..2 {
-                let base = engine
-                    .run(&mut FixedPlanner::new(pattern, cap))
-                    .unwrap();
+                let base = engine.run(&mut FixedPlanner::new(pattern, cap)).unwrap();
                 assert!(
                     opt_report.overall_dmr() <= base.overall_dmr() + 0.02,
                     "optimal {} must beat {}@{cap} {}",
@@ -299,8 +314,7 @@ mod tests {
         let node = node();
         let t = trace();
         let g = benchmarks::ecg();
-        let planner =
-            OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        let planner = OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
         let in_dim = grid().slots_per_period() + 2 + 1;
         let out_dim = 2 + g.len();
         assert_eq!(planner.samples().len(), grid().total_periods());
@@ -336,8 +350,11 @@ mod tests {
         let node = node();
         let t = trace();
         let g = benchmarks::ecg();
-        let planner =
-            OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        let planner = OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
         assert!(planner.complexity() > 1000);
+        let stats = planner.cache_stats();
+        // Night periods repeat, so the shared cache must see reuse.
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
     }
 }

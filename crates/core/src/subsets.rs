@@ -53,11 +53,7 @@ pub fn dmr_level_subsets(graph: &TaskGraph, keep: usize) -> Vec<Vec<bool>> {
             .iter()
             .filter(|m| m.iter().filter(|&&b| b).count() == k)
             .collect();
-        level.sort_by(|a, b| {
-            energy(a)
-                .partial_cmp(&energy(b))
-                .expect("finite energies")
-        });
+        level.sort_by(|a, b| energy(a).total_cmp(&energy(b)));
         for m in level.into_iter().take(keep.max(1)) {
             out.push(m.clone());
         }

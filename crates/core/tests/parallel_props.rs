@@ -1,0 +1,134 @@
+//! Property tests for the parallel offline pipeline: subset closure,
+//! memoized simulation identity, and parallel-vs-serial determinism.
+
+use helio_common::units::{Farads, Joules, Seconds, Volts};
+use helio_nvp::Pmu;
+use helio_sched::{simulate_subset_at, SubsetSimCache};
+use helio_storage::{StorageModelParams, SuperCap};
+use helio_tasks::{benchmarks, TaskGraph};
+use heliosched::{
+    closed_subsets, dmr_level_subsets, optimize_horizon, optimize_horizon_serial, DpConfig,
+};
+use proptest::prelude::*;
+
+/// The nine graphs the experiments run on (six paper benchmarks plus
+/// the three random cases).
+fn graph_case(pick: usize) -> TaskGraph {
+    let six = benchmarks::all_six();
+    match pick % 9 {
+        k @ 0..=5 => six[k].clone(),
+        k => benchmarks::random_case(k - 5),
+    }
+}
+
+fn contains_mask(set: &[Vec<bool>], mask: &[bool]) -> bool {
+    set.iter().any(|m| m == mask)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every mask `closed_subsets` emits is dependency-closed: a task
+    /// is only included when all its predecessors are. The DMR-level
+    /// reduction keeps a subset of those masks plus the empty and full
+    /// subsets.
+    #[test]
+    fn closed_subsets_are_dependency_closed(pick in 0usize..9, keep in 1usize..4) {
+        let graph = graph_case(pick);
+        let all = closed_subsets(&graph);
+        for mask in &all {
+            for (from, to) in graph.edges() {
+                prop_assert!(
+                    !mask[to.index()] || mask[from.index()],
+                    "{}: task {} included without predecessor {}",
+                    graph.name(),
+                    to.index(),
+                    from.index()
+                );
+            }
+        }
+        let empty = vec![false; graph.len()];
+        let full = vec![true; graph.len()];
+        prop_assert!(contains_mask(&all, &empty));
+        prop_assert!(contains_mask(&all, &full));
+
+        let levels = dmr_level_subsets(&graph, keep);
+        prop_assert!(levels.iter().all(|m| contains_mask(&all, m)));
+        prop_assert!(contains_mask(&levels, &empty));
+        prop_assert!(contains_mask(&levels, &full));
+    }
+
+    /// A cache hit returns the bitwise-identical outcome of an uncached
+    /// `simulate_subset` run on the same inputs.
+    #[test]
+    fn cached_simulation_matches_uncached(
+        pick in 0usize..9,
+        subset_seed in 0usize..1000,
+        energies in prop::collection::vec(0.0f64..0.5, 10),
+        voltage in 0.5f64..4.5,
+        capacitance in 1.0f64..60.0,
+    ) {
+        let graph = graph_case(pick);
+        let subsets = dmr_level_subsets(&graph, 2);
+        let subset = &subsets[subset_seed % subsets.len()];
+        let solar: Vec<Joules> = energies.iter().map(|&e| Joules::new(e)).collect();
+        let slot = Seconds::new(60.0);
+        let storage = StorageModelParams::default();
+        let pmu = Pmu::default();
+        let cap = SuperCap::new(Farads::new(capacitance), &storage).expect("valid");
+        let v = Volts::new(voltage);
+
+        let plain = simulate_subset_at(&graph, subset, &solar, slot, &cap, v, &pmu, &storage);
+        let cache = SubsetSimCache::new();
+        let miss = cache.simulate(&graph, subset, &solar, slot, &cap, v, &pmu, &storage);
+        let hit = cache.simulate(&graph, subset, &solar, slot, &cap, v, &pmu, &storage);
+        prop_assert_eq!(&miss, &plain);
+        prop_assert_eq!(&hit, &plain);
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// `par_map` is a drop-in for serial `map`: same values, same order.
+    #[test]
+    fn parallel_map_matches_serial(xs in prop::collection::vec(-1e6f64..1e6, 0..40)) {
+        let f = |x: &f64| (x * 1.5 - 3.0, x.to_bits());
+        let serial: Vec<_> = xs.iter().map(f).collect();
+        let parallel = helio_par::par_map(&xs, f);
+        prop_assert_eq!(parallel, serial);
+    }
+}
+
+proptest! {
+    // The DP property is heavier: fewer cases, smaller horizons.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cached + parallel DP reproduces the serial reference
+    /// bitwise on arbitrary solar inputs.
+    #[test]
+    fn parallel_dp_matches_serial_reference(
+        pick in 0usize..9,
+        flat in prop::collection::vec(0.0f64..0.4, 12),
+        capacitance in 5.0f64..40.0,
+    ) {
+        let graph = graph_case(pick);
+        let subsets = dmr_level_subsets(&graph, 2);
+        let solar: Vec<Vec<Joules>> = flat
+            .chunks(3)
+            .map(|c| c.iter().map(|&e| Joules::new(e)).collect())
+            .collect();
+        let storage = StorageModelParams::default();
+        let pmu = Pmu::default();
+        let cap = SuperCap::new(Farads::new(capacitance), &storage).expect("valid");
+        let dp = DpConfig::default();
+
+        let serial = optimize_horizon_serial(
+            &graph, &subsets, &solar, Seconds::new(60.0), &cap, cap.empty_state(),
+            &storage, &pmu, &dp,
+        );
+        let fast = optimize_horizon(
+            &graph, &subsets, &solar, Seconds::new(60.0), &cap, cap.empty_state(),
+            &storage, &pmu, &dp,
+        );
+        prop_assert_eq!(serial, fast);
+    }
+}

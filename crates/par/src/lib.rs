@@ -1,0 +1,121 @@
+//! Deterministic data parallelism on `std::thread::scope`.
+//!
+//! The offline pipeline (long-term DP, capacitor sizing, experiment
+//! sweeps) fans out over independent work items. This crate provides
+//! ordered `map` primitives: items are split into contiguous chunks,
+//! one scoped worker per chunk, and results are reassembled in input
+//! order — so parallel output is byte-for-byte identical to a serial
+//! run no matter how the OS schedules the workers.
+//!
+//! Thread count comes from, in priority order:
+//! 1. `HELIO_SERIAL=1` — force single-threaded execution;
+//! 2. `HELIO_THREADS=<n>` — explicit worker count;
+//! 3. `std::thread::available_parallelism()`.
+
+use std::env;
+use std::num::NonZeroUsize;
+use std::panic;
+
+/// Number of worker threads parallel maps will use.
+#[must_use]
+pub fn configured_threads() -> usize {
+    if env::var("HELIO_SERIAL").map(|v| v == "1").unwrap_or(false) {
+        return 1;
+    }
+    if let Ok(raw) = env::var("HELIO_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n`, in parallel when workers are available,
+/// returning results in index order.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` on the calling thread.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = configured_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().unwrap_or_else(|e| panic::resume_unwind(e)));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Maps `f` over a slice, in parallel, returning results in input
+/// order.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` on the calling thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let squares = par_map_range(1000, |i| i * i);
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+        let items = [3.0f64, 1.5, -2.0];
+        assert_eq!(par_map(&items, |x| x * 2.0), vec![6.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let parallel = par_map_range(257, |i| format!("{i}:{}", i % 7));
+        let serial: Vec<String> = (0..257).map(|i| format!("{i}:{}", i % 7)).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = panic::catch_unwind(|| {
+            par_map_range(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

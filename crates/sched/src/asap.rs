@@ -37,11 +37,7 @@ impl SlotScheduler for AsapScheduler {
             .exec
             .runnable(ctx.graph, ctx.slot)
             .into_iter()
-            .filter(|id| {
-                self.allowed
-                    .as_ref()
-                    .map_or(true, |m| m[id.index()])
-            })
+            .filter(|id| self.allowed.as_ref().is_none_or(|m| m[id.index()]))
             .collect();
         edf_pick(ctx.graph, &candidates, ctx.slot)
     }
@@ -77,7 +73,10 @@ mod tests {
         let exec = ExecState::new(&g, Seconds::new(60.0));
         let mut s = AsapScheduler::new();
         let picked = s.select(&ctx(&g, &exec, 0));
-        assert!(!picked.is_empty(), "ASAP must try to run regardless of energy");
+        assert!(
+            !picked.is_empty(),
+            "ASAP must try to run regardless of energy"
+        );
     }
 
     #[test]

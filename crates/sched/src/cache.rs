@@ -1,0 +1,232 @@
+//! Memoization for the per-period subset-execution kernel.
+//!
+//! The long-term DP calls [`simulate_subset`] for every
+//! `(period, energy bucket, candidate subset)` cell, and both the
+//! bucket grid and the solar profiles repeat heavily across a horizon
+//! (every dark period is identical, bucket voltages form a fixed set).
+//! [`SubsetSimCache`] keys a period simulation on its *exact* inputs —
+//! bit-packed subset mask, per-slot solar energies as raw `f64` bits,
+//! start voltage bits, capacitance bits and slot duration bits — so a
+//! cache hit returns a result bitwise identical to re-running the
+//! kernel, and repeated cells cost one hash lookup instead of a full
+//! slot-by-slot simulation.
+//!
+//! One cache serves one task graph: the key does not include the graph,
+//! so callers must create a fresh cache per graph (the planners do).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use helio_common::units::{Joules, Seconds, Volts};
+use helio_nvp::Pmu;
+use helio_storage::{CapacitorBank, StorageModelParams, SuperCap};
+use helio_tasks::TaskGraph;
+
+use crate::subset::{simulate_subset, SubsetOutcome};
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    /// Subset mask, bit-packed (planner graphs have ≤ 64 tasks).
+    mask: u64,
+    /// Per-slot solar energies, exact bits.
+    solar: Vec<u64>,
+    /// Start voltage, exact bits.
+    voltage: u64,
+    /// Active capacitance, exact bits.
+    capacitance: u64,
+    /// Slot duration, exact bits.
+    slot: u64,
+}
+
+/// Hit/miss counters of a [`SubsetSimCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when unused).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo table for [`simulate_subset`] runs that start from
+/// an explicit single-capacitor voltage.
+#[derive(Default)]
+pub struct SubsetSimCache {
+    map: Mutex<HashMap<Key, (SubsetOutcome, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubsetSimCache {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Simulates `subset` over one period starting from `voltage` on a
+    /// single-capacitor bank of `cap`, returning the outcome and the
+    /// final voltage. Results are memoized on the exact inputs; a hit
+    /// is bitwise identical to an uncached run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has more than 64 tasks (the mask would not
+    /// pack) or on the same conditions as [`simulate_subset`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate(
+        &self,
+        graph: &TaskGraph,
+        subset: &[bool],
+        solar: &[Joules],
+        slot_duration: Seconds,
+        cap: &SuperCap,
+        voltage: Volts,
+        pmu: &Pmu,
+        storage: &StorageModelParams,
+    ) -> (SubsetOutcome, Volts) {
+        assert!(subset.len() <= 64, "subset masks cache up to 64 tasks");
+        let key = Key {
+            mask: pack_mask(subset),
+            solar: solar.iter().map(|e| e.value().to_bits()).collect(),
+            voltage: voltage.value().to_bits(),
+            capacitance: cap.capacitance().value().to_bits(),
+            slot: slot_duration.value().to_bits(),
+        };
+        if let Some((outcome, v_bits)) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (*outcome, Volts::new(f64::from_bits(*v_bits)));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Simulate outside the lock: concurrent workers may duplicate a
+        // computation, but they never block each other on it.
+        let (outcome, v1) = simulate_subset_at(
+            graph,
+            subset,
+            solar,
+            slot_duration,
+            cap,
+            voltage,
+            pmu,
+            storage,
+        );
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key, (outcome, v1.value().to_bits()));
+        (outcome, v1)
+    }
+}
+
+/// Runs the kernel on a fresh single-capacitor bank set to `voltage`,
+/// returning the outcome and the bank's final voltage — the common
+/// "what would this period do from this state" query of the planners.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_subset_at(
+    graph: &TaskGraph,
+    subset: &[bool],
+    solar: &[Joules],
+    slot_duration: Seconds,
+    cap: &SuperCap,
+    voltage: Volts,
+    pmu: &Pmu,
+    storage: &StorageModelParams,
+) -> (SubsetOutcome, Volts) {
+    let mut bank = CapacitorBank::new(&[cap.capacitance()], storage).expect("single cap is valid");
+    bank.set_state(0, cap.state_at(voltage)).expect("index 0");
+    let outcome = simulate_subset(graph, subset, solar, slot_duration, &mut bank, pmu, storage);
+    let v = bank.state(0).expect("index 0").voltage();
+    (outcome, v)
+}
+
+fn pack_mask(mask: &[bool]) -> u64 {
+    mask.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helio_common::units::Farads;
+    use helio_tasks::benchmarks;
+
+    const SLOT: Seconds = Seconds::new(60.0);
+
+    fn setup() -> (TaskGraph, SuperCap, StorageModelParams, Pmu) {
+        let storage = StorageModelParams::default();
+        let cap = SuperCap::new(Farads::new(10.0), &storage).unwrap();
+        (benchmarks::ecg(), cap, storage, Pmu::default())
+    }
+
+    #[test]
+    fn hit_returns_identical_result() {
+        let (g, cap, storage, pmu) = setup();
+        let cache = SubsetSimCache::new();
+        let subset = vec![true; g.len()];
+        let solar = vec![Joules::new(5.0); 10];
+        let v0 = Volts::new(3.3);
+        let first = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        let second = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1.value().to_bits(), second.1.value().to_bits());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_matches_uncached() {
+        let (g, cap, storage, pmu) = setup();
+        let cache = SubsetSimCache::new();
+        let mut subset = vec![true; g.len()];
+        subset[2] = false;
+        let solar: Vec<Joules> = (0..10).map(|m| Joules::new(0.7 * m as f64)).collect();
+        let v0 = Volts::new(2.9);
+        let direct = simulate_subset_at(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        for _ in 0..3 {
+            let cached = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+            assert_eq!(direct.0, cached.0);
+            assert_eq!(direct.1.value().to_bits(), cached.1.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_collide() {
+        let (g, cap, storage, pmu) = setup();
+        let cache = SubsetSimCache::new();
+        let all = vec![true; g.len()];
+        let none = vec![false; g.len()];
+        let sunny = vec![Joules::new(5.0); 10];
+        let v0 = cap.v_full();
+        let (a, _) = cache.simulate(&g, &all, &sunny, SLOT, &cap, v0, &pmu, &storage);
+        let (b, _) = cache.simulate(&g, &none, &sunny, SLOT, &cap, v0, &pmu, &storage);
+        assert_ne!(a.misses, b.misses);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn mask_packing_is_positional() {
+        assert_eq!(pack_mask(&[true, false, true]), 0b101);
+        assert_eq!(pack_mask(&[false; 8]), 0);
+        assert_eq!(pack_mask(&[true; 3]), 0b111);
+    }
+}

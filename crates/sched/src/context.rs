@@ -29,7 +29,7 @@ pub struct PeriodStart<'a> {
 impl PeriodStart<'_> {
     /// Whether `id` is admitted by the coarse mask.
     pub fn is_allowed(&self, id: helio_tasks::TaskId) -> bool {
-        self.allowed.as_ref().map_or(true, |m| m[id.index()])
+        self.allowed.as_ref().is_none_or(|m| m[id.index()])
     }
 }
 

@@ -42,7 +42,7 @@ impl SlotScheduler for IntraTaskScheduler {
             .exec
             .runnable(graph, ctx.slot)
             .into_iter()
-            .filter(|id| self.allowed.as_ref().map_or(true, |m| m[id.index()]))
+            .filter(|id| self.allowed.as_ref().is_none_or(|m| m[id.index()]))
             .collect();
         // Urgency order: least slack first, then earliest deadline.
         candidates.sort_by(|&a, &b| {
@@ -54,8 +54,7 @@ impl SlotScheduler for IntraTaskScheduler {
                         .task(a)
                         .deadline
                         .value()
-                        .partial_cmp(&graph.task(b).deadline.value())
-                        .expect("finite deadlines"),
+                        .total_cmp(&graph.task(b).deadline.value()),
                 )
                 .then(a.index().cmp(&b.index()))
         });

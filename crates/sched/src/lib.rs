@@ -25,6 +25,7 @@
 //! short-sightedness the paper's long-term scheduler corrects.
 
 pub mod asap;
+pub mod cache;
 pub mod context;
 pub mod exec;
 pub mod intra;
@@ -33,6 +34,7 @@ pub mod subset;
 pub mod traits;
 
 pub use asap::AsapScheduler;
+pub use cache::{simulate_subset_at, CacheStats, SubsetSimCache};
 pub use context::{PeriodStart, SlotContext};
 pub use exec::ExecState;
 pub use intra::IntraTaskScheduler;

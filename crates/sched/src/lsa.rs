@@ -49,8 +49,7 @@ impl SlotScheduler for LsaScheduler {
                 .task(a)
                 .deadline
                 .value()
-                .partial_cmp(&graph.task(b).deadline.value())
-                .expect("finite deadlines")
+                .total_cmp(&graph.task(b).deadline.value())
                 .then(a.index().cmp(&b.index()))
         });
         let mut admitted = vec![false; n];
@@ -61,10 +60,7 @@ impl SlotScheduler for LsaScheduler {
             }
             let cost = graph.task(id).energy();
             // Admit a task only with its whole dependency closure.
-            let preds_ok = graph
-                .predecessors(id)
-                .iter()
-                .all(|p| admitted[p.index()]);
+            let preds_ok = graph.predecessors(id).iter().all(|p| admitted[p.index()]);
             if preds_ok && spent + cost <= budget {
                 admitted[id.index()] = true;
                 spent += cost;
@@ -79,11 +75,7 @@ impl SlotScheduler for LsaScheduler {
         let topo = graph
             .topological_order()
             .expect("validated graphs are acyclic");
-        let needed: Vec<usize> = graph
-            .tasks()
-            .iter()
-            .map(|t| t.slots_needed(slot))
-            .collect();
+        let needed: Vec<usize> = graph.tasks().iter().map(|t| t.slots_needed(slot)).collect();
         let own_deadline: Vec<usize> = graph
             .tasks()
             .iter()
@@ -238,7 +230,10 @@ mod tests {
             .filter(|id| admitted[id.index()])
             .map(|id| g.task(id).name.as_str())
             .collect();
-        assert!(names.contains(&"heart_rate_sampling"), "admitted: {names:?}");
+        assert!(
+            names.contains(&"heart_rate_sampling"),
+            "admitted: {names:?}"
+        );
         assert!(
             !names.contains(&"data_transmission"),
             "latest-deadline task should be dropped first: {names:?}"

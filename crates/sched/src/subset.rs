@@ -60,8 +60,11 @@ pub fn simulate_subset(
     pmu: &Pmu,
     storage: &StorageModelParams,
 ) -> SubsetOutcome {
-    assert_eq!(subset.len(), graph.len(), "subset mask must cover the graph");
-    let slots = solar.len();
+    assert_eq!(
+        subset.len(),
+        graph.len(),
+        "subset mask must cover the graph"
+    );
     let mut exec = ExecState::new(graph, slot_duration);
     let mut cap_drawn = Joules::ZERO;
     let mut cap_stored = Joules::ZERO;
@@ -69,9 +72,8 @@ pub fn simulate_subset(
     let mut served = Joules::ZERO;
     let mut brownouts = 0usize;
 
-    for m in 0..slots {
+    for (m, &harvest) in solar.iter().enumerate() {
         bank.leak_all(storage, slot_duration);
-        let harvest = solar[m];
 
         // Candidate tasks: runnable members of the subset.
         let mut candidates: Vec<TaskId> = exec

@@ -37,8 +37,7 @@ pub fn edf_pick(graph: &TaskGraph, candidates: &[TaskId], slot: usize) -> Vec<Ta
         let tb = graph.task(b);
         ta.deadline
             .value()
-            .partial_cmp(&tb.deadline.value())
-            .expect("finite deadlines")
+            .total_cmp(&tb.deadline.value())
             .then(a.index().cmp(&b.index()))
     });
     let _ = slot;

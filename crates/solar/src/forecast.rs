@@ -53,7 +53,11 @@ fn history_profile(
     }
     let lo = day.saturating_sub(days);
     let vals: Vec<f64> = (lo..day)
-        .map(|d| trace.period_energy(PeriodRef::new(d, period_of_day)).value())
+        .map(|d| {
+            trace
+                .period_energy(PeriodRef::new(d, period_of_day))
+                .value()
+        })
         .collect();
     if vals.is_empty() {
         None
@@ -84,7 +88,9 @@ impl EwmaPredictor {
         let mut est = 0.0;
         let mut seen = false;
         for d in 0..day {
-            let e = trace.period_energy(PeriodRef::new(d, period_of_day)).value();
+            let e = trace
+                .period_energy(PeriodRef::new(d, period_of_day))
+                .value();
             if seen {
                 est = self.alpha * e + (1.0 - self.alpha) * est;
             } else {
@@ -245,7 +251,10 @@ impl NoisyOracle {
     ///
     /// Panics when either sigma parameter is negative.
     pub fn new(seed: u64, base_sigma: f64, growth_per_day: f64) -> Self {
-        assert!(base_sigma >= 0.0 && growth_per_day >= 0.0, "sigmas must be nonnegative");
+        assert!(
+            base_sigma >= 0.0 && growth_per_day >= 0.0,
+            "sigmas must be nonnegative"
+        );
         Self {
             seed,
             base_sigma,

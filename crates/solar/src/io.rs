@@ -63,7 +63,11 @@ pub fn to_csv(trace: &SolarTrace) -> String {
     let mut out = String::with_capacity(grid.total_slots() * 12 + 32);
     out.push_str("slot,power_mw\n");
     for (i, slot) in grid.slots().enumerate() {
-        out.push_str(&format!("{},{:.6}\n", i, trace.slot_power(slot).milliwatts()));
+        out.push_str(&format!(
+            "{},{:.6}\n",
+            i,
+            trace.slot_power(slot).milliwatts()
+        ));
     }
     out
 }

@@ -42,15 +42,15 @@
 //! ```
 
 pub mod archetype;
-pub mod io;
 pub mod forecast;
+pub mod io;
 pub mod panel;
 pub mod trace;
 pub mod weather;
 
 pub use archetype::DayArchetype;
-pub use io::{from_csv, to_csv, ParseTraceError};
 pub use forecast::{EwmaPredictor, NoisyOracle, SolarPredictor, WcmaPredictor};
+pub use io::{from_csv, to_csv, ParseTraceError};
 pub use panel::SolarPanel;
 pub use trace::{SolarTrace, TraceBuilder};
 pub use weather::WeatherProcess;

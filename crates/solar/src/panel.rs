@@ -39,7 +39,10 @@ impl SolarPanel {
             efficiency > 0.0 && efficiency <= 1.0,
             "panel efficiency must lie in (0, 1]"
         );
-        Self { area_m2, efficiency }
+        Self {
+            area_m2,
+            efficiency,
+        }
     }
 
     /// The paper's panel: 3.5 cm × 4.5 cm with 6 % tested average

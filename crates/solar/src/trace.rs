@@ -89,9 +89,7 @@ impl SolarTrace {
 
     /// Total harvested energy over the whole horizon.
     pub fn total_energy(&self) -> Joules {
-        Joules::new(
-            self.powers.iter().sum::<f64>() * self.grid.slot_duration().value(),
-        )
+        Joules::new(self.powers.iter().sum::<f64>() * self.grid.slot_duration().value())
     }
 
     /// Archetype used to generate a day, when known.
@@ -191,7 +189,9 @@ impl TraceBuilder {
         let day_types: Vec<DayArchetype> = match &self.days {
             Some(list) => {
                 assert!(!list.is_empty(), "archetype list must be nonempty");
-                (0..self.grid.days()).map(|d| list[d % list.len()]).collect()
+                (0..self.grid.days())
+                    .map(|d| list[d % list.len()])
+                    .collect()
             }
             None => {
                 let mut wrng = derive(self.seed, "weather-chain");

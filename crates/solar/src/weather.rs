@@ -39,7 +39,10 @@ impl WeatherProcess {
             check(row, &format!("transition row {i}"));
         }
         check(&initial, "initial distribution");
-        Self { transition, initial }
+        Self {
+            transition,
+            initial,
+        }
     }
 
     /// A temperate climate: clear and broken-cloud days dominate, storms

@@ -14,12 +14,22 @@ use helio_storage::*;
 fn main() {
     let params = StorageModelParams::default();
     for spec in [MigrationSpec::small_short(), MigrationSpec::large_long()] {
-        println!("--- {} J over {} min", spec.quantity.value(), spec.duration.minutes());
+        println!(
+            "--- {} J over {} min",
+            spec.quantity.value(),
+            spec.duration.minutes()
+        );
         for c in [1.0, 10.0, 50.0, 100.0] {
             let cap = SuperCap::new(Farads::new(c), &params).unwrap();
             let o = migrate(&cap, &params, spec, Seconds::new(60.0));
-            println!("C={c:>5} eff={:.3} absorbed={:.2} delivered={:.2} leaked={:.2} overflow={:.2}",
-                o.efficiency(), o.absorbed.value(), o.delivered.value(), o.leaked.value(), o.overflow.value());
+            println!(
+                "C={c:>5} eff={:.3} absorbed={:.2} delivered={:.2} leaked={:.2} overflow={:.2}",
+                o.efficiency(),
+                o.absorbed.value(),
+                o.delivered.value(),
+                o.leaked.value(),
+                o.overflow.value()
+            );
         }
     }
 }

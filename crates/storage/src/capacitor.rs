@@ -53,7 +53,7 @@ impl SuperCap {
     /// Returns [`StorageError::InvalidCapacitance`] for non-positive or
     /// non-finite sizes and propagates parameter-validation failures.
     pub fn new(capacitance: Farads, params: &StorageModelParams) -> Result<Self, StorageError> {
-        if !(capacitance.value() > 0.0) || !capacitance.is_finite() {
+        if capacitance.value() <= 0.0 || !capacitance.is_finite() {
             return Err(StorageError::InvalidCapacitance(capacitance.value()));
         }
         params.validate()?;
@@ -149,10 +149,7 @@ impl SuperCap {
         let max_drawn = headroom / eta;
         let drawn = offered.min(Joules::new(max_drawn.value()));
         let stored = self.capacitance.stored_energy(state.voltage) + drawn * eta;
-        state.voltage = self
-            .capacitance
-            .voltage_for_energy(stored)
-            .min(self.v_full);
+        state.voltage = self.capacitance.voltage_for_energy(stored).min(self.v_full);
         drawn
     }
 
@@ -321,7 +318,10 @@ mod tests {
         let lost = cap.leak(&mut state, &params, Seconds::from_minutes(400.0));
         let after = state.stored_energy(&cap);
         assert!((before - after - lost).abs() < Joules::new(1e-9));
-        assert!(lost.value() > 1.0, "a full 1 F cap must leak > 1 J over 400 min, got {lost}");
+        assert!(
+            lost.value() > 1.0,
+            "a full 1 F cap must leak > 1 J over 400 min, got {lost}"
+        );
         assert!(state.voltage() < cap.v_full());
     }
 

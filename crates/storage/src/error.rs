@@ -49,7 +49,10 @@ mod tests {
             .to_string()
             .contains("-1"));
         let e = StorageError::CapacitorIndex { index: 3, len: 2 };
-        assert_eq!(e.to_string(), "capacitor index 3 out of range for bank of 2");
+        assert_eq!(
+            e.to_string(),
+            "capacitor index 3 out of range for bank of 2"
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ pub fn migrate(
     dt: Seconds,
 ) -> MigrationOutcome {
     let total_slots = (spec.duration.value() / dt.value()).round().max(1.0) as usize;
-    let charge_slots = ((total_slots as f64) * spec.charge_fraction).round().max(1.0) as usize;
+    let charge_slots = ((total_slots as f64) * spec.charge_fraction)
+        .round()
+        .max(1.0) as usize;
     let discharge_slots = ((total_slots as f64) * spec.discharge_fraction)
         .round()
         .max(1.0) as usize;
@@ -137,7 +139,11 @@ pub fn migrate(
 
 /// Migration efficiency of `cap` for `spec` with one-minute steps — the
 /// headline quantity of Table 2.
-pub fn migration_efficiency(cap: &SuperCap, params: &StorageModelParams, spec: MigrationSpec) -> f64 {
+pub fn migration_efficiency(
+    cap: &SuperCap,
+    params: &StorageModelParams,
+    spec: MigrationSpec,
+) -> f64 {
     migrate(cap, params, spec, Seconds::new(60.0)).efficiency()
 }
 
@@ -165,7 +171,12 @@ mod tests {
     fn ledger_balances() {
         let params = StorageModelParams::default();
         let c = cap(10.0, &params);
-        let out = migrate(&c, &params, MigrationSpec::small_short(), Seconds::new(60.0));
+        let out = migrate(
+            &c,
+            &params,
+            MigrationSpec::small_short(),
+            Seconds::new(60.0),
+        );
         // offered = absorbed + overflow
         assert!(
             (out.offered - out.absorbed - out.overflow).abs() < Joules::new(1e-6),
@@ -199,13 +210,17 @@ mod tests {
         // Paper Table 2, 30 J / 400 min column: 10 F (40.7 %) best,
         // 1 F worst (8.58 %), 50 F (27.3 %) > 100 F (20.1 %).
         let params = StorageModelParams::default();
-        let eff = |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
+        let eff =
+            |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
         let (e1, e10, e50, e100) = (eff(1.0), eff(10.0), eff(50.0), eff(100.0));
         assert!(
             e10 > e1 && e10 > e50 && e10 > e100,
             "10 F must win at 30 J/400 min: 1F={e1:.3} 10F={e10:.3} 50F={e50:.3} 100F={e100:.3}"
         );
-        assert!(e1 < e100, "1 F must be worst (overflow + leak): 1F={e1:.3} 100F={e100:.3}");
+        assert!(
+            e1 < e100,
+            "1 F must be worst (overflow + leak): 1F={e1:.3} 100F={e100:.3}"
+        );
         assert!(e50 > e100, "50 F must beat 100 F: {e50:.3} vs {e100:.3}");
     }
 
@@ -214,11 +229,16 @@ mod tests {
         // The paper reports up to a 30.5 % spread across sizes; require a
         // substantial spread so sizing actually matters.
         let params = StorageModelParams::default();
-        let eff = |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
+        let eff =
+            |c: f64| migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long());
         let effs = [eff(1.0), eff(10.0), eff(50.0), eff(100.0)];
         let max = effs.iter().cloned().fold(f64::MIN, f64::max);
         let min = effs.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max - min > 0.2, "spread {:.3} too small: {effs:?}", max - min);
+        assert!(
+            max - min > 0.2,
+            "spread {:.3} too small: {effs:?}",
+            max - min
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl StorageModelParams {
     /// with voltage.
     pub fn leakage_current(&self, c: Farads, v: Volts) -> f64 {
         let ratio = (v.value() / self.v_full.value()).max(0.0);
-        c.value() * (self.leak_base_per_farad + self.leak_scale_per_farad * ratio.powf(self.leak_exponent))
+        c.value()
+            * (self.leak_base_per_farad
+                + self.leak_scale_per_farad * ratio.powf(self.leak_exponent))
     }
 
     /// Leakage power `P_leak(V)` of a capacitor of size `c` at voltage
@@ -162,8 +164,7 @@ mod tests {
 
     #[test]
     fn rejects_inverted_voltage_window() {
-        let p = StorageModelParams::default()
-            .with_voltage_window(Volts::new(5.0), Volts::new(1.0));
+        let p = StorageModelParams::default().with_voltage_window(Volts::new(5.0), Volts::new(1.0));
         assert!(p.validate().is_err());
     }
 
@@ -182,7 +183,10 @@ mod tests {
         let c100 = Farads::new(100.0);
         let low = p.leakage_power(c1, Volts::new(1.5));
         let high = p.leakage_power(c1, Volts::new(4.5));
-        assert!(high > 5.0 * low, "leakage must be strongly superlinear in V");
+        assert!(
+            high > 5.0 * low,
+            "leakage must be strongly superlinear in V"
+        );
         assert!(
             p.leakage_power(c100, Volts::new(1.5)) > 50.0 * low,
             "leakage must scale with capacitance"

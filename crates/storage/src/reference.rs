@@ -50,7 +50,9 @@ pub fn measure_migration(
 ) -> MigrationOutcome {
     let dt = effects.dt;
     let total_steps = (spec.duration.value() / dt.value()).round().max(1.0) as usize;
-    let charge_steps = ((total_steps as f64) * spec.charge_fraction).round().max(1.0) as usize;
+    let charge_steps = ((total_steps as f64) * spec.charge_fraction)
+        .round()
+        .max(1.0) as usize;
     let discharge_steps = ((total_steps as f64) * spec.discharge_fraction)
         .round()
         .max(1.0) as usize;
@@ -62,7 +64,8 @@ pub fn measure_migration(
 
     // Effective capacitance grows mildly with voltage.
     let c_eff = |v: Volts| -> Farads {
-        let gain = effects.capacitance_gain_at_full * (v.value() / cap.v_full().value()).clamp(0.0, 1.0);
+        let gain =
+            effects.capacitance_gain_at_full * (v.value() / cap.v_full().value()).clamp(0.0, 1.0);
         cap.capacitance() * (1.0 + gain)
     };
 
@@ -92,8 +95,7 @@ pub fn measure_migration(
                 power_in / 0.5
             };
             let esr_loss = Joules::new(current * current * esr * dt.value());
-            let headroom =
-                (c_eff(voltage).energy_between(cap.v_full(), voltage)).max(Joules::ZERO);
+            let headroom = (c_eff(voltage).energy_between(cap.v_full(), voltage)).max(Joules::ZERO);
             let usable_in = (offered_per_step * eta - esr_loss).max(Joules::ZERO);
             let stored_gain = usable_in.min(headroom);
             // Offered energy beyond headroom is overflow at the source.
@@ -186,13 +188,25 @@ mod tests {
         // 1 F wins the short migration on the reference model too.
         let short: Vec<f64> = [1.0, 10.0, 50.0, 100.0]
             .iter()
-            .map(|&c| measured_migration_efficiency(&cap(c, &params), &params, MigrationSpec::small_short()))
+            .map(|&c| {
+                measured_migration_efficiency(
+                    &cap(c, &params),
+                    &params,
+                    MigrationSpec::small_short(),
+                )
+            })
             .collect();
         assert!(short[0] > short[1] && short[1] > short[3]);
         // 10 F wins the long migration.
         let long: Vec<f64> = [1.0, 10.0, 50.0, 100.0]
             .iter()
-            .map(|&c| measured_migration_efficiency(&cap(c, &params), &params, MigrationSpec::large_long()))
+            .map(|&c| {
+                measured_migration_efficiency(
+                    &cap(c, &params),
+                    &params,
+                    MigrationSpec::large_long(),
+                )
+            })
             .collect();
         assert!(long[1] > long[0] && long[1] > long[2] && long[1] > long[3]);
     }

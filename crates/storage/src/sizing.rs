@@ -119,8 +119,7 @@ pub fn optimal_capacitance(
 /// `h == 0`.
 pub fn cluster_sizes(daily_optima: &[Farads], h: usize) -> Result<Vec<Farads>, StorageError> {
     let raw: Vec<f64> = daily_optima.iter().map(|c| c.value()).collect();
-    let centres =
-        kmeans_1d(&raw, h, 100).map_err(|e| StorageError::SizingInput(e.to_string()))?;
+    let centres = kmeans_1d(&raw, h, 100).map_err(|e| StorageError::SizingInput(e.to_string()))?;
     Ok(centres.into_iter().map(Farads::new).collect())
 }
 
@@ -198,12 +197,8 @@ mod tests {
         let params = StorageModelParams::default();
         assert!(optimal_capacitance(&[], DT, &params, Farads::new(1.0), Farads::new(2.0)).is_err());
         let s = [Joules::new(1.0)];
-        assert!(
-            optimal_capacitance(&s, DT, &params, Farads::new(2.0), Farads::new(1.0)).is_err()
-        );
-        assert!(
-            optimal_capacitance(&s, DT, &params, Farads::new(0.0), Farads::new(1.0)).is_err()
-        );
+        assert!(optimal_capacitance(&s, DT, &params, Farads::new(2.0), Farads::new(1.0)).is_err());
+        assert!(optimal_capacitance(&s, DT, &params, Farads::new(0.0), Farads::new(1.0)).is_err());
     }
 
     #[test]

@@ -164,8 +164,18 @@ mod tests {
     fn random_cases_stay_within_paper_ranges() {
         for k in 1..=3 {
             let g = random_case(k);
-            assert!((4..=8).contains(&g.len()), "{}: {} tasks", g.name(), g.len());
-            assert!(g.edge_count() <= 2, "{}: {} edges", g.name(), g.edge_count());
+            assert!(
+                (4..=8).contains(&g.len()),
+                "{}: {} tasks",
+                g.name(),
+                g.len()
+            );
+            assert!(
+                g.edge_count() <= 2,
+                "{}: {} edges",
+                g.name(),
+                g.edge_count()
+            );
             assert!(
                 (2..=6).contains(&g.nvp_count()),
                 "{}: {} NVPs",
@@ -191,6 +201,9 @@ mod tests {
     #[test]
     fn all_six_order_matches_paper() {
         let names: Vec<String> = all_six().iter().map(|g| g.name().to_string()).collect();
-        assert_eq!(names, ["random1", "random2", "random3", "wam", "ecg", "shm"]);
+        assert_eq!(
+            names,
+            ["random1", "random2", "random3", "wam", "ecg", "shm"]
+        );
     }
 }

@@ -24,7 +24,9 @@ pub struct DvfsLaw {
 
 impl Default for DvfsLaw {
     fn default() -> Self {
-        Self { power_exponent: 3.0 }
+        Self {
+            power_exponent: 3.0,
+        }
     }
 }
 
@@ -83,13 +85,15 @@ pub fn max_feasible_slowdown(
     candidates: &[f64],
 ) -> Option<(f64, TaskGraph)> {
     let mut sorted = candidates.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite factors"));
+    sorted.sort_by(f64::total_cmp);
     for &f in &sorted {
         if let Ok(scaled) = scale_graph(graph, f, law, period, slot) {
             return Some((f, scaled));
         }
     }
-    scale_graph(graph, 1.0, law, period, slot).ok().map(|g| (1.0, g))
+    scale_graph(graph, 1.0, law, period, slot)
+        .ok()
+        .map(|g| (1.0, g))
 }
 
 #[cfg(test)]
@@ -148,7 +152,16 @@ mod tests {
     #[test]
     fn linear_law_saves_nothing() {
         let g = loose_graph();
-        let s = scale_graph(&g, 0.5, DvfsLaw { power_exponent: 1.0 }, PERIOD, SLOT).unwrap();
+        let s = scale_graph(
+            &g,
+            0.5,
+            DvfsLaw {
+                power_exponent: 1.0,
+            },
+            PERIOD,
+            SLOT,
+        )
+        .unwrap();
         // P·f × S/f = same energy (up to slot-alignment rounding up).
         assert!(s.total_energy() >= g.total_energy() * 0.99);
     }
@@ -172,17 +185,13 @@ mod tests {
     fn max_feasible_slowdown_finds_a_factor() {
         let g = benchmarks::wam();
         let candidates = [0.25, 0.5, 0.75, 1.0];
-        let (f, scaled) = max_feasible_slowdown(
-            &g,
-            DvfsLaw::default(),
-            PERIOD,
-            SLOT,
-            &candidates,
-        )
-        .expect("some factor works");
+        let (f, scaled) = max_feasible_slowdown(&g, DvfsLaw::default(), PERIOD, SLOT, &candidates)
+            .expect("some factor works");
         assert!(f <= 1.0);
         assert!(scaled.validate(PERIOD).is_ok());
-        assert!(scaled.total_energy() <= g.total_energy() + helio_common::units::Joules::new(1e-12));
+        assert!(
+            scaled.total_energy() <= g.total_energy() + helio_common::units::Joules::new(1e-12)
+        );
     }
 
     #[test]

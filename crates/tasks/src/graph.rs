@@ -173,7 +173,10 @@ impl TaskGraph {
         for (_, to) in &self.edges {
             indegree[to.index()] += 1;
         }
-        let mut queue: Vec<TaskId> = (0..n).map(TaskId).filter(|t| indegree[t.index()] == 0).collect();
+        let mut queue: Vec<TaskId> = (0..n)
+            .map(TaskId)
+            .filter(|t| indegree[t.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop() {
             order.push(id);
@@ -211,15 +214,12 @@ impl TaskGraph {
                 .ids()
                 .filter(|&id| {
                     !scheduled[id.index()]
-                        && self
-                            .predecessors(id)
-                            .iter()
-                            .all(|p| scheduled[p.index()])
+                        && self.predecessors(id).iter().all(|p| scheduled[p.index()])
                 })
                 .min_by(|&a, &b| {
                     let da = self.task(a).deadline.value();
                     let db = self.task(b).deadline.value();
-                    da.partial_cmp(&db).expect("finite deadlines")
+                    da.total_cmp(&db)
                 })
                 .expect("acyclic graph always has a ready task");
             let t = self.task(next);
@@ -253,7 +253,7 @@ impl TaskGraph {
         for (i, t) in self.tasks.iter().enumerate() {
             let id = TaskId(i);
             let fail = |reason: String| TaskError::InvalidTask { id, reason };
-            if !(t.exec_time.value() > 0.0) {
+            if t.exec_time.value() <= 0.0 || t.exec_time.value().is_nan() {
                 return Err(fail(format!("execution time {} not positive", t.exec_time)));
             }
             if t.deadline < t.exec_time {
@@ -334,7 +334,10 @@ mod tests {
     #[test]
     fn edge_validation() {
         let (mut g, a, b, _) = pipeline();
-        assert_eq!(g.add_edge(a, TaskId(9)), Err(TaskError::UnknownTask(TaskId(9))));
+        assert_eq!(
+            g.add_edge(a, TaskId(9)),
+            Err(TaskError::UnknownTask(TaskId(9)))
+        );
         assert_eq!(g.add_edge(a, a), Err(TaskError::SelfLoop(a)));
         assert_eq!(g.add_edge(a, b), Err(TaskError::DuplicateEdge(a, b)));
     }

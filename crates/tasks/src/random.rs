@@ -9,7 +9,6 @@ use serde::Serialize;
 use crate::graph::TaskGraph;
 use crate::task::{Task, TaskId};
 
-
 /// Parameter ranges for random graph generation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RandomGraphConfig {
@@ -60,7 +59,10 @@ impl Default for RandomGraphConfig {
 ///
 /// Panics when the configuration ranges are inverted or empty.
 pub fn random_graph(name: &str, seed: u64, cfg: &RandomGraphConfig) -> TaskGraph {
-    assert!(cfg.tasks.0 >= 1 && cfg.tasks.0 <= cfg.tasks.1, "bad task range");
+    assert!(
+        cfg.tasks.0 >= 1 && cfg.tasks.0 <= cfg.tasks.1,
+        "bad task range"
+    );
     assert!(cfg.edges.0 <= cfg.edges.1, "bad edge range");
     assert!(cfg.nvps.0 >= 1 && cfg.nvps.0 <= cfg.nvps.1, "bad NVP range");
     assert!(!cfg.exec_choices.is_empty(), "need execution-time choices");
@@ -69,7 +71,11 @@ pub fn random_graph(name: &str, seed: u64, cfg: &RandomGraphConfig) -> TaskGraph
     // work than the period holds) or deadline-assignment reorders EDF in
     // a way that cannot be repaired; draw again with a derived seed.
     for attempt in 0..256u64 {
-        let candidate = try_random_graph(name, seed.wrapping_mul(0x9e37_79b9).wrapping_add(attempt), cfg);
+        let candidate = try_random_graph(
+            name,
+            seed.wrapping_mul(0x9e37_79b9).wrapping_add(attempt),
+            cfg,
+        );
         if let Some(g) = candidate {
             return g;
         }
@@ -164,7 +170,9 @@ fn try_random_graph(name: &str, seed: u64, cfg: &RandomGraphConfig) -> Option<Ta
             ));
         }
         for &(from, to) in out.edges() {
-            fixed.add_edge(from, to).expect("edges already deduplicated");
+            fixed
+                .add_edge(from, to)
+                .expect("edges already deduplicated");
         }
         out = fixed;
     }
@@ -209,7 +217,10 @@ mod tests {
         let g = random_graph("r", 3, &cfg);
         for task in g.tasks() {
             let d = task.deadline.value();
-            assert!((d / 60.0).fract().abs() < 1e-9, "deadline {d} not slot-aligned");
+            assert!(
+                (d / 60.0).fract().abs() < 1e-9,
+                "deadline {d} not slot-aligned"
+            );
         }
     }
 

@@ -10,11 +10,10 @@
 //! cargo run --release --example capacitor_sizing
 //! ```
 
-use heliosched::prelude::*;
-use heliosched::offline::asap_demand_profile;
-use helio_common::units::Joules;
 use helio_nvp::Pmu;
 use helio_storage::{migration_efficiency, MigrationSpec, SuperCap};
+use heliosched::offline::asap_demand_profile;
+use heliosched::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let storage = StorageModelParams::default();
@@ -61,11 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let day_trace = trace.extract_day(day);
         let mut delta_e = Vec::new();
         for j in 0..grid.periods_per_day() {
-            for (m, s) in day_trace
-                .grid()
-                .slots_in(PeriodRef::new(0, j))
-                .enumerate()
-            {
+            for (m, s) in day_trace.grid().slots_in(PeriodRef::new(0, j)).enumerate() {
                 delta_e.push(day_trace.slot_energy(s) - demand[m]);
             }
         }

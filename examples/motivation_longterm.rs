@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let longterm_report = engine.run(&mut optimal)?;
 
     println!("# Fig. 1 motivation: per-period DMR, greedy vs long-term");
-    println!("{:>6} {:>8} {:>8} {:>10}", "hour", "greedy", "longterm", "solar(mW)");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10}",
+        "hour", "greedy", "longterm", "solar(mW)"
+    );
     for (j, (g, l)) in greedy_report
         .periods
         .iter()
@@ -39,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if j % 2 != 0 {
             continue; // print every other period for brevity
         }
-        let solar_mw =
-            g.harvested.value() / grid.period_duration().value() * 1e3;
+        let solar_mw = g.harvested.value() / grid.period_duration().value() * 1e3;
         println!(
             "{:>6.1} {:>7.0}% {:>7.0}% {:>10.1}",
             grid.hour_of_day(PeriodRef::new(0, j)),

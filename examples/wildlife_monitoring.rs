@@ -14,15 +14,19 @@
 //! cargo run --release --example wildlife_monitoring
 //! ```
 
-use heliosched::prelude::*;
-use heliosched::{NodeConfig, OfflineConfig};
 use helio_nvp::Pmu;
 use helio_solar::WeatherProcess;
+use heliosched::prelude::*;
+use heliosched::{NodeConfig, OfflineConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let periods_per_day = 48;
     let graph = benchmarks::wam();
-    println!("wildlife monitoring collar: {} tasks on {} NVPs", graph.len(), graph.nvp_count());
+    println!(
+        "wildlife monitoring collar: {} tasks on {} NVPs",
+        graph.len(),
+        graph.nvp_count()
+    );
 
     // --- Offline, at design time -------------------------------------
     let train_grid = TimeGrid::new(8, periods_per_day, 10, Seconds::new(60.0))?;
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut offline = OfflineConfig::default();
     offline.dbn.bp_epochs = 500;
     let mut proposed = train_proposed(&node_train, &graph, &training, &offline)?;
-    println!("DBN trained on {} optimal samples", train_grid.total_periods());
+    println!(
+        "DBN trained on {} optimal samples",
+        train_grid.total_periods()
+    );
 
     // --- Online, in the field ----------------------------------------
     let week_grid = TimeGrid::new(7, periods_per_day, 10, Seconds::new(60.0))?;
@@ -70,8 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proposed_report = engine.run(&mut proposed)?;
 
     println!();
-    println!("one week in the field ({} periods):", week_grid.total_periods());
-    println!("{:>6} {:>9} {:>9} {:>9}", "day", "inter[3]", "intra[9]", "proposed");
+    println!(
+        "one week in the field ({} periods):",
+        week_grid.total_periods()
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>9}",
+        "day", "inter[3]", "intra[9]", "proposed"
+    );
     for d in 0..7 {
         println!(
             "{:>6} {:>8.1}% {:>8.1}% {:>8.1}%",
@@ -104,10 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("capacitor usage over the week:");
     for (h, (&count, size)) in usage.iter().zip(&sizes).enumerate() {
-        println!(
-            "  C{h} = {:6.1} F: active in {count} periods",
-            size.value()
-        );
+        println!("  C{h} = {:6.1} F: active in {count} periods", size.value());
     }
     Ok(())
 }

@@ -2,7 +2,6 @@
 //! workspace. The substance lives in the `crates/` members; see the
 //! README for the map.
 
-pub use heliosched;
 pub use helio_ann as ann;
 pub use helio_common as common;
 pub use helio_nvp as nvp;
@@ -10,3 +9,4 @@ pub use helio_sched as sched;
 pub use helio_solar as solar;
 pub use helio_storage as storage;
 pub use helio_tasks as tasks;
+pub use heliosched;

@@ -50,8 +50,8 @@ fn optimal_plans_are_reproducible() {
     let graph = benchmarks::ecg();
     let engine = Engine::new(&node, &graph, &t).expect("engine");
     let run = || {
-        let mut p = OptimalPlanner::compute(&node, &graph, &t, &DpConfig::default(), 0.5)
-            .expect("optimal");
+        let mut p =
+            OptimalPlanner::compute(&node, &graph, &t, &DpConfig::default(), 0.5).expect("optimal");
         engine.run(&mut p).expect("run")
     };
     assert_eq!(run(), run());

@@ -22,8 +22,8 @@ fn full_pipeline_produces_ordered_schedulers() {
     let graph = benchmarks::ecg();
     let training = weather(3, 91);
     let storage = StorageModelParams::default();
-    let sizes = size_capacitors(&graph, &training, 3, &storage, &Pmu::default())
-        .expect("sizing succeeds");
+    let sizes =
+        size_capacitors(&graph, &training, 3, &storage, &Pmu::default()).expect("sizing succeeds");
     assert_eq!(sizes.len(), 3);
 
     let node_train = NodeConfig::builder(grid(3))
@@ -43,8 +43,8 @@ fn full_pipeline_produces_ordered_schedulers() {
     };
     let engine = Engine::new(&node, &graph, &eval).expect("engine");
 
-    let mut optimal = OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5)
-        .expect("optimal");
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &eval, &DpConfig::default(), 0.5).expect("optimal");
     let opt = engine.run(&mut optimal).expect("optimal run");
     let prop = engine.run(&mut proposed).expect("proposed run");
     let inter = engine
@@ -88,8 +88,8 @@ fn mpc_with_perfect_prediction_approaches_optimal() {
         .expect("node");
     let engine = Engine::new(&node, &graph, &trace).expect("engine");
 
-    let mut optimal = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-        .expect("optimal");
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5).expect("optimal");
     let opt = engine.run(&mut optimal).expect("optimal run");
 
     let mut mpc = heliosched::ProposedPlanner::mpc(
@@ -122,17 +122,16 @@ fn optimal_dominates_inter_with_migration() {
         .expect("node");
     let engine = Engine::new(&node, &graph, &trace).expect("engine");
 
-    let mut optimal = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-        .expect("optimal");
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5).expect("optimal");
     let opt = engine.run(&mut optimal).expect("optimal run");
     let inter = engine
         .run(&mut FixedPlanner::new(Pattern::Inter, 1))
         .expect("inter");
 
     assert!(opt.overall_dmr() <= inter.overall_dmr() + 1e-9);
-    let stored = |r: &heliosched::SimReport| -> f64 {
-        r.periods.iter().map(|p| p.stored.value()).sum()
-    };
+    let stored =
+        |r: &heliosched::SimReport| -> f64 { r.periods.iter().map(|p| p.stored.value()).sum() };
     assert!(
         stored(&opt) > 0.0,
         "the optimal plan must migrate energy at all"
@@ -158,7 +157,5 @@ fn reports_serialise_to_json() {
     assert_eq!(report.planner, back.planner);
     assert_eq!(report.periods.len(), back.periods.len());
     assert!((report.overall_dmr() - back.overall_dmr()).abs() < 1e-12);
-    assert!(
-        (report.total_harvested().value() - back.total_harvested().value()).abs() < 1e-6
-    );
+    assert!((report.total_harvested().value() - back.total_harvested().value()).abs() < 1e-6);
 }

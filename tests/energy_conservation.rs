@@ -42,8 +42,7 @@ fn harvest_ledger_balances_every_period() {
         let eta = node.pmu.params().direct_efficiency;
         for p in &report.periods {
             let harvested = p.harvested.value();
-            let accounted =
-                p.served_direct.value() / eta + p.stored.value() + p.wasted.value();
+            let accounted = p.served_direct.value() / eta + p.stored.value() + p.wasted.value();
             assert!(
                 (harvested - accounted).abs() < 1e-6,
                 "{pattern}: period {} harvested {harvested} vs accounted {accounted}",
@@ -60,7 +59,11 @@ fn storage_never_creates_energy() {
     for archetypes in [
         vec![DayArchetype::Clear],
         vec![DayArchetype::BrokenClouds, DayArchetype::Overcast],
-        vec![DayArchetype::Clear, DayArchetype::Storm, DayArchetype::Storm],
+        vec![
+            DayArchetype::Clear,
+            DayArchetype::Storm,
+            DayArchetype::Storm,
+        ],
     ] {
         let (report, _) = run_one(Pattern::Intra, &archetypes, &[22.0]);
         let stored: f64 = report.periods.iter().map(|p| p.stored.value()).sum();
@@ -92,7 +95,10 @@ fn served_energy_never_exceeds_demand_or_supply() {
     );
     let harvested = report.total_harvested().value();
     let served = report.total_served().value();
-    assert!(served <= harvested, "served {served} > harvested {harvested}");
+    assert!(
+        served <= harvested,
+        "served {served} > harvested {harvested}"
+    );
     for p in &report.periods {
         let served_p = p.served_direct.value() + p.served_storage.value();
         let demand_p = served_p + p.unmet.value();
@@ -112,8 +118,7 @@ fn optimal_planner_obeys_the_same_ledger() {
         .expect("node");
     let graph = benchmarks::ecg();
     let mut planner =
-        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-            .expect("optimal");
+        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5).expect("optimal");
     let report = Engine::new(&node, &graph, &trace)
         .expect("engine")
         .run(&mut planner)

@@ -37,8 +37,8 @@ fn longterm_advantage_concentrates_at_night() {
     let greedy = engine
         .run(&mut FixedPlanner::new(Pattern::Intra, 1))
         .expect("greedy");
-    let mut planner = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-        .expect("optimal");
+    let mut planner =
+        OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5).expect("optimal");
     let longterm = engine.run(&mut planner).expect("optimal run");
 
     assert!(longterm.overall_dmr() <= greedy.overall_dmr() + 1e-9);
@@ -64,9 +64,8 @@ fn advantage_grows_as_solar_shrinks() {
         let inter = engine
             .run(&mut FixedPlanner::new(Pattern::Inter, 1))
             .expect("inter");
-        let mut planner =
-            OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-                .expect("optimal");
+        let mut planner = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+            .expect("optimal");
         let opt = engine.run(&mut planner).expect("run");
         gains.push(inter.overall_dmr() - opt.overall_dmr());
     }
@@ -90,8 +89,7 @@ fn capacitor_optimum_crosses_over_with_pattern() {
     let short = MigrationSpec::small_short();
     let long = MigrationSpec::large_long();
     assert!(
-        migration_efficiency(&small, &params, short)
-            > migration_efficiency(&mid, &params, short)
+        migration_efficiency(&small, &params, short) > migration_efficiency(&mid, &params, short)
     );
     assert!(
         migration_efficiency(&mid, &params, long) > migration_efficiency(&small, &params, long)
@@ -116,9 +114,8 @@ fn more_capacitors_never_hurt() {
             .capacitors(&sizes)
             .build()
             .expect("node");
-        let mut planner =
-            OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
-                .expect("optimal");
+        let mut planner = OptimalPlanner::compute(&node, &graph, &trace, &DpConfig::default(), 0.5)
+            .expect("optimal");
         let r = Engine::new(&node, &graph, &trace)
             .expect("engine")
             .run(&mut planner)

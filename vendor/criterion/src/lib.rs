@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock bench harness
+//! with the same API surface as the upstream crate's entry points used
+//! by this workspace. It reports mean per-iteration time to stdout and
+//! makes no statistical claims beyond that.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLES: usize = 50;
+
+/// Top-level harness handle passed to every bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness receives `--test`; run each
+        // routine once just to prove it works, without timing loops.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.samples(), &mut f);
+        self
+    }
+
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples(),
+            _parent: self,
+        }
+    }
+
+    fn samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            DEFAULT_SAMPLES
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if self._parent.test_mode {
+            return self;
+        }
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// Batch sizing hints; the stand-in treats them all alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timings for one benchmark routine.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // One warm-up pass, then the timed pass.
+    let mut warm = Bencher {
+        iters: 1,
+        total: Duration::ZERO,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        iters: samples,
+        total: Duration::ZERO,
+    };
+    f(&mut bench);
+    let per_iter = bench.total.as_secs_f64() / bench.iters.max(1) as f64;
+    println!(
+        "bench {label:<48} {:>12.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        bench.iters
+    );
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0usize;
+        let mut b = Bencher {
+            iters: 7,
+            total: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0usize;
+        let mut b = Bencher {
+            iters: 5,
+            total: Duration::ZERO,
+        };
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 3), &3, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+}

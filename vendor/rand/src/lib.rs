@@ -1,0 +1,352 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no access to a crates.io
+//! registry, so the workspace vendors the slice of `rand` 0.8's API it
+//! actually uses: the [`RngCore`]/[`Rng`] traits with `gen`, `gen_range`
+//! and `gen_bool`. The sampling algorithms follow upstream 0.8.5
+//! bit-for-bit (widening-multiply integer ranges, `[1, 2)`-mantissa
+//! float ranges, 53-bit unit doubles), so seeded streams reproduce the
+//! values the original dependency produced.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let n = rest.len();
+            rest.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly "at large" (the `Standard` distribution of
+/// upstream `rand`).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_int_32 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+std_int_32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! std_int_64 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_int_64!(u64, usize, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Low word first, as upstream.
+        let lo = u128::from(rng.next_u64());
+        let hi = u128::from(rng.next_u64());
+        (hi << 64) | lo
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn wmul_u32(a: u32, b: u32) -> (u32, u32) {
+    let full = u64::from(a) * u64::from(b);
+    ((full >> 32) as u32, full as u32)
+}
+
+#[inline]
+fn wmul_u64(a: u64, b: u64) -> (u64, u64) {
+    let full = u128::from(a) * u128::from(b);
+    ((full >> 64) as u64, full as u64)
+}
+
+// Upstream `UniformInt::sample_single_inclusive`: draw a word of the
+// "large" width, widening-multiply by the range, reject the biased
+// tail via the zone test.
+macro_rules! range_int {
+    ($($t:ty, $ut:ty, $ul:ty, $wmul:ident;)*) => {$(
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range =
+                    ((high as $ut).wrapping_sub(low as $ut).wrapping_add(1)) as $ul;
+                if range == 0 {
+                    // The whole domain: any value is in range.
+                    return <$t as StandardSample>::sample(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$ul as StandardSample>::sample(rng);
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+range_int! {
+    u8, u8, u32, wmul_u32;
+    u16, u16, u32, wmul_u32;
+    u32, u32, u32, wmul_u32;
+    u64, u64, u64, wmul_u64;
+    usize, usize, u64, wmul_u64;
+    i8, u8, u32, wmul_u32;
+    i16, u16, u32, wmul_u32;
+    i32, u32, u32, wmul_u32;
+    i64, u64, u64, wmul_u64;
+    isize, usize, u64, wmul_u64;
+}
+
+// Upstream `UniformFloat`: a mantissa-filled float in `[1, 2)` shifted
+// to `[0, 1)`, scaled into the range, with a rejection retry for the
+// rounding edge.
+macro_rules! range_float {
+    ($($t:ty, $ut:ty, $discard:expr, $exp_one:expr;)*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    let bits = <$ut as StandardSample>::sample(rng);
+                    let value1_2 = <$t>::from_bits((bits >> $discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let scale = (high - low) / (1.0 as $t - <$t>::EPSILON / 2.0);
+                loop {
+                    let bits = <$ut as StandardSample>::sample(rng);
+                    let value1_2 = <$t>::from_bits((bits >> $discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+range_float! {
+    f32, u32, 9u32, 0x3f80_0000u32;
+    f64, u64, 12u64, 0x3ff0_0000_0000_0000u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] — the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (upstream's `Standard` distribution).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(-1.0..=1.0)`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` (upstream's 64-bit
+    /// fixed-point comparison).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.gen::<u64>() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Upstream-compatible module path for the core trait.
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_floats_live_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let a = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&a));
+            let b = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&b));
+            let c = rng.gen_range(0u64..=3);
+            assert!(c <= 3);
+            let d = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&d));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = Counter(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..=4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_slice() {
+        let mut rng = Counter(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(2);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rand_chacha` crate: a genuine ChaCha8
+//! stream-cipher generator behind the same `ChaCha8Rng` name and
+//! `rand_core::SeedableRng` seeding entry points the workspace uses.
+//!
+//! Determinism is the contract: the same seed always yields the same
+//! stream, on every platform (the core is pure integer arithmetic).
+//! The block function, word order, and `seed_from_u64` expansion follow
+//! upstream `rand_chacha`/`rand_core`, so seeded streams reproduce the
+//! values the original dependency produced.
+
+use rand::RngCore;
+
+/// Seeding traits, mirroring the `rand_core` re-export of upstream.
+pub mod rand_core {
+    /// A generator constructible from a fixed-size seed.
+    pub trait SeedableRng: Sized {
+        /// Seed type (32 bytes for the ChaCha family).
+        type Seed: Default + AsMut<[u8]>;
+
+        /// Builds the generator from a full seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Builds the generator from a 64-bit seed, expanded with a
+        /// PCG32 stream exactly as `rand_core` 0.6 does, so that nearby
+        /// integers give unrelated streams.
+        fn seed_from_u64(mut state: u64) -> Self {
+            fn pcg32(state: &mut u64) -> [u8; 4] {
+                const MUL: u64 = 6_364_136_223_846_793_005;
+                const INC: u64 = 11_634_580_027_462_260_723;
+                *state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let s = *state;
+                let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+                let rot = (s >> 59) as u32;
+                xorshifted.rotate_right(rot).to_le_bytes()
+            }
+            let mut seed = Self::Seed::default();
+            for chunk in seed.as_mut().chunks_mut(4) {
+                let x = pcg32(&mut state);
+                chunk.copy_from_slice(&x[..chunk.len()]);
+            }
+            Self::from_seed(seed)
+        }
+    }
+
+    pub use rand::RngCore;
+}
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// The ChaCha8 deterministic generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 8 key words, 2 counter words,
+    /// 2 nonce words.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 means "refill".
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (b, (xi, si)) in self.buf.iter_mut().zip(x.iter().zip(&self.state)) {
+            *b = xi.wrapping_add(*si);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" constants.
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for (i, chunk) in seed.chunks(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word();
+        let hi = self.next_word();
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha8_known_answer() {
+        // ECRYPT ChaCha8 test vector: 256-bit zero key, zero IV, first
+        // keystream block.
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let expected: [u8; 32] = [
+            0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+            0xa5, 0xa1, 0x2c, 0x84, 0x0e, 0xc3, 0xce, 0x9a, 0x7f, 0x3b, 0x18, 0x1b, 0xe1, 0x88,
+            0xef, 0x71, 0x1a, 0x1e,
+        ];
+        let mut got = [0u8; 32];
+        for (chunk, _) in got.chunks_mut(4).zip(0..) {
+            chunk.copy_from_slice(&rng.next_u32().to_le_bytes());
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = ChaCha8Rng::seed_from_u64(1).gen();
+        let b: u64 = ChaCha8Rng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearby_seeds_are_decorrelated() {
+        // The low bytes of consecutive outputs should not track the seed.
+        let xs: Vec<u64> = (0..64)
+            .map(|s| ChaCha8Rng::seed_from_u64(s).gen())
+            .collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "collisions across seeds");
+    }
+
+    #[test]
+    fn stream_advances_and_clones_fork() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a: u64 = rng.gen();
+        let mut fork = rng.clone();
+        let b: u64 = rng.gen();
+        assert_ne!(a, b);
+        assert_eq!(b, fork.gen::<u64>(), "clone resumes at same point");
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of many unit draws should approach 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a minimal serialization framework under serde's
+//! names: a [`Serialize`] trait that writes JSON text directly, a
+//! [`Deserialize`] trait that reads from a parsed [`Value`] tree, and
+//! (behind the `derive` feature) `#[derive(Serialize, Deserialize)]`
+//! proc-macros covering the struct/enum shapes this workspace defines.
+//!
+//! The data format is JSON only — exactly what the workspace needs for
+//! report emission and DBN weight round-trips. Numbers are kept as raw
+//! tokens so `u64` and shortest-round-trip `f64` survive untouched.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON value. Object keys keep insertion order so output is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, stored as its raw token to avoid precision loss.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (ordered key/value pairs).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `self` is not an object or the field is
+    /// missing.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Indexes into an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `self` is not an array or too short.
+    pub fn index(&self, i: usize) -> Result<&Value, DeError> {
+        match self {
+            Value::Arr(items) => items
+                .get(i)
+                .ok_or_else(|| DeError(format!("array index {i} out of range"))),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The elements of an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `self` is not an array.
+    pub fn as_array(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The contents of a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialization from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or type mismatches.
+    fn deserialize_json(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Escapes and appends a string literal (with surrounding quotes).
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- Serialize impls for primitives and containers ----
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Formats an integer without going through `format!` (hot path for
+/// large reports).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips
+            // exactly — the determinism contract of report JSON.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn ser_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out),
+            Value::Num(tok) => out.push_str(tok),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Arr(items) => ser_seq(items.iter(), out),
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.serialize_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+// ---- Deserialize impls ----
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! de_num {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(tok) => tok.parse::<$t>().map_err(|e| {
+                        DeError(format!("bad {} token `{tok}`: {e}", stringify!($t)))
+                    }),
+                    other => Err(DeError(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(tok) => tok
+                .parse::<f64>()
+                .map_err(|e| DeError(format!("bad f64 token `{tok}`: {e}"))),
+            // Non-finite floats serialize as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_json(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        v.as_array()?.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::deserialize_json)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError("array conversion failed".into()))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        Ok((
+            A::deserialize_json(v.index(0)?)?,
+            B::deserialize_json(v.index(1)?)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        Ok((
+            A::deserialize_json(v.index(0)?)?,
+            B::deserialize_json(v.index(1)?)?,
+            C::deserialize_json(v.index(2)?)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ser<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(ser(&true), "true");
+        assert_eq!(ser(&42u64), "42");
+        assert_eq!(ser(&-7i32), "-7");
+        assert_eq!(ser(&1.5f64), "1.5");
+        assert_eq!(ser(&f64::NAN), "null");
+        assert_eq!(ser(&"a\"b\n".to_string()), "\"a\\\"b\\n\"");
+        assert_eq!(ser(&vec![1usize, 2, 3]), "[1,2,3]");
+        assert_eq!(ser(&(1u32, 2.5f64)), "[1,2.5]");
+        assert_eq!(ser(&Some(3u8)), "3");
+        assert_eq!(ser(&None::<u8>), "null");
+    }
+
+    #[test]
+    fn f64_round_trips_shortest() {
+        let x = 0.1f64 + 0.2f64;
+        let s = ser(&x);
+        assert_eq!(s.parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Obj(vec![("a".into(), Value::Num("1".into()))]);
+        assert_eq!(u64::deserialize_json(v.field("a").unwrap()).unwrap(), 1);
+        assert!(v.field("b").is_err());
+        assert!(v.index(0).is_err());
+        assert!(Value::Arr(vec![]).index(0).is_err());
+    }
+
+    #[test]
+    fn deserialize_primitives() {
+        assert!(bool::deserialize_json(&Value::Bool(true)).unwrap());
+        assert_eq!(
+            f64::deserialize_json(&Value::Num("2.5".into())).unwrap(),
+            2.5
+        );
+        assert!(f64::deserialize_json(&Value::Null).unwrap().is_nan());
+        assert_eq!(Option::<u32>::deserialize_json(&Value::Null).unwrap(), None);
+        assert!(usize::deserialize_json(&Value::Str("x".into())).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro` token streams (the build
+//! environment has no registry access, so `syn`/`quote` are not
+//! available). Supports exactly the type shapes this workspace defines:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs with one field → transparent (the inner value);
+//! * tuple structs with several fields → JSON arrays;
+//! * unit structs → `null`;
+//! * enums whose variants all carry no data → the variant name as a
+//!   JSON string.
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one
+//! used in-tree is `transparent`, which matches the single-field tuple
+//! behaviour above. Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    /// Enum variants with their payload arity (0 = unit, 1 = newtype).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Splits a token slice on top-level commas, treating `<...>` as
+/// nesting (groups are already atomic trees).
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut saw_token = false;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    // A trailing comma adds a phantom field.
+    if !saw_token {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Extracts named-field identifiers from the brace-group tokens.
+fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (`#[...]`, doc comments included).
+        if is_punct(&tokens[i], '#') {
+            i += 2; // '#' + bracket group
+            continue;
+        }
+        // Skip visibility.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Field name.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: unexpected token in struct body: {other}"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(name);
+    }
+    out
+}
+
+/// Extracts variant names and payload arities from the enum
+/// brace-group tokens. Unit and single-field tuple (newtype) variants
+/// are supported; struct variants and wider tuples are rejected.
+fn enum_variants(tokens: &[TokenTree], type_name: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '#') {
+            i += 2;
+            continue;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: unexpected token in enum `{type_name}`: {other}"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        match tokens.get(i) {
+            None => {}
+            Some(tt) if is_punct(tt, ',') => i += 1,
+            Some(tt) if is_punct(tt, '=') => {
+                // Explicit discriminant: skip to the next comma.
+                while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                assert!(
+                    arity == 1,
+                    "serde_derive: enum `{type_name}` variant `{name}` has {arity} fields; \
+                     only unit and newtype variants are supported by the vendored derive"
+                );
+                i += 1;
+                if let Some(tt) = tokens.get(i) {
+                    if is_punct(tt, ',') {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive: enum `{type_name}` variant `{name}` is a struct variant; \
+                 only unit and newtype variants are supported by the vendored derive"
+            ),
+            Some(other) => panic!("serde_derive: unexpected token after variant `{name}`: {other}"),
+        }
+        out.push((name, arity));
+    }
+    out
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(tt) if is_punct(tt, '#') => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(tt) = tokens.get(i) {
+        assert!(
+            !is_punct(tt, '<'),
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        );
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple(
+                count_top_level_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            Some(tt) if is_punct(tt, ';') => Shape::Unit,
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum(
+                enum_variants(&g.stream().into_iter().collect::<Vec<_>>(), &name),
+            ),
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// `#[derive(Serialize)]` — JSON writer implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');");
+            code
+        }
+        Shape::Unit => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            // Externally tagged, as upstream serde: unit variants
+            // serialize as the variant-name string, newtype variants as
+            // a one-key object.
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!("{name}::{v} => ::serde::write_escaped(\"{v}\", out),\n")
+                    } else {
+                        format!(
+                            "{name}::{v}(inner) => {{\n\
+                             out.push_str(\"{{\\\"{v}\\\":\");\n\
+                             ::serde::Serialize::serialize_json(inner, out);\n\
+                             out.push('}}');\n}}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — reconstruction from a parsed JSON value.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::deserialize_json(v.field(\"{f}\")?)?,\n")
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize_json(v)?))"
+                .to_string()
+        }
+        Shape::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_json(v.index({i})?)?,\n"))
+                .collect();
+            format!("::std::result::Result::Ok(Self({inits}))")
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize_json(payload)?)),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, payload) = &pairs[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n{newtype_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError(\
+                 \"expected enum tag\".to_string())),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let _ = v;\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
