@@ -63,6 +63,16 @@ impl DbnConfig {
     }
 }
 
+/// Reusable buffers for [`Dbn::predict_into`]: the scaled input, the
+/// MLP's ping-pong activations, and the squashed output. One scratch
+/// per call site makes steady-state inference allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    x: Vec<f64>,
+    hidden: Vec<f64>,
+    y: Vec<f64>,
+}
+
 /// A trained DBN regressor with built-in input/output scaling.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dbn {
@@ -155,13 +165,33 @@ impl Dbn {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
     pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let x = self.input_scaler.transform(input)?;
-        let y = self.network.forward(&x)?;
-        let unsquashed: Vec<f64> = y
-            .iter()
-            .map(|v| ((v - 0.05) / 0.9).clamp(0.0, 1.0))
-            .collect();
-        self.output_scaler.inverse(&unsquashed)
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::with_capacity(self.output_dim());
+        self.predict_into(input, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Dbn::predict`] writing the prediction into `out` and reusing
+    /// `scratch` for every intermediate, so repeated inference (the
+    /// online planner calls this once per period) allocates nothing
+    /// after the first call. Bitwise identical to [`Dbn::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn predict_into(
+        &self,
+        input: &[f64],
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnnError> {
+        self.input_scaler.transform_into(input, &mut scratch.x)?;
+        self.network
+            .forward_into(&scratch.x, &mut scratch.hidden, &mut scratch.y)?;
+        for v in scratch.y.iter_mut() {
+            *v = ((*v - 0.05) / 0.9).clamp(0.0, 1.0);
+        }
+        self.output_scaler.inverse_into(&scratch.y, out)
     }
 
     /// Mean training loss of the final fine-tuning epoch (scaled
@@ -266,6 +296,19 @@ mod tests {
             a.predict(&[25.0, 3.0]).unwrap(),
             b.predict(&[25.0, 3.0]).unwrap()
         );
+    }
+
+    #[test]
+    fn predict_into_is_bitwise_predict() {
+        let (xs, ys) = dataset();
+        let dbn = Dbn::train(&xs, &ys, &DbnConfig::small(7)).unwrap();
+        let mut scratch = PredictScratch::default();
+        let mut out = Vec::new();
+        for x in xs.iter().step_by(17) {
+            dbn.predict_into(x, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, dbn.predict(x).unwrap());
+        }
+        assert!(dbn.predict_into(&[1.0], &mut scratch, &mut out).is_err());
     }
 
     #[test]

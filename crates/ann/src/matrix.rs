@@ -109,15 +109,29 @@ impl Matrix {
     ///
     /// Returns [`AnnError::DimensionMismatch`] when `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matvec`] writing into `out` (cleared first), so a
+    /// reused buffer makes repeated products allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
         if x.len() != self.cols {
             return Err(AnnError::dims(
                 format!("vector of length {}", self.cols),
                 format!("length {}", x.len()),
             ));
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
-            .collect())
+        out.clear();
+        out.extend(
+            (0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>()),
+        );
+        Ok(())
     }
 
     /// Transposed matrix–vector product `selfᵀ · x`.

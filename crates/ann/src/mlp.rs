@@ -26,11 +26,17 @@ impl Layer {
     }
 
     fn forward(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let mut z = self.weights.matvec(x)?;
-        for (zi, b) in z.iter_mut().zip(&self.bias) {
+        let mut z = Vec::with_capacity(self.bias.len());
+        self.forward_into(x, &mut z)?;
+        Ok(z)
+    }
+
+    fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
+        self.weights.matvec_into(x, out)?;
+        for (zi, b) in out.iter_mut().zip(&self.bias) {
             *zi = sigmoid(*zi + b);
         }
-        Ok(z)
+        Ok(())
     }
 
     /// Forward pass on a whole batch (`samples × in` rows in, `samples
@@ -95,11 +101,38 @@ impl Mlp {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
     pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let mut a = x.to_vec();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.forward_into(x, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Mlp::forward`] ping-ponging between two caller-owned buffers:
+    /// `out` ends up holding the output activation, and reused buffers
+    /// make repeated inference allocation-free (after the buffers grow
+    /// to the widest layer once). The input is read in place, never
+    /// copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn forward_into(
+        &self,
+        x: &[f64],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), AnnError> {
+        let mut first = true;
         for layer in &self.layers {
-            a = layer.forward(&a)?;
+            if first {
+                layer.forward_into(x, out)?;
+                first = false;
+            } else {
+                std::mem::swap(scratch, out);
+                layer.forward_into(scratch, out)?;
+            }
         }
-        Ok(a)
+        Ok(())
     }
 
     /// Forward pass over a batch of inputs, one output row per input
@@ -115,11 +148,24 @@ impl Mlp {
         if xs.is_empty() {
             return Ok(Vec::new());
         }
-        let mut a = Matrix::from_rows(xs)?;
-        for layer in &self.layers {
-            a = layer.forward_batch(&a)?;
-        }
+        let a = self.forward_batch_matrix(&Matrix::from_rows(xs)?)?;
         Ok((0..a.rows()).map(|r| a.row(r).to_vec()).collect())
+    }
+
+    /// [`Mlp::forward_batch`] on an already-packed `samples × in`
+    /// matrix, returning the `samples × out` activations as a matrix —
+    /// no per-row `Vec` is ever materialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong-width inputs.
+    pub fn forward_batch_matrix(&self, xs: &Matrix) -> Result<Matrix, AnnError> {
+        let mut a = None;
+        for layer in &self.layers {
+            let next = layer.forward_batch(a.as_ref().unwrap_or(xs))?;
+            a = Some(next);
+        }
+        Ok(a.expect("MLP has at least one layer"))
     }
 
     /// Forward pass keeping every layer's activation (for backprop).
@@ -340,6 +386,37 @@ mod tests {
         }
         assert!(mlp.forward_batch(&[vec![0.0; 2]]).is_err());
         assert!(mlp.forward_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_into_is_bitwise_forward_and_reuses_buffers() {
+        let mut rng = seeded(12);
+        let mlp = Mlp::new(&[5, 9, 4, 2], &mut rng).unwrap();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..8 {
+            let x: Vec<f64> = (0..5).map(|j| ((i * 5 + j) as f64).cos()).collect();
+            mlp.forward_into(&x, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, mlp.forward(&x).unwrap(), "sample {i}");
+        }
+        assert!(mlp.forward_into(&[0.0; 3], &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
+    fn forward_batch_matrix_matches_row_batch() {
+        let mut rng = seeded(13);
+        let mlp = Mlp::new(&[4, 6, 3], &mut rng).unwrap();
+        let xs: Vec<Vec<f64>> = (0..10)
+            .map(|i| (0..4).map(|j| ((i + j) as f64).sin()).collect())
+            .collect();
+        let rows = mlp.forward_batch(&xs).unwrap();
+        let m = mlp
+            .forward_batch_matrix(&Matrix::from_rows(&xs).unwrap())
+            .unwrap();
+        assert_eq!((m.rows(), m.cols()), (10, 3));
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(m.row(r), row.as_slice(), "row {r}");
+        }
     }
 
     #[test]

@@ -55,24 +55,33 @@ impl MinMaxScaler {
     ///
     /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
     pub fn transform(&self, sample: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.transform_into(sample, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MinMaxScaler::transform`] writing into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
+    pub fn transform_into(&self, sample: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
         if sample.len() != self.dim() {
             return Err(AnnError::dims(
                 format!("{} features", self.dim()),
                 format!("{}", sample.len()),
             ));
         }
-        Ok(sample
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let span = self.maxs[i] - self.mins[i];
-                if span <= 0.0 {
-                    0.5
-                } else {
-                    ((v - self.mins[i]) / span).clamp(0.0, 1.0)
-                }
-            })
-            .collect())
+        out.clear();
+        out.extend(sample.iter().enumerate().map(|(i, &v)| {
+            let span = self.maxs[i] - self.mins[i];
+            if span <= 0.0 {
+                0.5
+            } else {
+                ((v - self.mins[i]) / span).clamp(0.0, 1.0)
+            }
+        }));
+        Ok(())
     }
 
     /// Inverse transform from `[0, 1]` back to the original range.
@@ -81,24 +90,33 @@ impl MinMaxScaler {
     ///
     /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
     pub fn inverse(&self, scaled: &[f64]) -> Result<Vec<f64>, AnnError> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.inverse_into(scaled, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MinMaxScaler::inverse`] writing into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] on wrong feature counts.
+    pub fn inverse_into(&self, scaled: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
         if scaled.len() != self.dim() {
             return Err(AnnError::dims(
                 format!("{} features", self.dim()),
                 format!("{}", scaled.len()),
             ));
         }
-        Ok(scaled
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let span = self.maxs[i] - self.mins[i];
-                if span <= 0.0 {
-                    self.mins[i]
-                } else {
-                    self.mins[i] + v * span
-                }
-            })
-            .collect())
+        out.clear();
+        out.extend(scaled.iter().enumerate().map(|(i, &v)| {
+            let span = self.maxs[i] - self.mins[i];
+            if span <= 0.0 {
+                self.mins[i]
+            } else {
+                self.mins[i] + v * span
+            }
+        }));
+        Ok(())
     }
 }
 

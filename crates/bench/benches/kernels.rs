@@ -8,6 +8,8 @@
 //! * `fig7_solar` — synthetic trace generation
 //! * `table2_migration` — migration experiment (model + reference)
 //! * `fig8_engine` — one simulated day per scheduler pattern
+//! * `slot_loop` — the online hot path over a four-day run (the loop
+//!   `bench_online` reports in results/BENCH_online.json)
 //! * `fig8_fig9_dp` — the long-term DP over one day
 //! * `fig10a_mpc` — an MPC replan at several horizons
 //! * `fig10b_sizing` — per-day capacitor sizing
@@ -95,6 +97,40 @@ fn fig8_engine(c: &mut Criterion) {
     for pattern in [Pattern::Asap, Pattern::Inter, Pattern::Intra] {
         group.bench_with_input(
             BenchmarkId::new("one_day_wam", format!("{pattern}")),
+            &pattern,
+            |b, &p| b.iter(|| engine.run(&mut FixedPlanner::new(p, 0)).expect("run")),
+        );
+    }
+    group.finish();
+}
+
+fn slot_loop(c: &mut Criterion) {
+    // The online hot path under Criterion's sampling: a four-day run
+    // (4 × 24 × 10 = 960 slots) per scheduler pattern on the ecg graph.
+    // This is the same loop `bench_online` times for
+    // results/BENCH_online.json; here it guards against slot-path
+    // regressions in CI without the JSON machinery.
+    let grid = paper_grid(4, 24);
+    let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+        .seed(11)
+        .days(&[
+            helio_solar::DayArchetype::Clear,
+            helio_solar::DayArchetype::BrokenClouds,
+            helio_solar::DayArchetype::Overcast,
+            helio_solar::DayArchetype::Clear,
+        ])
+        .build();
+    let graph = benchmarks::ecg();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(10.0)])
+        .build()
+        .expect("node");
+    let engine = Engine::new(&node, &graph, &trace).expect("engine");
+    let mut group = c.benchmark_group("slot_loop");
+    group.sample_size(30);
+    for pattern in [Pattern::Asap, Pattern::Inter, Pattern::Intra] {
+        group.bench_with_input(
+            BenchmarkId::new("four_day_ecg_960_slots", format!("{pattern}")),
             &pattern,
             |b, &p| b.iter(|| engine.run(&mut FixedPlanner::new(p, 0)).expect("run")),
         );
@@ -345,6 +381,7 @@ criterion_group!(
     fig7_solar,
     table2_migration,
     fig8_engine,
+    slot_loop,
     fig8_fig9_dp,
     matmul_kernels,
     dp_memoization,

@@ -1,0 +1,21 @@
+//! Regenerates the committed online golden suite
+//! (`results/golden_online/*.json`).
+//!
+//! Run this only when the engine's observable behaviour is *supposed*
+//! to change (e.g. a model fix); `tests/golden_online.rs` then keeps
+//! every future refactor byte-identical to the committed files.
+
+use helio_bench::golden::{golden_reports, render, GOLDEN_DIR};
+
+fn main() {
+    std::fs::create_dir_all(GOLDEN_DIR).expect("golden dir");
+    for (name, report) in golden_reports() {
+        let path = format!("{GOLDEN_DIR}/{name}.json");
+        std::fs::write(&path, render(&report)).expect("write golden file");
+        println!(
+            "wrote {path}  (dmr {:.4}, {} periods)",
+            report.overall_dmr(),
+            report.periods.len()
+        );
+    }
+}

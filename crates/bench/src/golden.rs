@@ -1,0 +1,131 @@
+//! The online golden suite: a fixed set of `Engine::run` configurations
+//! whose `SimReport`s are committed to `results/golden_online/` and
+//! re-checked byte for byte by `tests/golden_online.rs` (and CI).
+//!
+//! The suite pins the engine's observable behaviour across refactors:
+//! all six benchmarks × the three fixed patterns, plus the
+//! planner-driven paths (optimal LUT, MPC, DBN) on ECG — every case on
+//! the four archetype days under fixed seeds. The vendored serde
+//! serialises `f64` via shortest-round-trip formatting, so identical
+//! reports produce identical bytes.
+
+use helio_ann::{Dbn, DbnConfig};
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
+use helio_tasks::benchmarks;
+use heliosched::{
+    DpConfig, Engine, FixedPlanner, NodeConfig, OptimalPlanner, Pattern, ProposedPlanner,
+    SimReport, SwitchRule,
+};
+
+/// Seed of the golden trace (matches the online planner unit tests).
+pub const GOLDEN_SEED: u64 = 11;
+
+/// Pattern-selection threshold `δ` used by the planner-driven cases.
+pub const GOLDEN_DELTA: f64 = 0.5;
+
+/// The golden grid: four days of 24 × (10 × 60 s) periods.
+pub fn golden_grid() -> TimeGrid {
+    TimeGrid::new(4, 24, 10, Seconds::new(60.0)).expect("golden grid dimensions are valid")
+}
+
+/// The four archetype days (clear → storm) under the golden seed.
+pub fn golden_trace() -> SolarTrace {
+    TraceBuilder::new(golden_grid(), SolarPanel::paper_panel())
+        .seed(GOLDEN_SEED)
+        .days(&DayArchetype::ALL)
+        .build()
+}
+
+/// A two-capacitor node (small + large) so capacitor switching is
+/// exercised by the planner-driven cases.
+pub fn golden_node() -> NodeConfig {
+    NodeConfig::builder(golden_grid())
+        .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+        .build()
+        .expect("golden node config is valid")
+}
+
+/// DP resolution of the golden optimal/MPC cases (small enough to keep
+/// the golden test quick in debug builds).
+pub fn golden_dp() -> DpConfig {
+    DpConfig {
+        voltage_buckets: 6,
+        keep_per_level: 1,
+    }
+}
+
+/// Trains the golden DBN from the optimal planner's recorded samples.
+pub fn golden_dbn(optimal: &OptimalPlanner) -> Dbn {
+    let inputs: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.input.clone()).collect();
+    let targets: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.target.clone()).collect();
+    let mut cfg = DbnConfig::small(GOLDEN_SEED);
+    cfg.bp_epochs = 150; // golden suite runs in debug CI; keep it quick
+    Dbn::train(&inputs, &targets, &cfg).expect("golden DBN trains")
+}
+
+/// Runs the whole golden suite and returns `(case name, report)` pairs
+/// in a fixed order. Case names double as file stems under
+/// `results/golden_online/`.
+pub fn golden_reports() -> Vec<(String, SimReport)> {
+    let node = golden_node();
+    let trace = golden_trace();
+    let mut out = Vec::new();
+
+    // Six benchmarks × three fixed patterns. ASAP gets the small
+    // capacitor (it hoards no energy), the planned patterns the large.
+    for graph in benchmarks::all_six() {
+        let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+        for (pattern, cap) in [
+            (Pattern::Asap, 0usize),
+            (Pattern::Inter, 1),
+            (Pattern::Intra, 1),
+        ] {
+            let report = engine
+                .run(&mut FixedPlanner::new(pattern, cap))
+                .expect("golden fixed run");
+            out.push((format!("{}_{}", graph.name(), pattern), report));
+        }
+    }
+
+    // Planner-driven paths on ECG: optimal LUT replay, MPC on a perfect
+    // oracle, and the DBN trained from the optimal samples.
+    let graph = benchmarks::ecg();
+    let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+    let dp = golden_dp();
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &dp, GOLDEN_DELTA).expect("golden optimal");
+    let dbn = golden_dbn(&optimal);
+    out.push((
+        "ecg_optimal".into(),
+        engine.run(&mut optimal).expect("golden optimal run"),
+    ));
+    let mut mpc = ProposedPlanner::mpc(
+        Box::new(NoisyOracle::perfect()),
+        24,
+        dp,
+        GOLDEN_DELTA,
+        SwitchRule::default(),
+    );
+    out.push((
+        "ecg_mpc".into(),
+        engine.run(&mut mpc).expect("golden mpc run"),
+    ));
+    let mut dbn_planner = ProposedPlanner::from_dbn(dbn, GOLDEN_DELTA, SwitchRule::default());
+    out.push((
+        "ecg_dbn".into(),
+        engine.run(&mut dbn_planner).expect("golden dbn run"),
+    ));
+    out
+}
+
+/// Canonical byte rendering of a golden report — the generator writes
+/// these bytes, the test compares against them.
+pub fn render(report: &SimReport) -> String {
+    let json = serde_json::to_string_pretty(report).expect("report serialises");
+    format!("{json}\n")
+}
+
+/// Repo-relative directory the golden files live in.
+pub const GOLDEN_DIR: &str = "results/golden_online";

@@ -19,6 +19,8 @@
 //! library half holds the shared experiment plumbing; the Criterion
 //! benches in `benches/` time the underlying kernels.
 
+pub mod golden;
+
 use std::time::Instant;
 
 use helio_common::time::TimeGrid;
@@ -172,6 +174,53 @@ pub struct BenchOfflineReport {
     /// Whether the cached+parallel DP reproduced the serial reference
     /// result exactly (hard failure if ever false).
     pub dp_matches_serial: bool,
+}
+
+/// Slot-loop throughput of one scheduling pattern (see `bench_online`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotLoopStat {
+    /// Fine-grained pattern (`asap`/`inter`/`intra`).
+    pub pattern: String,
+    /// Total slots simulated across all repetitions.
+    pub slots: u64,
+    /// Wall-clock over all repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// `slots / wall` in slots per second.
+    pub slots_per_sec: f64,
+}
+
+/// Per-period planner decision cost (see `bench_online`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStat {
+    /// Planner label (`asap`/`inter`/`intra`/`proposed-dbn`/`optimal`).
+    pub planner: String,
+    /// Total `plan()` calls timed.
+    pub decisions: u64,
+    /// Wall-clock over all calls, milliseconds.
+    pub wall_ms: f64,
+    /// Mean microseconds per decision.
+    pub us_per_decision: f64,
+}
+
+/// Machine-readable result of the `bench_online` binary
+/// (`results/BENCH_online.json`; the pre-refactor run is committed as
+/// `results/BENCH_online_baseline.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOnlineReport {
+    /// Worker threads configured (the slot loop itself is serial; this
+    /// records the environment for comparability).
+    pub threads: usize,
+    /// Slot-loop throughput per fine-grained pattern (ECG benchmark,
+    /// four archetype days).
+    pub slot_loop: Vec<SlotLoopStat>,
+    /// Aggregate throughput: total slots over total wall-clock.
+    pub slots_per_sec_overall: f64,
+    /// Per-period decision cost per planner.
+    pub planner_decision: Vec<DecisionStat>,
+    /// `slots_per_sec_overall` of the committed baseline, when present.
+    pub baseline_slots_per_sec: Option<f64>,
+    /// `slots_per_sec_overall / baseline`, when a baseline is present.
+    pub speedup_vs_baseline: Option<f64>,
 }
 
 /// Convenience: run the static optimal planner.

@@ -1,0 +1,44 @@
+//! Byte-identity check of the online golden suite: re-runs every
+//! golden configuration and compares the serialised `SimReport`
+//! against the committed `results/golden_online/*.json` files.
+//!
+//! The committed files were generated on the pre-refactor engine
+//! (`cargo run -p helio-bench --bin golden_online`), so this test —
+//! which CI runs — pins the refactored engine's behaviour bitwise:
+//! the vendored serde formats `f64` with shortest-round-trip
+//! precision, so byte equality is value equality.
+
+use std::path::PathBuf;
+
+use helio_bench::golden::{golden_reports, render, GOLDEN_DIR};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(GOLDEN_DIR)
+}
+
+#[test]
+fn reports_match_committed_goldens_bytewise() {
+    let dir = golden_dir();
+    let reports = golden_reports();
+    assert!(!reports.is_empty());
+    let mut checked = 0usize;
+    for (name, report) in &reports {
+        let path = dir.join(format!("{name}.json"));
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        let fresh = render(report);
+        assert_eq!(
+            fresh,
+            committed,
+            "SimReport for `{name}` diverged from the committed golden \
+             ({}). If the engine's behaviour changed intentionally, \
+             regenerate with `cargo run -p helio-bench --bin golden_online`.",
+            path.display()
+        );
+        checked += 1;
+    }
+    // 6 benchmarks × 3 patterns + optimal + mpc + dbn on ECG.
+    assert_eq!(checked, 21, "golden suite shrank unexpectedly");
+}

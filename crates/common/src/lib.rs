@@ -31,9 +31,11 @@ pub mod error;
 pub mod math;
 pub mod rng;
 pub mod stats;
+pub mod taskset;
 pub mod time;
 pub mod units;
 
 pub use error::{CommonError, Result};
+pub use taskset::{TaskSet, TaskSetIter};
 pub use time::{DayId, PeriodId, PeriodRef, SlotId, SlotRef, TimeGrid};
 pub use units::{Farads, Joules, Seconds, Volts, Watts};

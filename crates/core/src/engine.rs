@@ -18,6 +18,7 @@ use helio_sched::{
 use helio_solar::{SolarPredictor, SolarTrace, WcmaPredictor};
 use helio_storage::CapacitorBank;
 use helio_tasks::TaskGraph;
+use helio_tasks::TaskId;
 
 use crate::config::NodeConfig;
 use crate::error::CoreError;
@@ -95,6 +96,17 @@ impl<'a> Engine<'a> {
         let mut acc_misses = 0usize;
         let mut acc_tasks = 0usize;
 
+        // Slot-path scratch, built once: the execution state is reset in
+        // place each period and the per-task slot energies never change,
+        // so the loop below allocates nothing once warm.
+        let mut exec = ExecState::new(self.graph, slot_duration);
+        let slot_costs: Vec<Joules> = self
+            .graph
+            .tasks()
+            .iter()
+            .map(|t| t.power * slot_duration)
+            .collect();
+
         for period in grid.periods() {
             let accumulated_dmr = if acc_tasks == 0 {
                 0.0
@@ -118,19 +130,14 @@ impl<'a> Engine<'a> {
                 bank.set_active(c)?;
             }
 
-            let predicted = self
-                .predictor
-                .forecast(self.trace, period, 1)
-                .first()
-                .copied()
-                .unwrap_or(Joules::ZERO);
+            let predicted = self.predictor.forecast_one(self.trace, period);
             let start = PeriodStart {
                 graph: self.graph,
                 slot_duration,
                 slots_per_period: grid.slots_per_period(),
                 predicted_energy: predicted,
                 stored_energy: bank.active_deliverable(storage),
-                allowed: decision.allowed.clone(),
+                allowed: decision.allowed,
             };
             let scheduler: &mut dyn SlotScheduler = match decision.pattern {
                 Pattern::Asap => &mut asap,
@@ -139,7 +146,7 @@ impl<'a> Engine<'a> {
             };
             scheduler.begin_period(&start);
 
-            let mut exec = ExecState::new(self.graph, slot_duration);
+            exec.reset();
             let mut record = PeriodRecord {
                 period,
                 misses: 0,
@@ -176,8 +183,11 @@ impl<'a> Engine<'a> {
                     };
                     scheduler.select(&ctx)
                 };
+                // The bitmask iterates in ascending task index — the
+                // canonical order the f64 demand sum below relies on.
                 fleet.begin_slot();
-                for &id in &picked {
+                for i in picked.iter() {
+                    let id = TaskId(i);
                     fleet.assign(self.graph, id).map_err(|other| {
                         CoreError::SchedulerContract(format!(
                             "scheduler {} violated NVP exclusivity: {id} vs {other}",
@@ -185,10 +195,7 @@ impl<'a> Engine<'a> {
                         ))
                     })?;
                 }
-                let demand: Joules = picked
-                    .iter()
-                    .map(|&id| self.graph.task(id).power * slot_duration)
-                    .sum();
+                let demand: Joules = picked.iter().map(|i| slot_costs[i]).sum();
                 let flow = pmu.settle_slot(harvest, demand, &mut bank, storage);
                 record.harvested += flow.harvested;
                 record.served_direct += flow.served_direct;
@@ -197,8 +204,8 @@ impl<'a> Engine<'a> {
                 record.wasted += flow.wasted;
                 record.unmet += flow.unmet;
                 if flow.fully_served() {
-                    for id in picked {
-                        exec.advance(id);
+                    for i in picked {
+                        exec.advance(TaskId(i));
                     }
                 } else {
                     record.brownouts += 1;

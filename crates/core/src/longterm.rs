@@ -11,6 +11,7 @@
 //! `O(periods × buckets × subsets)`.
 
 use helio_common::units::{Joules, Seconds, Volts};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_par::par_map_range;
 use helio_sched::{simulate_subset_at, SubsetOutcome, SubsetSimCache};
@@ -38,10 +39,10 @@ impl Default for DpConfig {
 }
 
 /// The plan for one period produced by the DP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PeriodPlan {
     /// Committed task subset (`te_{i,j}(n)` bits).
-    pub subset: Vec<bool>,
+    pub subset: TaskSet,
     /// Scheduling-pattern index `α` (Eq. 18): committed load energy
     /// over solar supply. Clamped to `[0, 10]`; 10 denotes "no solar".
     pub alpha: f64,
@@ -88,7 +89,7 @@ fn voltage_bucket(cap: &SuperCap, v: Volts, buckets: usize) -> usize {
 fn step(
     cache: Option<&SubsetSimCache>,
     graph: &TaskGraph,
-    subset: &[bool],
+    subset: TaskSet,
     solar: &[Joules],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -121,10 +122,10 @@ fn step(
 }
 
 /// The scheduling-pattern index `α` of Eq. 18.
-pub fn alpha_index(graph: &TaskGraph, subset: &[bool], solar_energy: Joules) -> f64 {
+pub fn alpha_index(graph: &TaskGraph, subset: TaskSet, solar_energy: Joules) -> f64 {
     let load: f64 = graph
         .ids()
-        .filter(|id| subset[id.index()])
+        .filter(|id| subset.contains(id.index()))
         .map(|id| graph.task(id).energy().value())
         .sum();
     if solar_energy.value() <= 1e-9 {
@@ -154,7 +155,7 @@ pub fn alpha_index(graph: &TaskGraph, subset: &[bool], solar_energy: Joules) -> 
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_horizon(
     graph: &TaskGraph,
-    subsets: &[Vec<bool>],
+    subsets: &[TaskSet],
     solar: &[Vec<Joules>],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -185,7 +186,7 @@ pub fn optimize_horizon(
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_horizon_with_cache(
     graph: &TaskGraph,
-    subsets: &[Vec<bool>],
+    subsets: &[TaskSet],
     solar: &[Vec<Joules>],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -215,7 +216,7 @@ pub fn optimize_horizon_with_cache(
 #[allow(clippy::too_many_arguments)]
 pub fn optimize_horizon_serial(
     graph: &TaskGraph,
-    subsets: &[Vec<bool>],
+    subsets: &[TaskSet],
     solar: &[Vec<Joules>],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -242,7 +243,7 @@ pub fn optimize_horizon_serial(
 #[allow(clippy::too_many_arguments)]
 fn run_horizon(
     graph: &TaskGraph,
-    subsets: &[Vec<bool>],
+    subsets: &[TaskSet],
     solar: &[Vec<Joules>],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -281,7 +282,7 @@ fn run_horizon(
             let mut best = (f64::INFINITY, f64::INFINITY);
             let mut best_s = 0usize;
             let mut expansions = 0u64;
-            for (si, subset) in subsets.iter().enumerate() {
+            for (si, &subset) in subsets.iter().enumerate() {
                 expansions += 1;
                 let (outcome, v1) = step(
                     cache,
@@ -324,7 +325,7 @@ fn run_horizon(
     let mut total_misses = 0usize;
     for (p, solar_p) in solar.iter().enumerate() {
         let b = voltage_bucket(cap, voltage, buckets);
-        let subset = &subsets[choice[p][b]];
+        let subset = subsets[choice[p][b]];
         let (outcome, v1) = step(
             cache,
             graph,
@@ -338,7 +339,7 @@ fn run_horizon(
         );
         let solar_energy: Joules = solar_p.iter().copied().sum();
         plans.push(PeriodPlan {
-            subset: subset.clone(),
+            subset,
             alpha: alpha_index(graph, subset, solar_energy),
             expected_misses: outcome.misses,
             cap_energy: outcome.cap_drawn,
@@ -398,7 +399,7 @@ mod tests {
             &DpConfig::default(),
         );
         assert_eq!(r.total_misses, 0, "{r:?}");
-        assert!(r.plans.iter().all(|p| p.subset.iter().all(|&b| b)));
+        assert!(r.plans.iter().all(|p| p.subset == g.all_tasks()));
         assert!(r.complexity > 0);
     }
 
@@ -423,11 +424,11 @@ mod tests {
             &DpConfig::default(),
         );
         // Greedy everything-every-period for comparison.
-        let full = vec![true; g.len()];
+        let full = g.all_tasks();
         let mut v = cap.empty_state().voltage();
         let mut greedy_misses = 0;
         for p in &solar {
-            let (o, v1) = step(None, &g, &full, p, SLOT, &cap, v, &storage, &pmu);
+            let (o, v1) = step(None, &g, full, p, SLOT, &cap, v, &storage, &pmu);
             greedy_misses += o.misses;
             v = v1;
         }
@@ -438,24 +439,21 @@ mod tests {
             greedy_misses
         );
         // At least one night period should still complete something.
-        let night_completions: usize = r.plans[2..]
-            .iter()
-            .map(|p| p.subset.iter().filter(|&&b| b).count())
-            .sum();
+        let night_completions: usize = r.plans[2..].iter().map(|p| p.subset.len()).sum();
         assert!(night_completions > 0, "{:?}", r.plans);
     }
 
     #[test]
     fn alpha_reflects_load_to_supply_ratio() {
         let (g, ..) = setup();
-        let full = vec![true; g.len()];
-        let empty = vec![false; g.len()];
+        let full = g.all_tasks();
+        let empty = TaskSet::EMPTY;
         // ECG total energy ≈ 12.2 J.
-        let a = alpha_index(&g, &full, Joules::new(12.2));
+        let a = alpha_index(&g, full, Joules::new(12.2));
         assert!((a - 1.0).abs() < 0.05, "alpha {a}");
-        assert_eq!(alpha_index(&g, &full, Joules::ZERO), 10.0);
-        assert_eq!(alpha_index(&g, &empty, Joules::ZERO), 0.0);
-        assert!(alpha_index(&g, &full, Joules::new(50.0)) < 0.5);
+        assert_eq!(alpha_index(&g, full, Joules::ZERO), 10.0);
+        assert_eq!(alpha_index(&g, empty, Joules::ZERO), 0.0);
+        assert!(alpha_index(&g, full, Joules::new(50.0)) < 0.5);
     }
 
     #[test]

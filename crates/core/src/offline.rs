@@ -74,9 +74,12 @@ pub fn asap_demand_profile(
             direct_deliverable: Joules::ZERO,
             storage_deliverable: Joules::ZERO,
         });
-        let e: Joules = picked.iter().map(|&id| graph.task(id).power * slot).sum();
-        for id in picked {
-            exec.advance(id);
+        let e: Joules = picked
+            .iter()
+            .map(|i| graph.task(helio_tasks::TaskId(i)).power * slot)
+            .sum();
+        for i in picked {
+            exec.advance(helio_tasks::TaskId(i));
         }
         demand.push(e);
     }

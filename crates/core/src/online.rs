@@ -14,8 +14,9 @@
 //! abandon a charged capacitor) and the `δ` pattern-selection
 //! threshold of Section 5.2.
 
-use helio_ann::Dbn;
+use helio_ann::{Dbn, PredictScratch};
 use helio_common::units::Joules;
+use helio_common::TaskSet;
 use helio_solar::SolarPredictor;
 use helio_storage::SuperCap;
 use serde::{Deserialize, Serialize};
@@ -60,12 +61,21 @@ impl SwitchRule {
 }
 
 enum Backend {
-    Dbn(Box<Dbn>),
+    Dbn {
+        dbn: Box<Dbn>,
+        /// Inference scratch + output buffer, reused across periods.
+        scratch: PredictScratch,
+        out_buf: Vec<f64>,
+    },
     Mpc {
         predictor: Box<dyn SolarPredictor>,
         horizon_periods: usize,
         dp: DpConfig,
         cache: Option<MpcCache>,
+        /// Forecast scratch reused across replans: per-period predicted
+        /// energies and the per-slot spread the DP consumes.
+        forecast_buf: Vec<Joules>,
+        solar_buf: Vec<Vec<Joules>>,
     },
 }
 
@@ -82,16 +92,23 @@ pub struct ProposedPlanner {
     switch: SwitchRule,
     delta: f64,
     complexity: u64,
+    /// DBN input scratch, reused across periods.
+    input_buf: Vec<f64>,
 }
 
 impl ProposedPlanner {
     /// Creates the DBN-backed planner (the paper's deployed design).
     pub fn from_dbn(dbn: Dbn, delta: f64, switch: SwitchRule) -> Self {
         Self {
-            backend: Backend::Dbn(Box::new(dbn)),
+            backend: Backend::Dbn {
+                dbn: Box::new(dbn),
+                scratch: PredictScratch::default(),
+                out_buf: Vec::new(),
+            },
             switch,
             delta,
             complexity: 0,
+            input_buf: Vec::new(),
         }
     }
 
@@ -110,10 +127,13 @@ impl ProposedPlanner {
                 horizon_periods: horizon_periods.max(1),
                 dp,
                 cache: None,
+                forecast_buf: Vec::new(),
+                solar_buf: Vec::new(),
             },
             switch,
             delta,
             complexity: 0,
+            input_buf: Vec::new(),
         }
     }
 
@@ -125,15 +145,25 @@ impl ProposedPlanner {
     fn plan_mpc(&mut self, obs: &PlannerObservation<'_>) -> (usize, PeriodPlan) {
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        let (predictor, horizon_periods, dp, cache) = match &mut self.backend {
-            Backend::Mpc {
-                predictor,
-                horizon_periods,
-                dp,
-                cache,
-            } => (predictor, *horizon_periods, *dp, cache),
-            Backend::Dbn(_) => unreachable!("plan_mpc called on DBN backend"),
-        };
+        let (predictor, horizon_periods, dp, cache, forecast_buf, solar_buf) =
+            match &mut self.backend {
+                Backend::Mpc {
+                    predictor,
+                    horizon_periods,
+                    dp,
+                    cache,
+                    forecast_buf,
+                    solar_buf,
+                } => (
+                    predictor,
+                    *horizon_periods,
+                    *dp,
+                    cache,
+                    forecast_buf,
+                    solar_buf,
+                ),
+                Backend::Dbn { .. } => unreachable!("plan_mpc called on DBN backend"),
+            };
 
         let needs_replan = match cache {
             Some(c) => c.day != obs.period.day || flat < c.base_flat,
@@ -143,13 +173,16 @@ impl ProposedPlanner {
             // Forecast per-period energies over the horizon and spread
             // each evenly over its slots (the DP only needs period
             // granularity; intra-period shape comes from the real slots
-            // at execution time).
-            let predicted = predictor.forecast(obs.trace, obs.period, horizon_periods);
+            // at execution time). Both buffers are refilled in place, so
+            // replans after the first allocate nothing here.
             let slots = grid.slots_per_period();
-            let solar: Vec<Vec<Joules>> = predicted
-                .iter()
-                .map(|&e| vec![e / slots as f64; slots])
-                .collect();
+            predictor.forecast_into(obs.trace, obs.period, horizon_periods, forecast_buf);
+            solar_buf.resize_with(forecast_buf.len(), || Vec::with_capacity(slots));
+            for (row, &e) in solar_buf.iter_mut().zip(forecast_buf.iter()) {
+                row.clear();
+                row.resize(slots, e / slots as f64);
+            }
+            let solar = &*solar_buf;
             let subsets = dmr_level_subsets(obs.graph, dp.keep_per_level);
 
             let mut best: Option<(usize, crate::longterm::DpResult)> = None;
@@ -160,7 +193,7 @@ impl ProposedPlanner {
                 let r = optimize_horizon(
                     obs.graph,
                     &subsets,
-                    &solar,
+                    solar,
                     grid.slot_duration(),
                     &cap,
                     cap.state_at(v0),
@@ -191,8 +224,8 @@ impl ProposedPlanner {
 
         let c = cache.as_ref().expect("just planned");
         let idx = flat - c.base_flat;
-        let plan = c.plans.get(idx).cloned().unwrap_or_else(|| PeriodPlan {
-            subset: vec![true; obs.graph.len()],
+        let plan = c.plans.get(idx).copied().unwrap_or(PeriodPlan {
+            subset: obs.graph.all_tasks(),
             alpha: 1.0,
             expected_misses: 0,
             cap_energy: Joules::ZERO,
@@ -200,14 +233,20 @@ impl ProposedPlanner {
         (c.capacitor, plan)
     }
 
-    fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, Vec<bool>) {
-        let dbn = match &self.backend {
-            Backend::Dbn(d) => d,
+    fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
+        let (dbn, scratch, out_buf) = match &mut self.backend {
+            Backend::Dbn {
+                dbn,
+                scratch,
+                out_buf,
+            } => (dbn, scratch, out_buf),
             Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
         };
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        let mut input: Vec<f64> = Vec::with_capacity(grid.slots_per_period() + obs.bank.len() + 1);
+        let input = &mut self.input_buf;
+        input.clear();
+        input.reserve(grid.slots_per_period() + obs.bank.len() + 1);
         if flat == 0 {
             input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
         } else {
@@ -219,19 +258,21 @@ impl ProposedPlanner {
 
         // One DBN inference ≈ one state expansion worth of work.
         self.complexity += 1;
-        let out = match dbn.predict(&input) {
-            Ok(out) => out,
-            Err(_) => {
-                // Shape mismatch (e.g. trained on another node) — fall
-                // back to "run everything".
-                return (obs.bank.active_index(), 1.0, vec![true; obs.graph.len()]);
-            }
-        };
+        if dbn.predict_into(input, scratch, out_buf).is_err() {
+            // Shape mismatch (e.g. trained on another node) — fall
+            // back to "run everything".
+            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
+        }
+        let out = &*out_buf;
         let h_max = obs.bank.len().saturating_sub(1) as f64;
         let cap = out[0].clamp(0.0, h_max).round() as usize;
         let alpha = out[1].clamp(0.0, 10.0);
-        let mut allowed: Vec<bool> = out[2..].iter().map(|&b| b >= 0.5).collect();
-        allowed.resize(obs.graph.len(), false);
+        let mut allowed = TaskSet::EMPTY;
+        for i in 0..obs.graph.len() {
+            if out.get(2 + i).is_some_and(|&b| b >= 0.5) {
+                allowed.insert(i);
+            }
+        }
         // Close under dependencies: an admitted task drags in its
         // predecessors (the DBN's bits are independent sigmoids).
         let topo = obs
@@ -239,10 +280,8 @@ impl ProposedPlanner {
             .topological_order()
             .expect("validated graphs are acyclic");
         for &id in topo.iter().rev() {
-            if allowed[id.index()] {
-                for p in obs.graph.predecessors(id) {
-                    allowed[p.index()] = true;
-                }
+            if allowed.contains(id.index()) {
+                allowed = allowed.union(obs.graph.predecessor_set(id));
             }
         }
         // Abundant-solar override (the Section 5.2 selection method's
@@ -257,7 +296,7 @@ impl ProposedPlanner {
             let full_load = obs.graph.total_energy();
             if last_harvest * eta * 0.85 >= full_load {
                 let alpha = full_load / (last_harvest * eta);
-                return (cap, alpha, vec![true; obs.graph.len()]);
+                return (cap, alpha, obs.graph.all_tasks());
             }
         }
         (cap, alpha, allowed)
@@ -267,7 +306,7 @@ impl ProposedPlanner {
 impl PeriodPlanner for ProposedPlanner {
     fn name(&self) -> &'static str {
         match self.backend {
-            Backend::Dbn(_) => "proposed-dbn",
+            Backend::Dbn { .. } => "proposed-dbn",
             Backend::Mpc { .. } => "proposed-mpc",
         }
     }
@@ -278,7 +317,7 @@ impl PeriodPlanner for ProposedPlanner {
                 let (cap, plan) = self.plan_mpc(obs);
                 (cap, plan.alpha, plan.subset)
             }
-            Backend::Dbn(_) => self.plan_dbn(obs),
+            Backend::Dbn { .. } => self.plan_dbn(obs),
         };
         PlanDecision {
             capacitor: self.switch.decide(obs, suggested_cap),

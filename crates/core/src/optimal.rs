@@ -166,10 +166,16 @@ impl OptimalPlanner {
                 input.push(acc_dmr);
 
                 let mut target = vec![h_star as f64, plan.alpha];
-                target.extend(plan.subset.iter().map(|&b| if b { 1.0 } else { 0.0 }));
+                target.extend((0..graph.len()).map(|i| {
+                    if plan.subset.contains(i) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }));
                 samples.push(OptimalSample { input, target });
 
-                decisions.push((h_star, plan.clone()));
+                decisions.push((h_star, *plan));
                 acc_misses += plan.expected_misses;
                 acc_tasks += graph.len();
 
@@ -183,7 +189,7 @@ impl OptimalPlanner {
                         bank.set_state(0, cap.state_at(voltages[h]))?;
                         helio_sched::simulate_subset(
                             graph,
-                            &plan.subset,
+                            plan.subset,
                             &solar[j],
                             slot_duration,
                             &mut bank,
@@ -246,7 +252,7 @@ impl PeriodPlanner for OptimalPlanner {
         match self.decisions.get(flat) {
             Some((cap, plan)) => PlanDecision {
                 capacitor: Some(*cap),
-                allowed: Some(plan.subset.clone()),
+                allowed: Some(plan.subset),
                 pattern: Self::pattern_for_alpha(plan.alpha, self.delta),
             },
             None => PlanDecision::everything(Pattern::Intra),

@@ -10,6 +10,7 @@
 //! the DBN/MPC respectively.
 
 use helio_common::time::{PeriodRef, TimeGrid};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_solar::SolarTrace;
 use helio_storage::{CapacitorBank, StorageModelParams};
@@ -38,12 +39,12 @@ impl std::fmt::Display for Pattern {
 }
 
 /// What a planner decides for one period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlanDecision {
     /// Capacitor index to activate; `None` keeps the current one.
     pub capacitor: Option<usize>,
     /// Task-admission mask (`te_{i,j}(n)`); `None` admits every task.
-    pub allowed: Option<Vec<bool>>,
+    pub allowed: Option<TaskSet>,
     /// The fine-grained pattern for this period.
     pub pattern: Pattern,
 }

@@ -8,17 +8,18 @@
 //! size only the cheapest (by energy) few matter — this is the
 //! `(N+1)`-level reduction that makes the long-term DP tractable.
 
+use helio_common::TaskSet;
 use helio_tasks::TaskGraph;
 
 /// All dependency-closed subsets (every predecessor of an included task
-/// is included), as masks over the task ids. Includes the empty and
-/// full subsets.
+/// is included), as bitmasks over the task ids, in ascending mask
+/// order. Includes the empty and full subsets.
 ///
 /// # Panics
 ///
 /// Panics for graphs with more than 20 tasks (enumeration is 2^N; the
 /// paper's benchmarks have at most 8).
-pub fn closed_subsets(graph: &TaskGraph) -> Vec<Vec<bool>> {
+pub fn closed_subsets(graph: &TaskGraph) -> Vec<TaskSet> {
     let n = graph.len();
     assert!(n <= 20, "subset enumeration is exponential; got {n} tasks");
     let mut out = Vec::new();
@@ -28,7 +29,7 @@ pub fn closed_subsets(graph: &TaskGraph) -> Vec<Vec<bool>> {
                 continue 'mask;
             }
         }
-        out.push((0..n).map(|i| mask & (1 << i) != 0).collect());
+        out.push(TaskSet::from_bits(mask));
     }
     out
 }
@@ -37,26 +38,21 @@ pub fn closed_subsets(graph: &TaskGraph) -> Vec<Vec<bool>> {
 /// `keep` dependency-closed subsets with the smallest total energy.
 /// The result is sorted by size then energy, deduplicated, and always
 /// contains the empty and full subsets.
-pub fn dmr_level_subsets(graph: &TaskGraph, keep: usize) -> Vec<Vec<bool>> {
+pub fn dmr_level_subsets(graph: &TaskGraph, keep: usize) -> Vec<TaskSet> {
     let all = closed_subsets(graph);
-    let energy = |mask: &Vec<bool>| -> f64 {
+    let energy = |mask: TaskSet| -> f64 {
         graph
             .ids()
-            .filter(|id| mask[id.index()])
+            .filter(|id| mask.contains(id.index()))
             .map(|id| graph.task(id).energy().value())
             .sum()
     };
     let n = graph.len();
-    let mut out: Vec<Vec<bool>> = Vec::new();
+    let mut out: Vec<TaskSet> = Vec::new();
     for k in 0..=n {
-        let mut level: Vec<&Vec<bool>> = all
-            .iter()
-            .filter(|m| m.iter().filter(|&&b| b).count() == k)
-            .collect();
-        level.sort_by(|a, b| energy(a).total_cmp(&energy(b)));
-        for m in level.into_iter().take(keep.max(1)) {
-            out.push(m.clone());
-        }
+        let mut level: Vec<TaskSet> = all.iter().copied().filter(|m| m.len() == k).collect();
+        level.sort_by(|&a, &b| energy(a).total_cmp(&energy(b)));
+        out.extend(level.into_iter().take(keep.max(1)));
     }
     out
 }
@@ -72,14 +68,17 @@ mod tests {
         let subsets = closed_subsets(&g);
         for s in &subsets {
             for (from, to) in g.edges() {
-                if s[to.index()] {
-                    assert!(s[from.index()], "subset {s:?} breaks {from:?}->{to:?}");
+                if s.contains(to.index()) {
+                    assert!(
+                        s.contains(from.index()),
+                        "subset {s} breaks {from:?}->{to:?}"
+                    );
                 }
             }
         }
         // Empty and full present.
-        assert!(subsets.iter().any(|s| s.iter().all(|&b| !b)));
-        assert!(subsets.iter().any(|s| s.iter().all(|&b| b)));
+        assert!(subsets.contains(&TaskSet::EMPTY));
+        assert!(subsets.contains(&g.all_tasks()));
     }
 
     #[test]
@@ -106,24 +105,18 @@ mod tests {
         let levels = dmr_level_subsets(&g, 2);
         let n = g.len();
         for k in 0..=n {
-            let count = levels
-                .iter()
-                .filter(|m| m.iter().filter(|&&b| b).count() == k)
-                .count();
+            let count = levels.iter().filter(|m| m.len() == k).count();
             assert!(count >= 1, "size {k} missing");
             assert!(count <= 2, "size {k} kept too many");
         }
         // The single-task level keeps the cheapest task
         // (heart_rate_sampling: 0.6 J).
-        let singles: Vec<&Vec<bool>> = levels
-            .iter()
-            .filter(|m| m.iter().filter(|&&b| b).count() == 1)
-            .collect();
+        let singles: Vec<&TaskSet> = levels.iter().filter(|m| m.len() == 1).collect();
         let cheapest = singles
             .iter()
             .map(|m| {
                 g.ids()
-                    .find(|id| m[id.index()])
+                    .find(|id| m.contains(id.index()))
                     .map(|id| g.task(id).energy().value())
                     .unwrap_or(f64::MAX)
             })
@@ -135,8 +128,8 @@ mod tests {
     fn dmr_levels_always_include_empty_and_full() {
         for g in benchmarks::all_six() {
             let levels = dmr_level_subsets(&g, 1);
-            assert!(levels.iter().any(|s| s.iter().all(|&b| !b)), "{}", g.name());
-            assert!(levels.iter().any(|s| s.iter().all(|&b| b)), "{}", g.name());
+            assert!(levels.contains(&TaskSet::EMPTY), "{}", g.name());
+            assert!(levels.contains(&g.all_tasks()), "{}", g.name());
         }
     }
 }

@@ -2,6 +2,7 @@
 //! memoized simulation identity, and parallel-vs-serial determinism.
 
 use helio_common::units::{Farads, Joules, Seconds, Volts};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_sched::{simulate_subset_at, SubsetSimCache};
 use helio_storage::{StorageModelParams, SuperCap};
@@ -21,10 +22,6 @@ fn graph_case(pick: usize) -> TaskGraph {
     }
 }
 
-fn contains_mask(set: &[Vec<bool>], mask: &[bool]) -> bool {
-    set.iter().any(|m| m == mask)
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -39,7 +36,7 @@ proptest! {
         for mask in &all {
             for (from, to) in graph.edges() {
                 prop_assert!(
-                    !mask[to.index()] || mask[from.index()],
+                    !mask.contains(to.index()) || mask.contains(from.index()),
                     "{}: task {} included without predecessor {}",
                     graph.name(),
                     to.index(),
@@ -47,15 +44,14 @@ proptest! {
                 );
             }
         }
-        let empty = vec![false; graph.len()];
-        let full = vec![true; graph.len()];
-        prop_assert!(contains_mask(&all, &empty));
-        prop_assert!(contains_mask(&all, &full));
+        let full = graph.all_tasks();
+        prop_assert!(all.contains(&TaskSet::EMPTY));
+        prop_assert!(all.contains(&full));
 
         let levels = dmr_level_subsets(&graph, keep);
-        prop_assert!(levels.iter().all(|m| contains_mask(&all, m)));
-        prop_assert!(contains_mask(&levels, &empty));
-        prop_assert!(contains_mask(&levels, &full));
+        prop_assert!(levels.iter().all(|m| all.contains(m)));
+        prop_assert!(levels.contains(&TaskSet::EMPTY));
+        prop_assert!(levels.contains(&full));
     }
 
     /// A cache hit returns the bitwise-identical outcome of an uncached
@@ -70,7 +66,7 @@ proptest! {
     ) {
         let graph = graph_case(pick);
         let subsets = dmr_level_subsets(&graph, 2);
-        let subset = &subsets[subset_seed % subsets.len()];
+        let subset = subsets[subset_seed % subsets.len()];
         let solar: Vec<Joules> = energies.iter().map(|&e| Joules::new(e)).collect();
         let slot = Seconds::new(60.0);
         let storage = StorageModelParams::default();

@@ -1,0 +1,114 @@
+//! Equivalence of the `TaskSet`-based subset enumeration against the
+//! legacy `Vec<bool>` formulation it replaced: on random DAGs both
+//! `closed_subsets` and `dmr_level_subsets` must emit the same masks in
+//! the same order, element for element.
+
+use helio_common::units::{Seconds, Watts};
+use helio_common::TaskSet;
+use helio_tasks::{Task, TaskGraph, TaskId};
+use heliosched::{closed_subsets, dmr_level_subsets};
+use proptest::prelude::*;
+
+/// Builds a random DAG: `powers.len()` tasks, an edge `i -> j` (i < j)
+/// for every set bit of `edge_bits`. Edges only point forward, so the
+/// graph is acyclic by construction.
+fn random_dag(powers: &[f64], edge_bits: u64) -> TaskGraph {
+    let n = powers.len();
+    let mut g = TaskGraph::new("equiv-prop");
+    for (i, &p) in powers.iter().enumerate() {
+        g.add_task(Task::new(
+            format!("t{i}"),
+            Seconds::new(60.0),
+            Seconds::new(600.0),
+            Watts::new(p),
+            i % 3,
+        ));
+    }
+    let mut pair = 0u32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if edge_bits & (1 << (pair % 64)) != 0 {
+                g.add_edge(TaskId(i), TaskId(j)).expect("forward edge");
+            }
+            pair += 1;
+        }
+    }
+    g
+}
+
+/// The pre-refactor reference enumeration over `Vec<bool>` masks:
+/// ascending `u32` mask order, edge check per mask.
+fn closed_subsets_ref(graph: &TaskGraph) -> Vec<Vec<bool>> {
+    let n = graph.len();
+    let mut out = Vec::new();
+    'mask: for mask in 0u32..(1u32 << n) {
+        let bits: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        for (from, to) in graph.edges() {
+            if bits[to.index()] && !bits[from.index()] {
+                continue 'mask;
+            }
+        }
+        out.push(bits);
+    }
+    out
+}
+
+/// The pre-refactor DMR-level reduction: per subset size, a stable sort
+/// by total energy keeps the cheapest `keep` masks.
+fn dmr_level_subsets_ref(graph: &TaskGraph, keep: usize) -> Vec<Vec<bool>> {
+    let all = closed_subsets_ref(graph);
+    let energy = |mask: &[bool]| -> f64 {
+        graph
+            .ids()
+            .filter(|id| mask[id.index()])
+            .map(|id| graph.task(id).energy().value())
+            .sum()
+    };
+    let n = graph.len();
+    let mut out = Vec::new();
+    for k in 0..=n {
+        let mut level: Vec<Vec<bool>> = all
+            .iter()
+            .filter(|m| m.iter().filter(|&&b| b).count() == k)
+            .cloned()
+            .collect();
+        level.sort_by(|a, b| energy(a).total_cmp(&energy(b)));
+        out.extend(level.into_iter().take(keep.max(1)));
+    }
+    out
+}
+
+fn same_masks(new: &[TaskSet], legacy: &[Vec<bool>], n: usize) {
+    assert_eq!(new.len(), legacy.len());
+    for (idx, (set, bits)) in new.iter().zip(legacy).enumerate() {
+        for (i, &b) in bits.iter().enumerate().take(n) {
+            assert_eq!(
+                set.contains(i),
+                b,
+                "mask {idx} bit {i}: {set} vs legacy {bits:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn taskset_enumeration_matches_legacy_reference(
+        powers in prop::collection::vec(0.01f64..0.5, 1..=12),
+        edge_bits in any::<u64>(),
+        keep in 1usize..4,
+    ) {
+        let graph = random_dag(&powers, edge_bits);
+        let n = graph.len();
+
+        let new_all = closed_subsets(&graph);
+        let ref_all = closed_subsets_ref(&graph);
+        same_masks(&new_all, &ref_all, n);
+
+        let new_levels = dmr_level_subsets(&graph, keep);
+        let ref_levels = dmr_level_subsets_ref(&graph, keep);
+        same_masks(&new_levels, &ref_levels, n);
+    }
+}

@@ -3,17 +3,17 @@
 //! scheduling results are obtained based on the ASAP rule") and as a
 //! naive reference.
 
-use helio_tasks::TaskId;
+use helio_common::TaskSet;
 
 use crate::context::{PeriodStart, SlotContext};
-use crate::traits::{edf_pick, SlotScheduler};
+use crate::traits::{edf_pick_set, SlotScheduler};
 
 /// Run every runnable task as soon as possible, one per NVP, energy be
 /// damned. Under-powered slots brown out and waste the energy spent —
 /// the failure mode the long-term planner avoids.
 #[derive(Debug, Clone, Default)]
 pub struct AsapScheduler {
-    allowed: Option<Vec<bool>>,
+    allowed: Option<TaskSet>,
 }
 
 impl AsapScheduler {
@@ -29,17 +29,15 @@ impl SlotScheduler for AsapScheduler {
     }
 
     fn begin_period(&mut self, ctx: &PeriodStart<'_>) {
-        self.allowed = ctx.allowed.clone();
+        self.allowed = ctx.allowed;
     }
 
-    fn select(&mut self, ctx: &SlotContext<'_>) -> Vec<TaskId> {
-        let candidates: Vec<TaskId> = ctx
-            .exec
-            .runnable(ctx.graph, ctx.slot)
-            .into_iter()
-            .filter(|id| self.allowed.as_ref().is_none_or(|m| m[id.index()]))
-            .collect();
-        edf_pick(ctx.graph, &candidates, ctx.slot)
+    fn select(&mut self, ctx: &SlotContext<'_>) -> TaskSet {
+        let mut candidates = ctx.exec.runnable_set(ctx.slot);
+        if let Some(mask) = self.allowed {
+            candidates = candidates.intersection(mask);
+        }
+        edf_pick_set(ctx.graph, candidates)
     }
 }
 
@@ -90,7 +88,7 @@ mod tests {
             slots_per_period: 10,
             predicted_energy: Joules::ZERO,
             stored_energy: Joules::ZERO,
-            allowed: Some(vec![false; g.len()]),
+            allowed: Some(TaskSet::EMPTY),
         });
         assert!(s.select(&ctx(&g, &exec, 0)).is_empty());
     }
@@ -101,8 +99,8 @@ mod tests {
         let mut exec = ExecState::new(&g, Seconds::new(60.0));
         let mut s = AsapScheduler::new();
         for m in 0..10 {
-            for id in s.select(&ctx(&g, &exec, m)) {
-                exec.advance(id);
+            for i in s.select(&ctx(&g, &exec, m)) {
+                exec.advance(helio_tasks::TaskId(i));
             }
         }
         assert_eq!(exec.misses(), 0, "ECG fits in one period under ASAP");

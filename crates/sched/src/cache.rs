@@ -5,7 +5,7 @@
 //! bucket grid and the solar profiles repeat heavily across a horizon
 //! (every dark period is identical, bucket voltages form a fixed set).
 //! [`SubsetSimCache`] keys a period simulation on its *exact* inputs —
-//! bit-packed subset mask, per-slot solar energies as raw `f64` bits,
+//! the subset bitmask, per-slot solar energies as raw `f64` bits,
 //! start voltage bits, capacitance bits and slot duration bits — so a
 //! cache hit returns a result bitwise identical to re-running the
 //! kernel, and repeated cells cost one hash lookup instead of a full
@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use helio_common::units::{Joules, Seconds, Volts};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_storage::{CapacitorBank, StorageModelParams, SuperCap};
 use helio_tasks::TaskGraph;
@@ -27,8 +28,8 @@ use crate::subset::{simulate_subset, SubsetOutcome};
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct Key {
-    /// Subset mask, bit-packed (planner graphs have ≤ 64 tasks).
-    mask: u64,
+    /// Subset bitmask, as packed by [`TaskSet::bits`].
+    mask: u32,
     /// Per-slot solar energies, exact bits.
     solar: Vec<u64>,
     /// Start voltage, exact bits.
@@ -89,13 +90,12 @@ impl SubsetSimCache {
     ///
     /// # Panics
     ///
-    /// Panics when the graph has more than 64 tasks (the mask would not
-    /// pack) or on the same conditions as [`simulate_subset`].
+    /// Panics on the same conditions as [`simulate_subset`].
     #[allow(clippy::too_many_arguments)]
     pub fn simulate(
         &self,
         graph: &TaskGraph,
-        subset: &[bool],
+        subset: TaskSet,
         solar: &[Joules],
         slot_duration: Seconds,
         cap: &SuperCap,
@@ -103,9 +103,8 @@ impl SubsetSimCache {
         pmu: &Pmu,
         storage: &StorageModelParams,
     ) -> (SubsetOutcome, Volts) {
-        assert!(subset.len() <= 64, "subset masks cache up to 64 tasks");
         let key = Key {
-            mask: pack_mask(subset),
+            mask: subset.bits(),
             solar: solar.iter().map(|e| e.value().to_bits()).collect(),
             voltage: voltage.value().to_bits(),
             capacitance: cap.capacitance().value().to_bits(),
@@ -142,7 +141,7 @@ impl SubsetSimCache {
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_subset_at(
     graph: &TaskGraph,
-    subset: &[bool],
+    subset: TaskSet,
     solar: &[Joules],
     slot_duration: Seconds,
     cap: &SuperCap,
@@ -155,12 +154,6 @@ pub fn simulate_subset_at(
     let outcome = simulate_subset(graph, subset, solar, slot_duration, &mut bank, pmu, storage);
     let v = bank.state(0).expect("index 0").voltage();
     (outcome, v)
-}
-
-fn pack_mask(mask: &[bool]) -> u64 {
-    mask.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 #[cfg(test)]
@@ -181,11 +174,11 @@ mod tests {
     fn hit_returns_identical_result() {
         let (g, cap, storage, pmu) = setup();
         let cache = SubsetSimCache::new();
-        let subset = vec![true; g.len()];
+        let subset = g.all_tasks();
         let solar = vec![Joules::new(5.0); 10];
         let v0 = Volts::new(3.3);
-        let first = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
-        let second = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        let first = cache.simulate(&g, subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        let second = cache.simulate(&g, subset, &solar, SLOT, &cap, v0, &pmu, &storage);
         assert_eq!(first.0, second.0);
         assert_eq!(first.1.value().to_bits(), second.1.value().to_bits());
         let stats = cache.stats();
@@ -197,13 +190,12 @@ mod tests {
     fn cached_matches_uncached() {
         let (g, cap, storage, pmu) = setup();
         let cache = SubsetSimCache::new();
-        let mut subset = vec![true; g.len()];
-        subset[2] = false;
+        let subset = g.all_tasks().difference(TaskSet::EMPTY.with(2));
         let solar: Vec<Joules> = (0..10).map(|m| Joules::new(0.7 * m as f64)).collect();
         let v0 = Volts::new(2.9);
-        let direct = simulate_subset_at(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+        let direct = simulate_subset_at(&g, subset, &solar, SLOT, &cap, v0, &pmu, &storage);
         for _ in 0..3 {
-            let cached = cache.simulate(&g, &subset, &solar, SLOT, &cap, v0, &pmu, &storage);
+            let cached = cache.simulate(&g, subset, &solar, SLOT, &cap, v0, &pmu, &storage);
             assert_eq!(direct.0, cached.0);
             assert_eq!(direct.1.value().to_bits(), cached.1.value().to_bits());
         }
@@ -213,20 +205,11 @@ mod tests {
     fn distinct_inputs_do_not_collide() {
         let (g, cap, storage, pmu) = setup();
         let cache = SubsetSimCache::new();
-        let all = vec![true; g.len()];
-        let none = vec![false; g.len()];
         let sunny = vec![Joules::new(5.0); 10];
         let v0 = cap.v_full();
-        let (a, _) = cache.simulate(&g, &all, &sunny, SLOT, &cap, v0, &pmu, &storage);
-        let (b, _) = cache.simulate(&g, &none, &sunny, SLOT, &cap, v0, &pmu, &storage);
+        let (a, _) = cache.simulate(&g, g.all_tasks(), &sunny, SLOT, &cap, v0, &pmu, &storage);
+        let (b, _) = cache.simulate(&g, TaskSet::EMPTY, &sunny, SLOT, &cap, v0, &pmu, &storage);
         assert_ne!(a.misses, b.misses);
         assert_eq!(cache.stats().hits, 0);
-    }
-
-    #[test]
-    fn mask_packing_is_positional() {
-        assert_eq!(pack_mask(&[true, false, true]), 0b101);
-        assert_eq!(pack_mask(&[false; 8]), 0);
-        assert_eq!(pack_mask(&[true; 3]), 0b111);
     }
 }

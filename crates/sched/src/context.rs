@@ -2,6 +2,7 @@
 //! the start of each slot.
 
 use helio_common::units::{Joules, Seconds};
+use helio_common::TaskSet;
 use helio_tasks::TaskGraph;
 
 use crate::exec::ExecState;
@@ -23,13 +24,19 @@ pub struct PeriodStart<'a> {
     pub stored_energy: Joules,
     /// Optional task-admission mask from a coarse planner
     /// (`te_{i,j}(n)` bits); `None` admits every task.
-    pub allowed: Option<Vec<bool>>,
+    pub allowed: Option<TaskSet>,
 }
 
 impl PeriodStart<'_> {
     /// Whether `id` is admitted by the coarse mask.
     pub fn is_allowed(&self, id: helio_tasks::TaskId) -> bool {
-        self.allowed.as_ref().is_none_or(|m| m[id.index()])
+        self.allowed.is_none_or(|m| m.contains(id.index()))
+    }
+
+    /// The admission mask resolved against the graph: `allowed`, or
+    /// every task when the planner supplied none.
+    pub fn admitted_set(&self) -> TaskSet {
+        self.allowed.unwrap_or_else(|| self.graph.all_tasks())
     }
 }
 
@@ -85,11 +92,13 @@ mod tests {
             allowed: None,
         };
         assert!(g.ids().all(|id| ps.is_allowed(id)));
+        assert_eq!(ps.admitted_set(), g.all_tasks());
         let ps = PeriodStart {
-            allowed: Some(vec![false; g.len()]),
+            allowed: Some(TaskSet::EMPTY),
             ..ps
         };
         assert!(g.ids().all(|id| !ps.is_allowed(id)));
+        assert_eq!(ps.admitted_set(), TaskSet::EMPTY);
     }
 
     #[test]

@@ -2,16 +2,27 @@
 //! `S'_{i,j,m}(n)` (Eq. 4) and deadline bookkeeping (Eq. 5).
 
 use helio_common::units::Seconds;
+use helio_common::TaskSet;
 use helio_tasks::{TaskGraph, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// Execution progress of every task within the current period, in
 /// whole slots.
+///
+/// Constructed once and [`ExecState::reset`] at each period start —
+/// the dependency masks are precomputed so the per-slot queries
+/// ([`ExecState::runnable_set`], [`ExecState::deps_met`]) are
+/// allocation-free bit operations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecState {
     remaining: Vec<usize>,
     needed: Vec<usize>,
     deadline_slot: Vec<usize>,
+    /// Tasks with zero slots remaining, as a bitmask (kept in lockstep
+    /// with `remaining` so dependency checks are one AND).
+    completed: TaskSet,
+    /// Precomputed direct-predecessor mask per task.
+    pred_mask: Vec<TaskSet>,
 }
 
 impl ExecState {
@@ -24,10 +35,33 @@ impl ExecState {
             .iter()
             .map(|t| t.deadline_slot(slot))
             .collect();
-        Self {
+        let pred_mask = graph.ids().map(|id| graph.predecessor_set(id)).collect();
+        let mut state = Self {
             remaining: needed.clone(),
             needed,
             deadline_slot,
+            completed: TaskSet::EMPTY,
+            pred_mask,
+        };
+        // Zero-slot tasks (none in the paper's benchmarks, but legal)
+        // start complete.
+        for i in 0..state.remaining.len() {
+            if state.remaining[i] == 0 {
+                state.completed.insert(i);
+            }
+        }
+        state
+    }
+
+    /// Restores the period-start state in place — equivalent to a fresh
+    /// [`ExecState::new`] on the same graph, without allocating.
+    pub fn reset(&mut self) {
+        self.completed = TaskSet::EMPTY;
+        for i in 0..self.remaining.len() {
+            self.remaining[i] = self.needed[i];
+            if self.needed[i] == 0 {
+                self.completed.insert(i);
+            }
         }
     }
 
@@ -43,7 +77,12 @@ impl ExecState {
 
     /// Whether `id` has completed this period.
     pub fn is_complete(&self, id: TaskId) -> bool {
-        self.remaining[id.index()] == 0
+        self.completed.contains(id.index())
+    }
+
+    /// The tasks completed so far, as a bitmask.
+    pub fn completed_set(&self) -> TaskSet {
+        self.completed
     }
 
     /// The first slot index at/after which `id` can no longer make its
@@ -69,7 +108,8 @@ impl ExecState {
 
     /// Whether every dependency of `id` has completed (constraint 7).
     pub fn deps_met(&self, graph: &TaskGraph, id: TaskId) -> bool {
-        graph.predecessors(id).iter().all(|&p| self.is_complete(p))
+        let _ = graph;
+        self.pred_mask[id.index()].is_subset_of(self.completed)
     }
 
     /// Whether `id` has already missed its deadline as of the start of
@@ -80,14 +120,28 @@ impl ExecState {
     }
 
     /// Tasks worth scheduling in slot `m`: incomplete, dependencies met,
-    /// deadline still reachable.
+    /// deadline still reachable — as an allocation-free bitmask.
+    pub fn runnable_set(&self, m: usize) -> TaskSet {
+        let mut set = TaskSet::EMPTY;
+        for i in 0..self.remaining.len() {
+            if self.completed.contains(i) {
+                continue;
+            }
+            if m + self.remaining[i] > self.deadline_slot[i] {
+                continue; // doomed
+            }
+            if self.pred_mask[i].is_subset_of(self.completed) {
+                set.insert(i);
+            }
+        }
+        set
+    }
+
+    /// Tasks worth scheduling in slot `m`, as ids (allocating
+    /// convenience wrapper over [`ExecState::runnable_set`]).
     pub fn runnable(&self, graph: &TaskGraph, m: usize) -> Vec<TaskId> {
-        graph
-            .ids()
-            .filter(|&id| {
-                !self.is_complete(id) && !self.is_doomed(id, m) && self.deps_met(graph, id)
-            })
-            .collect()
+        let _ = graph;
+        self.runnable_set(m).iter().map(TaskId).collect()
     }
 
     /// Records one slot of progress on `id`.
@@ -102,13 +156,16 @@ impl ExecState {
             "task {id} advanced past completion"
         );
         self.remaining[id.index()] -= 1;
+        if self.remaining[id.index()] == 0 {
+            self.completed.insert(id.index());
+        }
     }
 
     /// Number of tasks that missed their deadline this period, assuming
     /// the period has ended (every incomplete task has missed: deadlines
     /// never exceed the period).
     pub fn misses(&self) -> usize {
-        self.remaining.iter().filter(|&&r| r > 0).count()
+        self.remaining.len() - self.completed.len()
     }
 
     /// Deadline-miss rate of the period: misses / N (the per-period
@@ -124,7 +181,9 @@ impl ExecState {
     /// Tasks that completed this period (`te_{i,j}(n)` bits, Eq. 17
     /// measured on completions).
     pub fn completed_mask(&self) -> Vec<bool> {
-        self.remaining.iter().map(|&r| r == 0).collect()
+        (0..self.remaining.len())
+            .map(|i| self.completed.contains(i))
+            .collect()
     }
 }
 
@@ -145,6 +204,7 @@ mod tests {
         }
         assert_eq!(s.misses(), g.len());
         assert!((s.dmr() - 1.0).abs() < 1e-12);
+        assert!(s.completed_set().is_empty());
     }
 
     #[test]
@@ -155,6 +215,7 @@ mod tests {
         s.advance(id);
         assert!(s.is_complete(id));
         assert_eq!(s.misses(), g.len() - 1);
+        assert!(s.completed_set().contains(id.index()));
     }
 
     #[test]
@@ -182,6 +243,7 @@ mod tests {
         s.advance(ids[1]);
         s.advance(ids[2]);
         assert!(s.runnable(&g, 3).contains(&ids[3]));
+        assert!(s.runnable_set(3).contains(ids[3].index()));
     }
 
     #[test]
@@ -209,5 +271,41 @@ mod tests {
         let mask = s.completed_mask();
         assert!(mask[0]);
         assert!(!mask[1]);
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_state() {
+        for g in benchmarks::all_six() {
+            let fresh = ExecState::new(&g, SLOT);
+            let mut reused = ExecState::new(&g, SLOT);
+            // Make arbitrary progress, then reset.
+            for m in 0..6 {
+                for id in reused.runnable(&g, m) {
+                    reused.advance(id);
+                }
+            }
+            assert_ne!(reused, fresh, "progress should change the state");
+            reused.reset();
+            assert_eq!(
+                reused,
+                fresh,
+                "{}: reset must equal a fresh state",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn runnable_set_matches_runnable_vec() {
+        let g = benchmarks::wam();
+        let mut s = ExecState::new(&g, SLOT);
+        for m in 0..10 {
+            let vec: Vec<usize> = s.runnable(&g, m).iter().map(|id| id.index()).collect();
+            let set: Vec<usize> = s.runnable_set(m).iter().collect();
+            assert_eq!(vec, set, "slot {m}");
+            if let Some(&first) = vec.first() {
+                s.advance(TaskId(first));
+            }
+        }
     }
 }

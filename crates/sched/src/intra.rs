@@ -9,6 +9,7 @@
 //! it treats stored energy as free for the current period.
 
 use helio_common::units::Joules;
+use helio_common::TaskSet;
 use helio_tasks::TaskId;
 
 use crate::context::{PeriodStart, SlotContext};
@@ -17,7 +18,10 @@ use crate::traits::SlotScheduler;
 /// Intra-task (slot-preemptive) load-matching scheduler.
 #[derive(Debug, Clone, Default)]
 pub struct IntraTaskScheduler {
-    allowed: Option<Vec<bool>>,
+    allowed: Option<TaskSet>,
+    /// Urgency-ordered candidate scratch, reused across slots so the
+    /// select path stops allocating once warm.
+    scratch: Vec<TaskId>,
 }
 
 impl IntraTaskScheduler {
@@ -33,19 +37,22 @@ impl SlotScheduler for IntraTaskScheduler {
     }
 
     fn begin_period(&mut self, ctx: &PeriodStart<'_>) {
-        self.allowed = ctx.allowed.clone();
+        self.allowed = ctx.allowed;
     }
 
-    fn select(&mut self, ctx: &SlotContext<'_>) -> Vec<TaskId> {
+    fn select(&mut self, ctx: &SlotContext<'_>) -> TaskSet {
         let graph = ctx.graph;
-        let mut candidates: Vec<TaskId> = ctx
-            .exec
-            .runnable(graph, ctx.slot)
-            .into_iter()
-            .filter(|id| self.allowed.as_ref().is_none_or(|m| m[id.index()]))
-            .collect();
+        let mut candidates = ctx.exec.runnable_set(ctx.slot);
+        if let Some(mask) = self.allowed {
+            candidates = candidates.intersection(mask);
+        }
         // Urgency order: least slack first, then earliest deadline.
-        candidates.sort_by(|&a, &b| {
+        self.scratch.clear();
+        self.scratch.extend(candidates.iter().map(TaskId));
+        // Unstable sort: the (slack, deadline, index) key is a total
+        // order, so the result matches a stable sort without the
+        // stable sort's merge buffer.
+        self.scratch.sort_unstable_by(|&a, &b| {
             let sa = ctx.exec.slack(a, ctx.slot).unwrap_or(usize::MAX);
             let sb = ctx.exec.slack(b, ctx.slot).unwrap_or(usize::MAX);
             sa.cmp(&sb)
@@ -59,19 +66,19 @@ impl SlotScheduler for IntraTaskScheduler {
                 .then(a.index().cmp(&b.index()))
         });
 
-        let mut picked: Vec<TaskId> = Vec::new();
-        let mut nvp_used = vec![false; graph.nvp_count()];
+        let mut picked = TaskSet::EMPTY;
+        let mut nvp_used = 0u32;
         let mut budget = ctx.available();
-        for id in candidates {
+        for &id in &self.scratch {
             let nvp = graph.task(id).nvp;
-            if nvp_used[nvp] {
+            if nvp_used & (1 << nvp) != 0 {
                 continue;
             }
             let cost = ctx.slot_cost(id);
             let urgent = ctx.exec.slack(id, ctx.slot) == Some(0);
             if urgent || cost <= budget {
-                picked.push(id);
-                nvp_used[nvp] = true;
+                picked.insert(id.index());
+                nvp_used |= 1 << nvp;
                 budget = (budget - cost).max(Joules::ZERO);
             }
         }
@@ -122,7 +129,7 @@ mod tests {
         assert!(tiny.len() < full.len());
         let spent: f64 = tiny
             .iter()
-            .map(|&id| (g.task(id).power * SLOT).value())
+            .map(|i| (g.task(TaskId(i)).power * SLOT).value())
             .sum();
         assert!(spent <= 0.7 + 1e-9);
     }
@@ -135,7 +142,10 @@ mod tests {
         // lpf (deadline slot 3, 1 slot needed) has zero slack at slot 2.
         let picked = s.select(&slot_ctx(&g, &exec, 2, 0.0, 0.0));
         let lpf = g.ids().next().unwrap();
-        assert!(picked.contains(&lpf), "urgent task must be attempted");
+        assert!(
+            picked.contains(lpf.index()),
+            "urgent task must be attempted"
+        );
     }
 
     #[test]
@@ -154,7 +164,8 @@ mod tests {
         let mut ran: Vec<TaskId> = Vec::new();
         for m in 3..10 {
             let picked = s.select(&slot_ctx(&g, &exec, m, 2.5, 0.0));
-            for id in picked {
+            for i in picked {
+                let id = TaskId(i);
                 if g.task(id).nvp == 1 {
                     ran.push(id);
                 }
@@ -170,18 +181,18 @@ mod tests {
         let g = benchmarks::wam();
         let exec = ExecState::new(&g, SLOT);
         let mut s = IntraTaskScheduler::new();
-        let mut mask = vec![false; g.len()];
-        mask[0] = true; // only periodic_locating
+        // Only periodic_locating.
         s.begin_period(&PeriodStart {
             graph: &g,
             slot_duration: SLOT,
             slots_per_period: 10,
             predicted_energy: Joules::new(50.0),
             stored_energy: Joules::ZERO,
-            allowed: Some(mask),
+            allowed: Some(TaskSet::EMPTY.with(0)),
         });
         let picked = s.select(&slot_ctx(&g, &exec, 0, 10.0, 5.0));
         assert_eq!(picked.len(), 1);
-        assert_eq!(g.task(picked[0]).name, "periodic_locating");
+        let first = picked.iter().next().unwrap();
+        assert_eq!(g.task(TaskId(first)).name, "periodic_locating");
     }
 }

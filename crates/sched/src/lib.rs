@@ -40,4 +40,4 @@ pub use exec::ExecState;
 pub use intra::IntraTaskScheduler;
 pub use lsa::LsaScheduler;
 pub use subset::{simulate_subset, SubsetOutcome};
-pub use traits::{edf_pick, SlotScheduler};
+pub use traits::{edf_pick, edf_pick_set, SlotScheduler};

@@ -13,17 +13,30 @@
 //! night ahead.
 
 use helio_common::units::Joules;
+use helio_common::TaskSet;
 use helio_tasks::TaskId;
 
 use crate::context::{PeriodStart, SlotContext};
-use crate::traits::{edf_pick, SlotScheduler};
+use crate::traits::{edf_pick_set, SlotScheduler};
 
 /// Lazy inter-task scheduler with energy-budget admission.
 #[derive(Debug, Clone, Default)]
 pub struct LsaScheduler {
-    admitted: Vec<bool>,
+    admitted: TaskSet,
+    started: TaskSet,
     latest_start: Vec<usize>,
-    started: Vec<bool>,
+    /// Deadline-ordered admission scratch, reused across periods.
+    order: Vec<TaskId>,
+    // Per-period scratch for the lazy-window fixpoint, reused so
+    // `begin_period` allocates nothing once warm.
+    topo: Vec<TaskId>,
+    indegree: Vec<usize>,
+    stack: Vec<TaskId>,
+    needed: Vec<usize>,
+    own_deadline: Vec<usize>,
+    nvp_order: Vec<TaskId>,
+    succ_sets: Vec<TaskSet>,
+    nvp_sets: Vec<TaskSet>,
 }
 
 impl LsaScheduler {
@@ -43,8 +56,9 @@ impl SlotScheduler for LsaScheduler {
         let n = graph.len();
         // Admission: EDF order, while the predicted budget lasts.
         let budget = ctx.predicted_energy * 0.95 + ctx.stored_energy;
-        let mut order: Vec<TaskId> = graph.ids().collect();
-        order.sort_by(|&a, &b| {
+        self.order.clear();
+        self.order.extend(graph.ids());
+        self.order.sort_unstable_by(|&a, &b| {
             graph
                 .task(a)
                 .deadline
@@ -52,17 +66,17 @@ impl SlotScheduler for LsaScheduler {
                 .total_cmp(&graph.task(b).deadline.value())
                 .then(a.index().cmp(&b.index()))
         });
-        let mut admitted = vec![false; n];
+        let mut admitted = TaskSet::EMPTY;
         let mut spent = Joules::ZERO;
-        for id in order {
+        for &id in &self.order {
             if !ctx.is_allowed(id) {
                 continue;
             }
             let cost = graph.task(id).energy();
             // Admit a task only with its whole dependency closure.
-            let preds_ok = graph.predecessors(id).iter().all(|p| admitted[p.index()]);
+            let preds_ok = graph.predecessor_set(id).is_subset_of(admitted);
             if preds_ok && spent + cost <= budget {
-                admitted[id.index()] = true;
+                admitted.insert(id.index());
                 spent += cost;
             }
         }
@@ -71,23 +85,38 @@ impl SlotScheduler for LsaScheduler {
         // serialise, so their lazy windows must not overlap). A few
         // iterations reach the fixpoint on these small graphs.
         let slot = ctx.slot_duration;
-        let mut latest_start = vec![usize::MAX; n];
-        let topo = graph
-            .topological_order()
+        self.latest_start.clear();
+        self.latest_start.resize(n, usize::MAX);
+        let latest_start = &mut self.latest_start;
+        graph
+            .topological_order_into(&mut self.indegree, &mut self.stack, &mut self.topo)
             .expect("validated graphs are acyclic");
-        let needed: Vec<usize> = graph.tasks().iter().map(|t| t.slots_needed(slot)).collect();
-        let own_deadline: Vec<usize> = graph
-            .tasks()
-            .iter()
-            .map(|t| t.deadline_slot(slot).min(ctx.slots_per_period))
-            .collect();
+        self.needed.clear();
+        self.needed
+            .extend(graph.tasks().iter().map(|t| t.slots_needed(slot)));
+        let needed = &self.needed;
+        self.own_deadline.clear();
+        self.own_deadline.extend(
+            graph
+                .tasks()
+                .iter()
+                .map(|t| t.deadline_slot(slot).min(ctx.slots_per_period)),
+        );
+        let own_deadline = &self.own_deadline;
+        // Successor and NVP membership masks, hoisted out of the
+        // fixpoint iterations (they never change within a period).
+        self.succ_sets.clear();
+        self.succ_sets
+            .extend(graph.ids().map(|id| graph.successor_set(id)));
+        self.nvp_sets.clear();
+        self.nvp_sets
+            .extend((0..graph.nvp_count()).map(|nvp| graph.nvp_set(nvp)));
         for _ in 0..4 {
             // Dependency pass.
-            for &id in topo.iter().rev() {
-                let succ_bound = graph
-                    .successors(id)
+            for &id in self.topo.iter().rev() {
+                let succ_bound = self.succ_sets[id.index()]
                     .iter()
-                    .map(|s| latest_start[s.index()])
+                    .map(|s| latest_start[s])
                     .min()
                     .unwrap_or(usize::MAX)
                     .min(own_deadline[id.index()])
@@ -95,14 +124,22 @@ impl SlotScheduler for LsaScheduler {
                 latest_start[id.index()] = succ_bound.saturating_sub(needed[id.index()]);
             }
             // NVP compaction pass: latest-fit tasks of each NVP back to
-            // back, latest finisher first.
-            for nvp in 0..graph.nvp_count() {
-                let mut on_nvp: Vec<TaskId> = graph.tasks_on_nvp(nvp);
-                on_nvp.sort_by_key(|&id| {
-                    std::cmp::Reverse(latest_start[id.index()].saturating_add(needed[id.index()]))
+            // back, latest finisher first. The unstable sort keyed on
+            // (finish, index) reproduces the stable finish-only sort of
+            // the ascending-index NVP membership exactly.
+            for nvp in 0..self.nvp_sets.len() {
+                self.nvp_order.clear();
+                self.nvp_order.extend(self.nvp_sets[nvp].iter().map(TaskId));
+                self.nvp_order.sort_unstable_by_key(|&id| {
+                    (
+                        std::cmp::Reverse(
+                            latest_start[id.index()].saturating_add(needed[id.index()]),
+                        ),
+                        id.index(),
+                    )
                 });
                 let mut bound = usize::MAX;
-                for id in on_nvp {
+                for &id in &self.nvp_order {
                     let finish = latest_start[id.index()]
                         .saturating_add(needed[id.index()])
                         .min(bound);
@@ -112,25 +149,21 @@ impl SlotScheduler for LsaScheduler {
             }
         }
         self.admitted = admitted;
-        self.latest_start = latest_start;
-        self.started = vec![false; n];
+        self.started = TaskSet::EMPTY;
     }
 
-    fn select(&mut self, ctx: &SlotContext<'_>) -> Vec<TaskId> {
-        let runnable = ctx.exec.runnable(ctx.graph, ctx.slot);
-        let candidates: Vec<TaskId> = runnable
-            .into_iter()
-            .filter(|id| self.admitted[id.index()])
-            .filter(|id| {
-                // Started tasks continue (non-preemptive); unstarted
-                // tasks wait for their lazy start slot.
-                self.started[id.index()] || ctx.slot >= self.latest_start[id.index()]
-            })
-            .collect();
-        let picked = edf_pick(ctx.graph, &candidates, ctx.slot);
-        for id in &picked {
-            self.started[id.index()] = true;
+    fn select(&mut self, ctx: &SlotContext<'_>) -> TaskSet {
+        let runnable = ctx.exec.runnable_set(ctx.slot).intersection(self.admitted);
+        let mut candidates = TaskSet::EMPTY;
+        for i in runnable.iter() {
+            // Started tasks continue (non-preemptive); unstarted tasks
+            // wait for their lazy start slot.
+            if self.started.contains(i) || ctx.slot >= self.latest_start[i] {
+                candidates.insert(i);
+            }
         }
+        let picked = edf_pick_set(ctx.graph, candidates);
+        self.started = self.started.union(picked);
         picked
     }
 }
@@ -193,8 +226,8 @@ mod tests {
         let mut exec = ExecState::new(&g, SLOT);
         // Drive a full period; everything should complete.
         for m in 0..10 {
-            for id in s.select(&slot_ctx(&g, &exec, m)) {
-                exec.advance(id);
+            for i in s.select(&slot_ctx(&g, &exec, m)) {
+                exec.advance(TaskId(i));
             }
         }
         assert_eq!(exec.misses(), 0);
@@ -213,7 +246,7 @@ mod tests {
         let picked0 = s.select(&slot_ctx(&g, &exec, 0));
         let lpf = g.ids().next().unwrap();
         assert!(
-            !picked0.contains(&lpf),
+            !picked0.contains(lpf.index()),
             "lazy scheduler should not start lpf at slot 0"
         );
     }
@@ -224,10 +257,10 @@ mod tests {
         let mut s = LsaScheduler::new();
         // Budget for roughly the two earliest-deadline root tasks.
         s.begin_period(&start(&g, 4.0, 0.0));
-        let admitted: Vec<bool> = s.admitted.clone();
+        let admitted = s.admitted;
         let names: Vec<&str> = g
             .ids()
-            .filter(|id| admitted[id.index()])
+            .filter(|id| admitted.contains(id.index()))
             .map(|id| g.task(id).name.as_str())
             .collect();
         assert!(
@@ -246,11 +279,11 @@ mod tests {
         let mut s = LsaScheduler::new();
         s.begin_period(&start(&g, 100.0, 0.0));
         let mut exec = ExecState::new(&g, SLOT);
-        let mut runs: Vec<Vec<TaskId>> = Vec::new();
+        let mut runs: Vec<TaskSet> = Vec::new();
         for m in 0..10 {
             let picked = s.select(&slot_ctx(&g, &exec, m));
-            for id in &picked {
-                exec.advance(*id);
+            for i in picked {
+                exec.advance(TaskId(i));
             }
             runs.push(picked);
         }
@@ -259,7 +292,7 @@ mod tests {
             let slots: Vec<usize> = runs
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.contains(&id))
+                .filter(|(_, r)| r.contains(id.index()))
                 .map(|(m, _)| m)
                 .collect();
             if slots.len() > 1 {

@@ -9,7 +9,9 @@
 //! direct solar channel can power them — deferring work into sunshine
 //! and minimising the energy drawn from the supercapacitor.
 
+use helio_common::taskset::MAX_TASKS;
 use helio_common::units::{Joules, Seconds};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_storage::{CapacitorBank, StorageModelParams};
 use helio_tasks::{TaskGraph, TaskId};
@@ -40,7 +42,7 @@ pub struct SubsetOutcome {
 }
 
 /// Simulates one period executing exactly the tasks of `subset`
-/// (a mask over the graph's task ids; dependencies of included tasks
+/// (a bitmask over the graph's task ids; dependencies of included tasks
 /// must be included for them to complete).
 ///
 /// `solar` holds the per-slot harvested energies of the period; the
@@ -49,20 +51,18 @@ pub struct SubsetOutcome {
 ///
 /// # Panics
 ///
-/// Panics when `subset.len() != graph.len()` or `solar.len()` differs
-/// from the implied slot count.
+/// Panics when `subset` has bits outside the graph's task range.
 pub fn simulate_subset(
     graph: &TaskGraph,
-    subset: &[bool],
+    subset: TaskSet,
     solar: &[Joules],
     slot_duration: Seconds,
     bank: &mut CapacitorBank,
     pmu: &Pmu,
     storage: &StorageModelParams,
 ) -> SubsetOutcome {
-    assert_eq!(
-        subset.len(),
-        graph.len(),
+    assert!(
+        subset.is_subset_of(graph.all_tasks()),
         "subset mask must cover the graph"
     );
     let mut exec = ExecState::new(graph, slot_duration);
@@ -72,19 +72,26 @@ pub fn simulate_subset(
     let mut served = Joules::ZERO;
     let mut brownouts = 0usize;
 
+    // Per-NVP task masks, computed once for the allocation-free
+    // urgency check below.
+    let mut nvp_tasks = [TaskSet::EMPTY; MAX_TASKS];
+    for (nvp, mask) in nvp_tasks.iter_mut().enumerate().take(graph.nvp_count()) {
+        *mask = graph.nvp_set(nvp);
+    }
+    // Urgency-ordered candidate scratch, reused across slots.
+    let mut candidates: Vec<TaskId> = Vec::with_capacity(graph.len());
+
     for (m, &harvest) in solar.iter().enumerate() {
         bank.leak_all(storage, slot_duration);
 
         // Candidate tasks: runnable members of the subset.
-        let mut candidates: Vec<TaskId> = exec
-            .runnable(graph, m)
-            .into_iter()
-            .filter(|id| subset[id.index()])
-            .collect();
-        candidates.sort_by_key(|&id| (exec.slack(id, m).unwrap_or(usize::MAX), id.index()));
+        candidates.clear();
+        candidates.extend(exec.runnable_set(m).intersection(subset).iter().map(TaskId));
+        candidates
+            .sort_unstable_by_key(|&id| (exec.slack(id, m).unwrap_or(usize::MAX), id.index()));
 
-        let mut picked: Vec<TaskId> = Vec::new();
-        let mut nvp_used = vec![false; graph.nvp_count()];
+        let mut picked = TaskSet::EMPTY;
+        let mut nvp_used = 0u32;
         let direct_capacity = harvest * pmu.params().direct_efficiency;
         let mut committed = Joules::ZERO;
         // Urgent pass: an NVP must run when any deadline horizon of its
@@ -92,43 +99,41 @@ pub fn simulate_subset(
         // condition — per-task slack alone misses same-NVP contention).
         for &id in &candidates {
             let nvp = graph.task(id).nvp;
-            if nvp_used[nvp] {
+            if nvp_used & (1 << nvp) != 0 {
                 continue;
             }
-            if nvp_is_forced(graph, subset, &exec, nvp, m) {
+            if nvp_is_forced(nvp_tasks[nvp].intersection(subset), &exec, m) {
                 // Candidates are slack-sorted, so `id` is this NVP's
                 // most urgent runnable task.
-                picked.push(id);
-                nvp_used[nvp] = true;
+                picked.insert(id.index());
+                nvp_used |= 1 << nvp;
                 committed += graph.task(id).power * slot_duration;
             }
         }
         // Opportunistic pass: spend free sunshine.
         for &id in &candidates {
             let nvp = graph.task(id).nvp;
-            if nvp_used[nvp] {
+            if nvp_used & (1 << nvp) != 0 {
                 continue;
             }
             let cost = graph.task(id).power * slot_duration;
             if committed + cost <= direct_capacity {
-                picked.push(id);
-                nvp_used[nvp] = true;
+                picked.insert(id.index());
+                nvp_used |= 1 << nvp;
                 committed += cost;
             }
         }
 
-        let demand: Joules = picked
-            .iter()
-            .map(|&id| graph.task(id).power * slot_duration)
-            .sum();
-        let flow = pmu.settle_slot(harvest, demand, bank, storage);
+        // `committed` accumulated exactly the picked tasks' costs in
+        // pick order, so it *is* the slot demand.
+        let flow = pmu.settle_slot(harvest, committed, bank, storage);
         cap_drawn += flow.served_storage;
         cap_stored += flow.stored;
         wasted += flow.wasted;
         served += flow.served_direct + flow.served_storage;
         if flow.fully_served() {
-            for id in picked {
-                exec.advance(id);
+            for i in picked {
+                exec.advance(TaskId(i));
             }
         } else {
             // Brown-out: the energy is spent but the slot makes no
@@ -137,10 +142,7 @@ pub fn simulate_subset(
         }
     }
 
-    let completed_all = graph
-        .ids()
-        .filter(|id| subset[id.index()])
-        .all(|id| exec.is_complete(id));
+    let completed_all = subset.is_subset_of(exec.completed_set());
     SubsetOutcome {
         misses: exec.misses(),
         dmr: exec.dmr(),
@@ -153,40 +155,32 @@ pub fn simulate_subset(
     }
 }
 
-/// Whether NVP `nvp` has no spare slot before some deadline horizon:
-/// for any deadline slot `d` of its incomplete subset tasks, the total
-/// remaining work due by `d` must fit into `d − m` slots; equality (or
-/// overflow) forces the NVP to run now.
-fn nvp_is_forced(
-    graph: &TaskGraph,
-    subset: &[bool],
-    exec: &ExecState,
-    nvp: usize,
-    m: usize,
-) -> bool {
-    let mut horizons: Vec<usize> = graph
-        .tasks_on_nvp(nvp)
-        .into_iter()
-        .filter(|&id| subset[id.index()] && !exec.is_complete(id) && !exec.is_doomed(id, m))
-        .map(|id| exec.deadline_slot(id))
-        .collect();
-    horizons.sort_unstable();
-    horizons.dedup();
-    for d in horizons {
+/// Whether an NVP has no spare slot before some deadline horizon:
+/// `members` holds the NVP's subset tasks; for any deadline slot `d`
+/// of its incomplete members, the total remaining work due by `d` must
+/// fit into `d − m` slots; equality (or overflow) forces the NVP to
+/// run now. Allocation-free: horizons are enumerated straight off the
+/// member mask (duplicates re-check the same horizon harmlessly).
+fn nvp_is_forced(members: TaskSet, exec: &ExecState, m: usize) -> bool {
+    for i in members.iter() {
+        let id = TaskId(i);
+        if exec.is_complete(id) || exec.is_doomed(id, m) {
+            continue;
+        }
+        let d = exec.deadline_slot(id);
         if d <= m {
             continue;
         }
-        let due: usize = graph
-            .tasks_on_nvp(nvp)
-            .into_iter()
-            .filter(|&id| {
-                subset[id.index()]
-                    && !exec.is_complete(id)
-                    && !exec.is_doomed(id, m)
-                    && exec.deadline_slot(id) <= d
-            })
-            .map(|id| exec.remaining(id))
-            .sum();
+        let mut due = 0usize;
+        for j in members.iter() {
+            let jd = TaskId(j);
+            if exec.is_complete(jd) || exec.is_doomed(jd, m) {
+                continue;
+            }
+            if exec.deadline_slot(jd) <= d {
+                due += exec.remaining(jd);
+            }
+        }
         if due >= d - m {
             return true;
         }
@@ -223,8 +217,15 @@ mod tests {
     fn full_subset_on_sunny_period_completes_without_cap_draw() {
         let g = benchmarks::ecg();
         let (mut bank, pmu, storage) = setup(0.0);
-        let subset = vec![true; g.len()];
-        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        let out = simulate_subset(
+            &g,
+            g.all_tasks(),
+            &sunny(10),
+            SLOT,
+            &mut bank,
+            &pmu,
+            &storage,
+        );
         assert_eq!(out.misses, 0, "{out:?}");
         assert!(out.completed_all);
         assert!(
@@ -239,8 +240,15 @@ mod tests {
     fn empty_subset_misses_everything_but_stores_all() {
         let g = benchmarks::ecg();
         let (mut bank, pmu, storage) = setup(0.0);
-        let subset = vec![false; g.len()];
-        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        let out = simulate_subset(
+            &g,
+            TaskSet::EMPTY,
+            &sunny(10),
+            SLOT,
+            &mut bank,
+            &pmu,
+            &storage,
+        );
         assert_eq!(out.misses, g.len());
         assert!((out.dmr - 1.0).abs() < 1e-12);
         assert_eq!(out.served, Joules::ZERO);
@@ -251,8 +259,15 @@ mod tests {
     fn dark_period_draws_from_capacitor() {
         let g = benchmarks::ecg();
         let (mut bank, pmu, storage) = setup(60.0);
-        let subset = vec![true; g.len()];
-        let out = simulate_subset(&g, &subset, &dark(10), SLOT, &mut bank, &pmu, &storage);
+        let out = simulate_subset(
+            &g,
+            g.all_tasks(),
+            &dark(10),
+            SLOT,
+            &mut bank,
+            &pmu,
+            &storage,
+        );
         assert_eq!(out.misses, 0, "{out:?}");
         assert!(out.cap_drawn.value() > 5.0);
     }
@@ -261,8 +276,15 @@ mod tests {
     fn dark_period_without_storage_misses_all() {
         let g = benchmarks::ecg();
         let (mut bank, pmu, storage) = setup(0.0);
-        let subset = vec![true; g.len()];
-        let out = simulate_subset(&g, &subset, &dark(10), SLOT, &mut bank, &pmu, &storage);
+        let out = simulate_subset(
+            &g,
+            g.all_tasks(),
+            &dark(10),
+            SLOT,
+            &mut bank,
+            &pmu,
+            &storage,
+        );
         assert_eq!(out.misses, g.len());
         assert!(out.brownouts > 0);
         assert!(!out.completed_all);
@@ -274,9 +296,8 @@ mod tests {
         let (mut bank, pmu, storage) = setup(0.0);
         // Exclude lpf: the whole filter chain (and qrs, aes) can never
         // become runnable.
-        let mut subset = vec![true; g.len()];
-        subset[0] = false;
-        let out = simulate_subset(&g, &subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        let subset = g.all_tasks().difference(TaskSet::EMPTY.with(0));
+        let out = simulate_subset(&g, subset, &sunny(10), SLOT, &mut bank, &pmu, &storage);
         assert!(!out.completed_all);
         assert!(out.misses >= 5, "chain is blocked: {out:?}");
     }
@@ -291,8 +312,7 @@ mod tests {
         for s in solar.iter_mut().skip(3) {
             *s = Joules::new(6.0);
         }
-        let subset = vec![true; g.len()];
-        let out = simulate_subset(&g, &subset, &solar, SLOT, &mut bank, &pmu, &storage);
+        let out = simulate_subset(&g, g.all_tasks(), &solar, SLOT, &mut bank, &pmu, &storage);
         assert_eq!(out.misses, 0, "{out:?}");
         assert!(
             out.cap_drawn.value() < 3.0,
@@ -305,14 +325,19 @@ mod tests {
     fn subset_partial_reduces_demand() {
         let g = benchmarks::wam();
         let (mut bank1, pmu, storage) = setup(0.0);
-        let all = vec![true; g.len()];
-        let full = simulate_subset(&g, &all, &sunny(10), SLOT, &mut bank1, &pmu, &storage);
+        let full = simulate_subset(
+            &g,
+            g.all_tasks(),
+            &sunny(10),
+            SLOT,
+            &mut bank1,
+            &pmu,
+            &storage,
+        );
         let (mut bank2, _, _) = setup(0.0);
         // Only the two root sensing tasks.
-        let mut some = vec![false; g.len()];
-        some[0] = true;
-        some[1] = true;
-        let part = simulate_subset(&g, &some, &sunny(10), SLOT, &mut bank2, &pmu, &storage);
+        let some = TaskSet::EMPTY.with(0).with(1);
+        let part = simulate_subset(&g, some, &sunny(10), SLOT, &mut bank2, &pmu, &storage);
         assert!(part.served < full.served);
         assert!(part.cap_stored > full.cap_stored, "unspent solar stores");
         assert_eq!(part.misses, g.len() - 2);
@@ -320,9 +345,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "subset mask must cover")]
-    fn wrong_mask_length_panics() {
+    fn out_of_range_mask_panics() {
         let g = benchmarks::ecg();
         let (mut bank, pmu, storage) = setup(0.0);
-        simulate_subset(&g, &[true], &sunny(10), SLOT, &mut bank, &pmu, &storage);
+        let bogus = TaskSet::EMPTY.with(g.len());
+        simulate_subset(&g, bogus, &sunny(10), SLOT, &mut bank, &pmu, &storage);
     }
 }

@@ -1,6 +1,8 @@
 //! The [`SlotScheduler`] trait the simulation engine drives, plus the
 //! NVP-exclusive EDF selection helper every concrete scheduler uses.
 
+use helio_common::taskset::MAX_TASKS;
+use helio_common::TaskSet;
 use helio_tasks::{TaskGraph, TaskId};
 
 use crate::context::{PeriodStart, SlotContext};
@@ -11,7 +13,9 @@ use crate::context::{PeriodStart, SlotContext};
 /// [`SlotScheduler::select`] once per slot; the returned task set is
 /// executed if the PMU can power it (the engine handles brown-outs).
 /// Implementations must respect NVP exclusivity — at most one returned
-/// task per NVP (the engine asserts this).
+/// task per NVP (the engine asserts this) — and must not allocate on
+/// the `select` path once warm (scratch buffers belong in the
+/// scheduler struct).
 pub trait SlotScheduler {
     /// Scheduler name for experiment tables.
     fn name(&self) -> &'static str;
@@ -22,32 +26,54 @@ pub trait SlotScheduler {
         let _ = ctx;
     }
 
-    /// Chooses the tasks to run in this slot.
-    fn select(&mut self, ctx: &SlotContext<'_>) -> Vec<TaskId>;
+    /// Chooses the tasks to run in this slot, as a bitmask.
+    fn select(&mut self, ctx: &SlotContext<'_>) -> TaskSet;
 }
 
 /// Picks at most one task per NVP from `candidates`, preferring the
-/// earliest deadline (ties: least slack, then lowest id) — the
-/// canonical priority rule all schedulers here share.
-pub fn edf_pick(graph: &TaskGraph, candidates: &[TaskId], slot: usize) -> Vec<TaskId> {
-    let mut per_nvp: Vec<Option<TaskId>> = vec![None; graph.nvp_count()];
-    let mut sorted = candidates.to_vec();
-    sorted.sort_by(|&a, &b| {
-        let ta = graph.task(a);
-        let tb = graph.task(b);
-        ta.deadline
-            .value()
-            .total_cmp(&tb.deadline.value())
-            .then(a.index().cmp(&b.index()))
-    });
-    let _ = slot;
-    for id in sorted {
+/// earliest deadline (ties: lowest id) — the canonical priority rule
+/// all schedulers here share. Allocation-free: per-NVP champions live
+/// on the stack.
+pub fn edf_pick_set(graph: &TaskGraph, candidates: TaskSet) -> TaskSet {
+    let mut best: [Option<TaskId>; MAX_TASKS] = [None; MAX_TASKS];
+    for i in candidates.iter() {
+        let id = TaskId(i);
         let nvp = graph.task(id).nvp;
-        if per_nvp[nvp].is_none() {
-            per_nvp[nvp] = Some(id);
+        match best[nvp] {
+            None => best[nvp] = Some(id),
+            Some(b) => {
+                // Ascending iteration: on deadline ties the earlier
+                // index is already in place.
+                if graph
+                    .task(id)
+                    .deadline
+                    .value()
+                    .total_cmp(&graph.task(b).deadline.value())
+                    .is_lt()
+                {
+                    best[nvp] = Some(id);
+                }
+            }
         }
     }
-    per_nvp.into_iter().flatten().collect()
+    let mut picked = TaskSet::EMPTY;
+    for champ in best.iter().flatten() {
+        picked.insert(champ.index());
+    }
+    picked
+}
+
+/// Picks at most one task per NVP from `candidates`, preferring the
+/// earliest deadline (ties: lowest id). Allocating convenience wrapper
+/// over [`edf_pick_set`]; the returned ids are in ascending index
+/// order.
+pub fn edf_pick(graph: &TaskGraph, candidates: &[TaskId], slot: usize) -> Vec<TaskId> {
+    let _ = slot;
+    let mut set = TaskSet::EMPTY;
+    for id in candidates {
+        set.insert(id.index());
+    }
+    edf_pick_set(graph, set).iter().map(TaskId).collect()
 }
 
 #[cfg(test)]
@@ -85,5 +111,18 @@ mod tests {
     fn edf_pick_empty_candidates() {
         let g = benchmarks::wam();
         assert!(edf_pick(&g, &[], 0).is_empty());
+        assert!(edf_pick_set(&g, TaskSet::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn set_and_vec_pick_agree() {
+        let g = benchmarks::ecg();
+        let all: Vec<TaskId> = g.ids().collect();
+        let from_vec = edf_pick(&g, &all, 0);
+        let from_set = edf_pick_set(&g, g.all_tasks());
+        assert_eq!(
+            from_vec.iter().map(|id| id.index()).collect::<Vec<_>>(),
+            from_set.iter().collect::<Vec<_>>()
+        );
     }
 }

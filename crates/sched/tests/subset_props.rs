@@ -2,6 +2,7 @@
 //! planner calls thousands of times per optimisation.
 
 use helio_common::units::{Farads, Joules, Seconds};
+use helio_common::TaskSet;
 use helio_nvp::Pmu;
 use helio_sched::simulate_subset;
 use helio_storage::{CapacitorBank, StorageModelParams};
@@ -16,7 +17,7 @@ fn graph_for(idx: usize) -> TaskGraph {
 }
 
 /// A dependency-closed random mask over a graph.
-fn close_mask(graph: &TaskGraph, mut mask: Vec<bool>) -> Vec<bool> {
+fn close_mask(graph: &TaskGraph, mut mask: Vec<bool>) -> TaskSet {
     mask.resize(graph.len(), false);
     let topo = graph.topological_order().expect("benchmarks are acyclic");
     for &id in topo.iter().rev() {
@@ -26,7 +27,7 @@ fn close_mask(graph: &TaskGraph, mut mask: Vec<bool>) -> Vec<bool> {
             }
         }
     }
-    mask
+    TaskSet::from_mask(&mask)
 }
 
 proptest! {
@@ -55,7 +56,7 @@ proptest! {
             .collect();
         let out = simulate_subset(
             &graph,
-            &subset,
+            subset,
             &solar,
             SLOT,
             &mut bank,
@@ -73,7 +74,7 @@ proptest! {
             out.cap_drawn, before, out.cap_stored
         );
         // Tasks excluded from the subset are always counted as misses.
-        let excluded = subset.iter().filter(|&&b| !b).count();
+        let excluded = graph.len() - subset.len();
         prop_assert!(out.misses >= excluded);
     }
 
@@ -85,13 +86,13 @@ proptest! {
         base_mw in 1.0f64..40.0,
     ) {
         let graph = graph_for(graph_idx);
-        let subset = vec![true; graph.len()];
+        let subset = graph.all_tasks();
         let storage = StorageModelParams::default();
         let run = |scale: f64| {
             let mut bank = CapacitorBank::new(&[Farads::new(10.0)], &storage)
                 .expect("valid");
             let solar = vec![Joules::new(base_mw * scale * 1e-3 * SLOT.value()); 10];
-            simulate_subset(&graph, &subset, &solar, SLOT, &mut bank, &Pmu::default(), &storage)
+            simulate_subset(&graph, subset, &solar, SLOT, &mut bank, &Pmu::default(), &storage)
         };
         let dim = run(1.0);
         let bright = run(4.0);

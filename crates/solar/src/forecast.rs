@@ -36,6 +36,32 @@ pub trait SolarPredictor {
     /// (shorter if the grid ends first).
     fn forecast(&self, trace: &SolarTrace, from: PeriodRef, horizon: usize) -> Vec<Joules>;
 
+    /// Fills `out` with the same forecast as
+    /// [`SolarPredictor::forecast`], reusing the buffer's capacity.
+    /// The provided predictors override this without allocating; the
+    /// default delegates.
+    fn forecast_into(
+        &self,
+        trace: &SolarTrace,
+        from: PeriodRef,
+        horizon: usize,
+        out: &mut Vec<Joules>,
+    ) {
+        out.clear();
+        out.extend(self.forecast(trace, from, horizon));
+    }
+
+    /// One-period fast path: the first entry of
+    /// [`SolarPredictor::forecast`] with `horizon == 1`, without the
+    /// vector. Callers that only need the next period (the engine's
+    /// period-start context) should prefer this.
+    fn forecast_one(&self, trace: &SolarTrace, from: PeriodRef) -> Joules {
+        self.forecast(trace, from, 1)
+            .first()
+            .copied()
+            .unwrap_or(Joules::ZERO)
+    }
+
     /// Human-readable predictor name for experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -52,17 +78,18 @@ fn history_profile(
         return None;
     }
     let lo = day.saturating_sub(days);
-    let vals: Vec<f64> = (lo..day)
-        .map(|d| {
-            trace
-                .period_energy(PeriodRef::new(d, period_of_day))
-                .value()
-        })
-        .collect();
-    if vals.is_empty() {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for d in lo..day {
+        sum += trace
+            .period_energy(PeriodRef::new(d, period_of_day))
+            .value();
+        count += 1;
+    }
+    if count == 0 {
         None
     } else {
-        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        Some(sum / count as f64)
     }
 }
 
@@ -110,15 +137,30 @@ impl Default for EwmaPredictor {
 
 impl SolarPredictor for EwmaPredictor {
     fn forecast(&self, trace: &SolarTrace, from: PeriodRef, horizon: usize) -> Vec<Joules> {
+        let mut out = Vec::with_capacity(horizon);
+        self.forecast_into(trace, from, horizon, &mut out);
+        out
+    }
+
+    fn forecast_into(
+        &self,
+        trace: &SolarTrace,
+        from: PeriodRef,
+        horizon: usize,
+        out: &mut Vec<Joules>,
+    ) {
         let grid = *trace.grid();
         let start = grid.period_index(from);
         let end = (start + horizon).min(grid.total_periods());
-        (start..end)
-            .map(|idx| {
-                let p = grid.period_at(idx);
-                Joules::new(self.ewma_at(trace, p.day, p.period).max(0.0))
-            })
-            .collect()
+        out.clear();
+        for idx in start..end {
+            let p = grid.period_at(idx);
+            out.push(Joules::new(self.ewma_at(trace, p.day, p.period).max(0.0)));
+        }
+    }
+
+    fn forecast_one(&self, trace: &SolarTrace, from: PeriodRef) -> Joules {
+        Joules::new(self.ewma_at(trace, from.day, from.period).max(0.0))
     }
 
     fn name(&self) -> &'static str {
@@ -196,6 +238,18 @@ impl Default for WcmaPredictor {
 
 impl SolarPredictor for WcmaPredictor {
     fn forecast(&self, trace: &SolarTrace, from: PeriodRef, horizon: usize) -> Vec<Joules> {
+        let mut out = Vec::with_capacity(horizon);
+        self.forecast_into(trace, from, horizon, &mut out);
+        out
+    }
+
+    fn forecast_into(
+        &self,
+        trace: &SolarTrace,
+        from: PeriodRef,
+        horizon: usize,
+        out: &mut Vec<Joules>,
+    ) {
         let grid = *trace.grid();
         let start = grid.period_index(from);
         let end = (start + horizon).min(grid.total_periods());
@@ -205,21 +259,35 @@ impl SolarPredictor for WcmaPredictor {
         } else {
             0.0
         };
-        (start..end)
-            .map(|idx| {
-                let p = grid.period_at(idx);
-                let profile =
-                    history_profile(trace, p.day, p.period, self.profile_days).unwrap_or(0.0);
-                let conditioned = gap * profile;
-                let pred = if idx == start {
-                    // One-step WCMA blends the last observation in.
-                    self.alpha * last_observed + (1.0 - self.alpha) * conditioned
-                } else {
-                    conditioned
-                };
-                Joules::new(pred.max(0.0))
-            })
-            .collect()
+        out.clear();
+        for idx in start..end {
+            let p = grid.period_at(idx);
+            let profile = history_profile(trace, p.day, p.period, self.profile_days).unwrap_or(0.0);
+            let conditioned = gap * profile;
+            let pred = if idx == start {
+                // One-step WCMA blends the last observation in.
+                self.alpha * last_observed + (1.0 - self.alpha) * conditioned
+            } else {
+                conditioned
+            };
+            out.push(Joules::new(pred.max(0.0)));
+        }
+    }
+
+    fn forecast_one(&self, trace: &SolarTrace, from: PeriodRef) -> Joules {
+        let grid = trace.grid();
+        let start = grid.period_index(from);
+        let gap = self.gap(trace, from);
+        let last_observed = if start > 0 {
+            trace.period_energy(grid.period_at(start - 1)).value()
+        } else {
+            0.0
+        };
+        let profile =
+            history_profile(trace, from.day, from.period, self.profile_days).unwrap_or(0.0);
+        let conditioned = gap * profile;
+        let pred = self.alpha * last_observed + (1.0 - self.alpha) * conditioned;
+        Joules::new(pred.max(0.0))
     }
 
     fn name(&self) -> &'static str {
@@ -269,35 +337,64 @@ impl NoisyOracle {
     }
 }
 
+impl NoisyOracle {
+    fn predict_index(
+        &self,
+        trace: &SolarTrace,
+        idx: usize,
+        day_start: usize,
+        origin_day: usize,
+    ) -> Joules {
+        let grid = trace.grid();
+        let p = grid.period_at(idx);
+        let truth = trace.period_energy(p).value();
+        // Distance from the start of the forecast origin's day, so all
+        // forecasts issued on one day see the same noisy future; errors
+        // refresh when real information arrives with the next day.
+        let distance = (idx - day_start) as f64 / grid.periods_per_day() as f64;
+        let sigma = self.base_sigma + self.growth_per_day * distance;
+        if sigma == 0.0 || truth == 0.0 {
+            return Joules::new(truth);
+        }
+        // The noise realisation is tied to the *target* period so
+        // consecutive plans see a consistent (if wrong) future, and to
+        // the forecast origin's day so errors refresh as real
+        // information arrives.
+        let mut rng = derive(self.seed, &format!("oracle-{idx}-{origin_day}"));
+        let eps = gaussian(&mut rng) * sigma;
+        Joules::new((truth * (1.0 + eps)).max(0.0))
+    }
+}
+
 impl SolarPredictor for NoisyOracle {
     fn forecast(&self, trace: &SolarTrace, from: PeriodRef, horizon: usize) -> Vec<Joules> {
+        let mut out = Vec::with_capacity(horizon);
+        self.forecast_into(trace, from, horizon, &mut out);
+        out
+    }
+
+    fn forecast_into(
+        &self,
+        trace: &SolarTrace,
+        from: PeriodRef,
+        horizon: usize,
+        out: &mut Vec<Joules>,
+    ) {
         let grid = *trace.grid();
         let start = grid.period_index(from);
         let end = (start + horizon).min(grid.total_periods());
-        let periods_per_day = grid.periods_per_day() as f64;
         let day_start = grid.period_index(PeriodRef::new(from.day, 0));
-        (start..end)
-            .map(|idx| {
-                let p = grid.period_at(idx);
-                let truth = trace.period_energy(p).value();
-                // Distance from the start of the forecast origin's day, so
-                // all forecasts issued on one day see the same noisy
-                // future; errors refresh when real information arrives
-                // with the next day.
-                let distance = (idx - day_start) as f64 / periods_per_day;
-                let sigma = self.base_sigma + self.growth_per_day * distance;
-                if sigma == 0.0 || truth == 0.0 {
-                    return Joules::new(truth);
-                }
-                // The noise realisation is tied to the *target* period so
-                // consecutive plans see a consistent (if wrong) future,
-                // and to the forecast origin's day so errors refresh as
-                // real information arrives.
-                let mut rng = derive(self.seed, &format!("oracle-{idx}-{}", from.day));
-                let eps = gaussian(&mut rng) * sigma;
-                Joules::new((truth * (1.0 + eps)).max(0.0))
-            })
-            .collect()
+        out.clear();
+        for idx in start..end {
+            out.push(self.predict_index(trace, idx, day_start, from.day));
+        }
+    }
+
+    fn forecast_one(&self, trace: &SolarTrace, from: PeriodRef) -> Joules {
+        let grid = trace.grid();
+        let start = grid.period_index(from);
+        let day_start = grid.period_index(PeriodRef::new(from.day, 0));
+        self.predict_index(trace, start, day_start, from.day)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,7 @@
 //! The task DAG `G(V, W)` of the system model.
 
 use helio_common::units::{Joules, Seconds};
+use helio_common::TaskSet;
 use serde::{Deserialize, Serialize};
 
 use crate::error::TaskError;
@@ -132,6 +133,18 @@ impl TaskGraph {
             .collect()
     }
 
+    /// Direct predecessors of `id` as a bitmask — the allocation-free
+    /// counterpart of [`TaskGraph::predecessors`] the hot paths use.
+    pub fn predecessor_set(&self, id: TaskId) -> TaskSet {
+        let mut set = TaskSet::EMPTY;
+        for (from, to) in &self.edges {
+            if *to == id {
+                set.insert(from.index());
+            }
+        }
+        set
+    }
+
     /// Direct successors of `id`.
     pub fn successors(&self, id: TaskId) -> Vec<TaskId> {
         self.edges
@@ -139,6 +152,18 @@ impl TaskGraph {
             .filter(|(from, _)| *from == id)
             .map(|(_, to)| *to)
             .collect()
+    }
+
+    /// Direct successors of `id` as a bitmask — the allocation-free
+    /// counterpart of [`TaskGraph::successors`] the hot paths use.
+    pub fn successor_set(&self, id: TaskId) -> TaskSet {
+        let mut set = TaskSet::EMPTY;
+        for (from, to) in &self.edges {
+            if *from == id {
+                set.insert(to.index());
+            }
+        }
+        set
     }
 
     /// Number of distinct NVPs referenced (`N_k`, assuming dense
@@ -150,6 +175,23 @@ impl TaskGraph {
     /// Tasks bound to one NVP (the set `A_k`).
     pub fn tasks_on_nvp(&self, nvp: usize) -> Vec<TaskId> {
         self.ids().filter(|&id| self.task(id).nvp == nvp).collect()
+    }
+
+    /// Tasks bound to one NVP as a bitmask (allocation-free
+    /// [`TaskGraph::tasks_on_nvp`]).
+    pub fn nvp_set(&self, nvp: usize) -> TaskSet {
+        let mut set = TaskSet::EMPTY;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.nvp == nvp {
+                set.insert(i);
+            }
+        }
+        set
+    }
+
+    /// The full task set `{0, …, N-1}` as a bitmask.
+    pub fn all_tasks(&self) -> TaskSet {
+        TaskSet::all(self.tasks.len())
     }
 
     /// Total energy of running every task once: `Σ S_n · P_n^τ`.
@@ -168,30 +210,52 @@ impl TaskGraph {
     ///
     /// Returns [`TaskError::DependencyCycle`] naming a task on a cycle.
     pub fn topological_order(&self) -> Result<Vec<TaskId>, TaskError> {
+        let mut indegree = Vec::new();
+        let mut stack = Vec::new();
+        let mut order = Vec::with_capacity(self.tasks.len());
+        self.topological_order_into(&mut indegree, &mut stack, &mut order)?;
+        Ok(order)
+    }
+
+    /// [`TaskGraph::topological_order`] writing into caller-owned
+    /// scratch (all three buffers are cleared first), so per-period
+    /// callers can recompute the order without allocating. The emitted
+    /// order is identical to [`TaskGraph::topological_order`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::DependencyCycle`] naming a task on a cycle.
+    pub fn topological_order_into(
+        &self,
+        indegree: &mut Vec<usize>,
+        stack: &mut Vec<TaskId>,
+        out: &mut Vec<TaskId>,
+    ) -> Result<(), TaskError> {
         let n = self.tasks.len();
-        let mut indegree = vec![0usize; n];
+        indegree.clear();
+        indegree.resize(n, 0);
         for (_, to) in &self.edges {
             indegree[to.index()] += 1;
         }
-        let mut queue: Vec<TaskId> = (0..n)
-            .map(TaskId)
-            .filter(|t| indegree[t.index()] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(id) = queue.pop() {
-            order.push(id);
-            for succ in self.successors(id) {
-                indegree[succ.index()] -= 1;
-                if indegree[succ.index()] == 0 {
-                    queue.push(succ);
+        stack.clear();
+        stack.extend((0..n).map(TaskId).filter(|t| indegree[t.index()] == 0));
+        out.clear();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            for (from, to) in &self.edges {
+                if *from == id {
+                    indegree[to.index()] -= 1;
+                    if indegree[to.index()] == 0 {
+                        stack.push(*to);
+                    }
                 }
             }
         }
-        if order.len() != n {
+        if out.len() != n {
             let stuck = (0..n).map(TaskId).find(|t| indegree[t.index()] > 0);
             return Err(TaskError::DependencyCycle(stuck.unwrap_or(TaskId(0))));
         }
-        Ok(order)
+        Ok(())
     }
 
     /// Earliest finish time of every task under deadline-ordered
@@ -329,6 +393,21 @@ mod tests {
         assert_eq!(g.nvp_count(), 2);
         assert_eq!(g.tasks_on_nvp(0), vec![a, b]);
         assert_eq!(g.task(c).name, "c");
+    }
+
+    #[test]
+    fn set_accessors_match_vec_accessors() {
+        let (g, a, b, c) = pipeline();
+        for id in g.ids() {
+            let preds = g.predecessors(id);
+            let set = g.predecessor_set(id);
+            assert_eq!(set.len(), preds.len());
+            assert!(preds.iter().all(|p| set.contains(p.index())));
+        }
+        assert_eq!(g.predecessor_set(b), TaskSet::EMPTY.with(a.index()));
+        assert_eq!(g.nvp_set(0).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.nvp_set(1), TaskSet::EMPTY.with(c.index()));
+        assert_eq!(g.all_tasks(), TaskSet::all(3));
     }
 
     #[test]
