@@ -1,0 +1,228 @@
+//! Robustness sweep: how gracefully does each planner backend degrade
+//! under injected faults? Emits `results/ROBUSTNESS.json`.
+//!
+//! The sweep crosses three axes on the golden configuration (ECG
+//! benchmark, four archetype days, two-capacitor node):
+//!
+//! * **Blackout duration** — a midday solar outage on day 1 of 0, 4 or
+//!   8 periods (`HELIO_FAST=1` drops the 8-period point).
+//! * **Capacitor aging** — none, moderate (3 %/day fade, 1.3×/day
+//!   leakage growth) or severe (10 %/day fade, 2×/day growth).
+//! * **Planner backend** — the inter-task baseline, the DBN planner and
+//!   the MPC planner, each wrapped in [`ResilientPlanner`].
+//!
+//! Every faulted cell additionally injects a DBN-unavailability window
+//! (flat periods 24..28), so the resilient wrapper around the
+//! inference-driven backends must engage its fallback at least once per
+//! cell — the engagement count is part of the report. Per cell the
+//! sweep records the DMR, its degradation against the same backend's
+//! clean run, the degraded-mode counters, and how many periods after
+//! the blackout window the per-period miss count first returned to the
+//! clean run's level.
+
+use helio_ann::Dbn;
+use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
+use helio_bench::{fast_mode, par_sweep, pct, RobustnessPoint, RobustnessReport};
+use helio_faults::{
+    AgingFault, DbnFault, DbnFaultMode, FaultHarness, FaultPlan, PeriodWindow, SolarFault,
+};
+use helio_solar::NoisyOracle;
+use helio_tasks::benchmarks;
+use heliosched::{
+    Engine, FixedPlanner, Pattern, PeriodPlanner, ProposedPlanner, ResilientPlanner, SimReport,
+    SwitchRule,
+};
+
+const REPORT_PATH: &str = "results/ROBUSTNESS.json";
+
+/// Midday of day 1 on the golden 24-period day.
+const BLACKOUT_START: usize = 34;
+
+/// The DBN-unavailability window every faulted cell carries.
+const DBN_OUTAGE: PeriodWindow = PeriodWindow {
+    start: 24,
+    periods: 4,
+};
+
+const BACKENDS: [&str; 3] = ["inter", "dbn", "mpc"];
+
+fn make_planner<'a>(backend: &str, dbn: &Dbn) -> ResilientPlanner<'a> {
+    let inner: Box<dyn PeriodPlanner> = match backend {
+        "inter" => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
+        "dbn" => Box::new(ProposedPlanner::from_dbn(
+            dbn.clone(),
+            GOLDEN_DELTA,
+            SwitchRule::default(),
+        )),
+        "mpc" => Box::new(ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            24,
+            golden_dp(),
+            GOLDEN_DELTA,
+            SwitchRule::default(),
+        )),
+        other => unreachable!("unknown backend {other}"),
+    };
+    ResilientPlanner::new(inner)
+}
+
+fn aging_fault(label: &str) -> Option<AgingFault> {
+    match label {
+        "none" => None,
+        "moderate" => Some(AgingFault {
+            capacitance_fade_per_day: 0.97,
+            leakage_growth_per_day: 1.3,
+        }),
+        "severe" => Some(AgingFault {
+            capacitance_fade_per_day: 0.90,
+            leakage_growth_per_day: 2.0,
+        }),
+        other => unreachable!("unknown aging label {other}"),
+    }
+}
+
+/// Periods after the blackout window until the faulted run's per-period
+/// misses first drop back to the clean run's level.
+fn recovery_periods(
+    faulted: &SimReport,
+    clean: &SimReport,
+    blackout_periods: usize,
+) -> Option<usize> {
+    if blackout_periods == 0 {
+        return None;
+    }
+    let window_end = BLACKOUT_START + blackout_periods;
+    (window_end..faulted.periods.len().min(clean.periods.len()))
+        .find(|&p| faulted.periods[p].misses <= clean.periods[p].misses)
+        .map(|p| p - window_end)
+}
+
+fn main() {
+    let blackouts: &[usize] = if fast_mode() { &[0, 4] } else { &[0, 4, 8] };
+    let agings = ["none", "moderate", "severe"];
+
+    let node = golden_node();
+    let trace = golden_trace();
+    let graph = benchmarks::ecg();
+    let engine = Engine::new(&node, &graph, &trace).expect("robustness engine");
+    let grid = &node.grid;
+    let total_periods = grid.total_periods();
+
+    // Train the DBN once from the optimal planner's samples (the same
+    // weights the golden suite pins).
+    let optimal =
+        heliosched::OptimalPlanner::compute(&node, &graph, &trace, &golden_dp(), GOLDEN_DELTA)
+            .expect("optimal for DBN training");
+    let dbn = golden_dbn(&optimal);
+
+    println!(
+        "# robustness sweep (threads = {}, {} backends x {} blackouts x {} agings)",
+        helio_par::configured_threads(),
+        BACKENDS.len(),
+        blackouts.len(),
+        agings.len()
+    );
+
+    // Clean baselines: one un-faulted run per backend.
+    let clean: Vec<SimReport> = par_sweep(&BACKENDS, |backend| {
+        let mut planner = make_planner(backend, &dbn);
+        engine.run(&mut planner).expect("clean run")
+    });
+
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for (b, _) in BACKENDS.iter().enumerate() {
+        for (k, _) in blackouts.iter().enumerate() {
+            for (a, _) in agings.iter().enumerate() {
+                cells.push((b, k, a));
+            }
+        }
+    }
+
+    let sweep: Vec<RobustnessPoint> = par_sweep(&cells, |&(b, k, a)| {
+        let backend = BACKENDS[b];
+        let blackout = blackouts[k];
+        let aging_label = agings[a];
+        let plan = FaultPlan {
+            solar: if blackout > 0 {
+                vec![SolarFault {
+                    window: PeriodWindow::new(BLACKOUT_START, blackout),
+                    factor: 0.0,
+                }]
+            } else {
+                Vec::new()
+            },
+            aging: aging_fault(aging_label),
+            dbn: vec![DbnFault {
+                window: DBN_OUTAGE,
+                mode: DbnFaultMode::Unavailable,
+            }],
+            ..FaultPlan::default()
+        };
+        let harness = FaultHarness::new(&plan, total_periods, grid.periods_per_day());
+        let mut planner = make_planner(backend, &dbn);
+        let report = engine
+            .run_with_faults(&mut planner, Some(&harness))
+            .expect("faulted run");
+        let clean_report = &clean[b];
+        let dmr = report.overall_dmr();
+        let clean_dmr = clean_report.overall_dmr();
+        RobustnessPoint {
+            backend: backend.to_string(),
+            blackout_periods: blackout,
+            aging: aging_label.to_string(),
+            dmr,
+            clean_dmr,
+            dmr_degradation: dmr - clean_dmr,
+            fallbacks: report.degraded.planner_fallbacks,
+            faulted_slots: report.degraded.faulted_slots,
+            degraded_total: report.degraded.total(),
+            fault_events: report.faults.len(),
+            recovery_periods: recovery_periods(&report, clean_report, blackout),
+        }
+    });
+
+    println!("backend  blackout  aging      DMR     clean   +degr   fallbacks  recovery");
+    for p in &sweep {
+        println!(
+            "{:<8} {:>8} {:>9} {} {} {} {:>9}  {}",
+            p.backend,
+            p.blackout_periods,
+            p.aging,
+            pct(p.dmr),
+            pct(p.clean_dmr),
+            pct(p.dmr_degradation),
+            p.fallbacks,
+            p.recovery_periods
+                .map_or_else(|| "-".to_string(), |r| r.to_string()),
+        );
+    }
+
+    // The DBN-outage window must have engaged the resilient fallback on
+    // the inference-driven backends in every cell.
+    for p in &sweep {
+        if p.backend != "inter" && p.fallbacks == 0 {
+            eprintln!(
+                "WARNING: {} cell (blackout {}, aging {}) recorded no fallbacks \
+                 despite the DBN outage",
+                p.backend, p.blackout_periods, p.aging
+            );
+        }
+    }
+
+    let report = RobustnessReport {
+        grid: format!(
+            "{}d x {}p x {}s",
+            grid.days(),
+            grid.periods_per_day(),
+            grid.slots_per_period()
+        ),
+        blackout_start: BLACKOUT_START,
+        dbn_outage: [DBN_OUTAGE.start, DBN_OUTAGE.periods],
+        sweep,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(REPORT_PATH, format!("{json}\n")).expect("write json");
+    println!();
+    println!("wrote {REPORT_PATH}");
+}

@@ -69,6 +69,15 @@ pub fn golden_dbn(optimal: &OptimalPlanner) -> Dbn {
 /// in a fixed order. Case names double as file stems under
 /// `results/golden_online/`.
 pub fn golden_reports() -> Vec<(String, SimReport)> {
+    golden_reports_with(None)
+}
+
+/// [`golden_reports`] through [`Engine::run_with_faults`]: with `None`
+/// or an empty harness the reports are byte-identical to the clean
+/// suite (the robustness gate CI relies on).
+pub fn golden_reports_with(
+    harness: Option<&helio_faults::FaultHarness>,
+) -> Vec<(String, SimReport)> {
     let node = golden_node();
     let trace = golden_trace();
     let mut out = Vec::new();
@@ -83,7 +92,7 @@ pub fn golden_reports() -> Vec<(String, SimReport)> {
             (Pattern::Intra, 1),
         ] {
             let report = engine
-                .run(&mut FixedPlanner::new(pattern, cap))
+                .run_with_faults(&mut FixedPlanner::new(pattern, cap), harness)
                 .expect("golden fixed run");
             out.push((format!("{}_{}", graph.name(), pattern), report));
         }
@@ -99,7 +108,9 @@ pub fn golden_reports() -> Vec<(String, SimReport)> {
     let dbn = golden_dbn(&optimal);
     out.push((
         "ecg_optimal".into(),
-        engine.run(&mut optimal).expect("golden optimal run"),
+        engine
+            .run_with_faults(&mut optimal, harness)
+            .expect("golden optimal run"),
     ));
     let mut mpc = ProposedPlanner::mpc(
         Box::new(NoisyOracle::perfect()),
@@ -110,12 +121,16 @@ pub fn golden_reports() -> Vec<(String, SimReport)> {
     );
     out.push((
         "ecg_mpc".into(),
-        engine.run(&mut mpc).expect("golden mpc run"),
+        engine
+            .run_with_faults(&mut mpc, harness)
+            .expect("golden mpc run"),
     ));
     let mut dbn_planner = ProposedPlanner::from_dbn(dbn, GOLDEN_DELTA, SwitchRule::default());
     out.push((
         "ecg_dbn".into(),
-        engine.run(&mut dbn_planner).expect("golden dbn run"),
+        engine
+            .run_with_faults(&mut dbn_planner, harness)
+            .expect("golden dbn run"),
     ));
     out
 }

@@ -223,6 +223,52 @@ pub struct BenchOnlineReport {
     pub speedup_vs_baseline: Option<f64>,
 }
 
+/// One point of the `bench_faults` robustness sweep: a (planner
+/// backend × blackout duration × aging severity) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessPoint {
+    /// Planner backend (`inter`, `dbn`, `mpc`).
+    pub backend: String,
+    /// Midday blackout length in periods (0 = no blackout).
+    pub blackout_periods: usize,
+    /// Aging severity label (`none`, `moderate`, `severe`).
+    pub aging: String,
+    /// Long-term DMR of the faulted run.
+    pub dmr: f64,
+    /// Long-term DMR of the same backend's clean run.
+    pub clean_dmr: f64,
+    /// `dmr - clean_dmr` in DMR points (robustness cost of the faults).
+    pub dmr_degradation: f64,
+    /// Periods the (resilient) planner served from its fallback.
+    pub fallbacks: usize,
+    /// Slots whose harvest a solar fault modified.
+    pub faulted_slots: usize,
+    /// Sum of all degraded-mode counters.
+    pub degraded_total: usize,
+    /// Fault-log length of the run.
+    pub fault_events: usize,
+    /// Periods after the blackout window until the per-period miss
+    /// count first returned to the clean run's level (`null` when no
+    /// blackout was injected or the run never recovered within the
+    /// horizon).
+    pub recovery_periods: Option<usize>,
+}
+
+/// Machine-readable result of the `bench_faults` binary
+/// (`results/ROBUSTNESS.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Grid description (days × periods × slots).
+    pub grid: String,
+    /// Flat period the injected blackout starts at.
+    pub blackout_start: usize,
+    /// DBN-outage window injected into every faulted cell, as
+    /// `[start, len]` flat periods.
+    pub dbn_outage: [usize; 2],
+    /// The sweep, ordered backend-major.
+    pub sweep: Vec<RobustnessPoint>,
+}
+
 /// Convenience: run the static optimal planner.
 ///
 /// # Errors

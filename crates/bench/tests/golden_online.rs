@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 
-use helio_bench::golden::{golden_reports, render, GOLDEN_DIR};
+use helio_bench::golden::{golden_reports, golden_reports_with, render, GOLDEN_DIR};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -41,4 +41,27 @@ fn reports_match_committed_goldens_bytewise() {
     }
     // 6 benchmarks × 3 patterns + optimal + mpc + dbn on ECG.
     assert_eq!(checked, 21, "golden suite shrank unexpectedly");
+}
+
+/// The robustness gate: an *empty* fault harness must be invisible —
+/// every golden case run through `Engine::run_with_faults` reproduces
+/// the committed bytes exactly.
+#[test]
+fn empty_fault_harness_reproduces_goldens_bytewise() {
+    let dir = golden_dir();
+    let empty = helio_faults::FaultHarness::empty();
+    let reports = golden_reports_with(Some(&empty));
+    assert_eq!(reports.len(), 21);
+    for (name, report) in &reports {
+        let path = dir.join(format!("{name}.json"));
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            render(report),
+            committed,
+            "`{name}` diverged under an empty fault harness — the fault \
+             path must be zero-cost and behaviour-neutral when no faults \
+             are planned"
+        );
+    }
 }

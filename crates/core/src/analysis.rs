@@ -103,16 +103,16 @@ impl TradeoffPoint {
 /// returning `(max, mean)` improvements in DMR points (positive =
 /// candidate better).
 ///
-/// # Panics
-///
-/// Panics when the reports cover different horizons.
+/// Reports covering different horizons are compared over the days both
+/// cover; `(0.0, 0.0)` when there is no overlap.
 pub fn dmr_improvement(candidate: &SimReport, baseline: &SimReport) -> (f64, f64) {
-    assert_eq!(
-        candidate.periods.len(),
-        baseline.periods.len(),
-        "reports must cover the same horizon"
-    );
-    let days = candidate.daily_dmr_series().len();
+    let days = candidate
+        .daily_dmr_series()
+        .len()
+        .min(baseline.daily_dmr_series().len());
+    if days == 0 {
+        return (0.0, 0.0);
+    }
     let mut max = f64::MIN;
     let mut total = 0.0;
     for d in 0..days {
@@ -174,6 +174,8 @@ mod tests {
             nvp_backups: 0,
             nvp_restores: 0,
             nvp_overhead: Joules::ZERO,
+            faults: vec![],
+            degraded: helio_faults::DegradedCounters::default(),
         }
     }
 

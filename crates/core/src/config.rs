@@ -75,7 +75,8 @@ impl NodeConfigBuilder {
     /// # Errors
     ///
     /// Returns [`CoreError::Config`] for an empty capacitor list,
-    /// non-positive capacitances, or invalid storage parameters.
+    /// non-positive capacitances, invalid storage parameters, or a
+    /// direct-channel efficiency outside `(0, 1]`.
     pub fn build(self) -> Result<NodeConfig, CoreError> {
         if self.capacitors.is_empty() {
             return Err(CoreError::Config(
@@ -92,11 +93,12 @@ impl NodeConfigBuilder {
         self.storage
             .validate()
             .map_err(|e| CoreError::Config(e.to_string()))?;
+        let pmu = Pmu::try_new(self.pmu_params).map_err(CoreError::Config)?;
         Ok(NodeConfig {
             grid: self.grid,
             capacitors: self.capacitors,
             storage: self.storage,
-            pmu: Pmu::new(self.pmu_params),
+            pmu,
         })
     }
 }
@@ -130,6 +132,23 @@ mod tests {
             .capacitors(&[Farads::new(0.0)])
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_pmu_efficiency() {
+        for eta in [0.0, -1.0, 1.5, f64::NAN] {
+            assert!(
+                matches!(
+                    NodeConfig::builder(grid())
+                        .pmu(helio_nvp::PmuParams {
+                            direct_efficiency: eta,
+                        })
+                        .build(),
+                    Err(CoreError::Config(_))
+                ),
+                "efficiency {eta} must be rejected as a config error"
+            );
+        }
     }
 
     #[test]

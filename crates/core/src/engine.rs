@@ -10,13 +10,14 @@
 //! schedulers at night).
 
 use helio_common::units::Joules;
+use helio_faults::{DegradedCounters, FaultEvent, FaultHarness, ForecastMode};
 use helio_nvp::NvpFleet;
 use helio_sched::{
     AsapScheduler, ExecState, IntraTaskScheduler, LsaScheduler, PeriodStart, SlotContext,
     SlotScheduler,
 };
 use helio_solar::{SolarPredictor, SolarTrace, WcmaPredictor};
-use helio_storage::CapacitorBank;
+use helio_storage::{CapacitorBank, StorageModelParams};
 use helio_tasks::TaskGraph;
 use helio_tasks::TaskId;
 
@@ -81,6 +82,40 @@ impl<'a> Engine<'a> {
     /// Returns [`CoreError::Storage`] when the planner selects an
     /// out-of-range capacitor.
     pub fn run(&self, planner: &mut dyn PeriodPlanner) -> Result<SimReport, CoreError> {
+        self.run_with_faults(planner, None)
+    }
+
+    /// Runs a planner over the whole horizon under an optional fault
+    /// harness.
+    ///
+    /// With `None` (or an empty harness) this is exactly [`Engine::run`]
+    /// — the fault path is skipped entirely and reports stay
+    /// byte-identical to the clean format. With an active harness the
+    /// engine additionally, per period:
+    ///
+    /// * applies capacitor aging (capacitance fade, preserving stored
+    ///   energy) and leakage growth before the planner observes the bank,
+    /// * injects the period's DBN fault into the planner,
+    /// * overrides the capacitor choice when the PMU mux is stuck,
+    /// * corrupts the per-period forecast, then sanitises non-finite or
+    ///   negative forecasts to zero,
+    /// * attenuates every slot's harvest by the solar fault factor, and
+    /// * *drops* (rather than aborts on) scheduler-contract-violating
+    ///   assignments, notifying the planner.
+    ///
+    /// Everything injected or degraded is recorded in the report's
+    /// `faults` log and `degraded` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Storage`] when the planner selects an
+    /// out-of-range capacitor.
+    pub fn run_with_faults(
+        &self,
+        planner: &mut dyn PeriodPlanner,
+        harness: Option<&FaultHarness>,
+    ) -> Result<SimReport, CoreError> {
+        let harness = harness.filter(|h| !h.is_empty());
         let grid = &self.node.grid;
         let storage = &self.node.storage;
         let pmu = &self.node.pmu;
@@ -95,6 +130,14 @@ impl<'a> Engine<'a> {
         let mut periods: Vec<PeriodRecord> = Vec::with_capacity(grid.total_periods());
         let mut acc_misses = 0usize;
         let mut acc_tasks = 0usize;
+        let mut degraded = DegradedCounters::default();
+        // Aging state: the cumulative capacitance factor already applied
+        // to the bank, and the leakage-scaled parameter set (built only
+        // when the multiplier departs from 1, so the clean path never
+        // clones).
+        let mut applied_cap_factor = 1.0f64;
+        let mut leak_scale = 1.0f64;
+        let mut scaled_leak: Option<StorageModelParams> = None;
 
         // Slot-path scratch, built once: the execution state is reset in
         // place each period and the per-task slot energies never change,
@@ -108,6 +151,22 @@ impl<'a> Engine<'a> {
             .collect();
 
         for period in grid.periods() {
+            let flat = grid.period_index(period);
+            if let Some(h) = harness {
+                let cf = h.capacitance_factor(flat);
+                if (cf - applied_cap_factor).abs() > 1e-15 {
+                    bank.apply_aging(storage, cf / applied_cap_factor)?;
+                    applied_cap_factor = cf;
+                }
+                let lm = h.leak_multiplier(flat);
+                if (lm - leak_scale).abs() > 1e-15 {
+                    scaled_leak = Some(storage.clone().with_leakage_scale(lm));
+                    leak_scale = lm;
+                }
+                planner.inject_fault(h.dbn_mode(flat));
+            }
+            let leak_params = scaled_leak.as_ref().unwrap_or(storage);
+
             let accumulated_dmr = if acc_tasks == 0 {
                 0.0
             } else {
@@ -129,8 +188,28 @@ impl<'a> Engine<'a> {
             if let Some(c) = decision.capacitor {
                 bank.set_active(c)?;
             }
+            if let Some(ch) = harness.and_then(|h| h.stuck_channel(flat)) {
+                // A stuck mux pins the bank to one (in-range) channel
+                // regardless of what the planner asked for.
+                let ch = ch.min(bank.len() - 1);
+                if bank.active_index() != ch {
+                    degraded.pmu_overrides += 1;
+                    bank.set_active(ch)?;
+                }
+            }
 
-            let predicted = self.predictor.forecast_one(self.trace, period);
+            let mut predicted = self.predictor.forecast_one(self.trace, period);
+            if let Some(mode) = harness.and_then(|h| h.forecast_mode(flat)) {
+                predicted = match mode {
+                    ForecastMode::Scale(s) => predicted * s,
+                    ForecastMode::Nan => Joules::new(f64::NAN),
+                    ForecastMode::Zero => Joules::ZERO,
+                };
+            }
+            if !predicted.value().is_finite() || predicted.value() < 0.0 {
+                predicted = Joules::ZERO;
+                degraded.sanitized_forecasts += 1;
+            }
             let start = PeriodStart {
                 graph: self.graph,
                 slot_duration,
@@ -164,12 +243,19 @@ impl<'a> Engine<'a> {
             };
 
             for m in 0..grid.slots_per_period() {
-                record.leaked += bank.leak_all(storage, slot_duration);
-                let harvest = self.trace.slot_energy(helio_common::time::SlotRef::new(
+                record.leaked += bank.leak_all(leak_params, slot_duration);
+                let mut harvest = self.trace.slot_energy(helio_common::time::SlotRef::new(
                     period.day,
                     period.period,
                     m,
                 ));
+                if let Some(h) = harness {
+                    let f = h.harvest_factor(flat);
+                    if f < 1.0 {
+                        harvest = harvest * f;
+                        degraded.faulted_slots += 1;
+                    }
+                }
                 let picked = {
                     let ctx = SlotContext {
                         graph: self.graph,
@@ -186,16 +272,26 @@ impl<'a> Engine<'a> {
                 // The bitmask iterates in ascending task index — the
                 // canonical order the f64 demand sum below relies on.
                 fleet.begin_slot();
+                let mut assigned = picked;
                 for i in picked.iter() {
                     let id = TaskId(i);
-                    fleet.assign(self.graph, id).map_err(|other| {
-                        CoreError::SchedulerContract(format!(
+                    if let Err(other) = fleet.assign(self.graph, id) {
+                        if harness.is_some() {
+                            // Under fault injection the run must survive:
+                            // drop the offending assignment, tell the
+                            // planner, and keep scheduling.
+                            assigned.remove(i);
+                            degraded.contract_skips += 1;
+                            planner.on_contract_violation();
+                            continue;
+                        }
+                        return Err(CoreError::SchedulerContract(format!(
                             "scheduler {} violated NVP exclusivity: {id} vs {other}",
                             scheduler.name()
-                        ))
-                    })?;
+                        )));
+                    }
                 }
-                let demand: Joules = picked.iter().map(|i| slot_costs[i]).sum();
+                let demand: Joules = assigned.iter().map(|i| slot_costs[i]).sum();
                 let flow = pmu.settle_slot(harvest, demand, &mut bank, storage);
                 record.harvested += flow.harvested;
                 record.served_direct += flow.served_direct;
@@ -204,7 +300,7 @@ impl<'a> Engine<'a> {
                 record.wasted += flow.wasted;
                 record.unmet += flow.unmet;
                 if flow.fully_served() {
-                    for i in picked {
+                    for i in assigned {
                         exec.advance(TaskId(i));
                     }
                 } else {
@@ -219,6 +315,11 @@ impl<'a> Engine<'a> {
             periods.push(record);
         }
 
+        degraded.planner_fallbacks = planner.fallback_count();
+        let mut faults: Vec<FaultEvent> = harness.map(|h| h.events().to_vec()).unwrap_or_default();
+        faults.extend(planner.degraded_events());
+        faults.sort_by_key(|e| (e.period, e.periods));
+
         Ok(SimReport {
             planner: planner.name().to_string(),
             periods,
@@ -226,6 +327,8 @@ impl<'a> Engine<'a> {
             nvp_backups: fleet.backup_count(),
             nvp_restores: fleet.restore_count(),
             nvp_overhead: fleet.overhead_energy(),
+            faults,
+            degraded,
         })
     }
 }
@@ -302,7 +405,12 @@ mod tests {
         let g = graph();
         let engine = Engine::new(&node, &g, &t).unwrap();
         let err = engine.run(&mut FixedPlanner::new(Pattern::Intra, 5));
-        assert!(matches!(err, Err(CoreError::Storage(_))));
+        assert!(matches!(
+            err,
+            Err(CoreError::Storage(
+                helio_storage::StorageError::CapacitorIndex { index: 5, len: 1 }
+            ))
+        ));
     }
 
     #[test]
@@ -419,5 +527,143 @@ mod tests {
             dmr_storm > dmr_clear,
             "storm {dmr_storm} must be worse than clear {dmr_clear}"
         );
+    }
+
+    #[test]
+    fn empty_harness_is_byte_identical_to_clean_run() {
+        let node = node(1);
+        let t = trace(1, &[DayArchetype::BrokenClouds]);
+        let g = graph();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let clean = engine
+            .run(&mut FixedPlanner::new(Pattern::Intra, 0))
+            .unwrap();
+        let empty = helio_faults::FaultHarness::empty();
+        let harnessed = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Intra, 0), Some(&empty))
+            .unwrap();
+        assert_eq!(clean, harnessed);
+        assert_eq!(
+            serde_json::to_string(&clean).unwrap(),
+            serde_json::to_string(&harnessed).unwrap()
+        );
+    }
+
+    #[test]
+    fn blackout_increases_misses_and_is_logged() {
+        let node = node(1);
+        let t = trace(1, &[DayArchetype::Clear]);
+        let g = graph();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let clean = engine
+            .run(&mut FixedPlanner::new(Pattern::Intra, 0))
+            .unwrap();
+        // Black out the middle of the (clear) day.
+        let plan = helio_faults::FaultPlan {
+            solar: vec![helio_faults::SolarFault {
+                window: helio_faults::PeriodWindow::new(10, 4),
+                factor: 0.0,
+            }],
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 24, 24);
+        let faulted = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Intra, 0), Some(&harness))
+            .unwrap();
+        let clean_misses: usize = clean.periods.iter().map(|p| p.misses).sum();
+        let faulted_misses: usize = faulted.periods.iter().map(|p| p.misses).sum();
+        assert!(
+            faulted_misses > clean_misses,
+            "a midday blackout must cost deadlines: {faulted_misses} vs {clean_misses}"
+        );
+        assert!(faulted
+            .faults
+            .iter()
+            .any(|e| e.kind == helio_faults::FaultKind::SolarOutage));
+        assert_eq!(degraded_slots(&faulted), 4 * 10, "4 periods x 10 slots");
+    }
+
+    fn degraded_slots(r: &SimReport) -> usize {
+        r.degraded.faulted_slots
+    }
+
+    #[test]
+    fn stuck_pmu_channel_overrides_the_planner() {
+        let grid = grid(1);
+        let node = NodeConfig::builder(grid)
+            .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+            .build()
+            .unwrap();
+        let t = trace(1, &[DayArchetype::Clear]);
+        let g = graph();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let plan = helio_faults::FaultPlan {
+            pmu_stuck: vec![helio_faults::PmuStuckFault {
+                window: helio_faults::PeriodWindow::new(0, 24),
+                // Out-of-range channel: the engine clamps to the bank.
+                channel: 7,
+            }],
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 24, 24);
+        // The planner keeps asking for capacitor 0; the mux is stuck on
+        // (clamped) channel 1.
+        let report = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Intra, 0), Some(&harness))
+            .unwrap();
+        assert_eq!(report.degraded.pmu_overrides, 24);
+        assert!(report.periods.iter().all(|p| p.capacitor == 1));
+    }
+
+    #[test]
+    fn same_fault_seed_reproduces_identical_reports() {
+        let node = node(2);
+        let t = trace(2, &[DayArchetype::BrokenClouds, DayArchetype::Overcast]);
+        let g = graph();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let plan = helio_faults::FaultPlan {
+            seed: 42,
+            random_blackouts: Some(helio_faults::RandomBlackouts {
+                per_period_probability: 0.2,
+                min_periods: 1,
+                max_periods: 3,
+            }),
+            aging: Some(helio_faults::AgingFault {
+                capacitance_fade_per_day: 0.95,
+                leakage_growth_per_day: 1.2,
+            }),
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 48, 24);
+        let a = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Inter, 0), Some(&harness))
+            .unwrap();
+        let b = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Inter, 0), Some(&harness))
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty(), "seeded faults must be logged");
+        assert!(a.degraded.faulted_slots > 0);
+    }
+
+    #[test]
+    fn forecast_corruption_is_sanitized_not_fatal() {
+        let node = node(1);
+        let t = trace(1, &[DayArchetype::Clear]);
+        let g = graph();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let plan = helio_faults::FaultPlan {
+            forecast: vec![helio_faults::ForecastFault {
+                window: helio_faults::PeriodWindow::new(0, 24),
+                mode: helio_faults::ForecastMode::Nan,
+            }],
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 24, 24);
+        let report = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Inter, 0), Some(&harness))
+            .unwrap();
+        assert_eq!(report.degraded.sanitized_forecasts, 24);
+        assert!(report.periods.iter().all(|p| p.misses <= p.tasks));
     }
 }

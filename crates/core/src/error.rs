@@ -10,8 +10,11 @@ pub enum CoreError {
     Config(String),
     /// The task graph failed validation against the grid.
     Tasks(String),
-    /// A storage-layer operation failed.
-    Storage(String),
+    /// A storage-layer operation failed. Carries the typed
+    /// [`StorageError`](helio_storage::StorageError) so callers can
+    /// match on the precise failure (e.g. an out-of-range capacitor
+    /// index) rather than parsing a message.
+    Storage(helio_storage::StorageError),
     /// The trace does not match the configured grid.
     TraceMismatch(String),
     /// Offline training failed.
@@ -38,7 +41,7 @@ impl std::error::Error for CoreError {}
 
 impl From<helio_storage::StorageError> for CoreError {
     fn from(e: helio_storage::StorageError) -> Self {
-        CoreError::Storage(e.to_string())
+        CoreError::Storage(e)
     }
 }
 
@@ -62,6 +65,10 @@ mod tests {
     fn display_and_conversions() {
         let e: CoreError = helio_storage::StorageError::InvalidCapacitance(-1.0).into();
         assert!(e.to_string().contains("storage error"));
+        assert!(matches!(
+            e,
+            CoreError::Storage(helio_storage::StorageError::InvalidCapacitance(_))
+        ));
         let e: CoreError = helio_tasks::TaskError::Empty.into();
         assert!(e.to_string().contains("invalid task set"));
     }

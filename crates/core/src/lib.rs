@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 //! # heliosched
 //!
 //! Long-term deadline-aware task scheduling with global energy
@@ -62,6 +63,7 @@ pub mod online;
 pub mod optimal;
 pub mod overhead;
 pub mod planner;
+pub mod resilient;
 pub mod subsets;
 
 pub use analysis::{
@@ -79,7 +81,10 @@ pub use offline::{size_capacitors, train_proposed, OfflineConfig};
 pub use online::{ProposedPlanner, SwitchRule};
 pub use optimal::OptimalPlanner;
 pub use overhead::{OverheadModel, OverheadReport};
-pub use planner::{FixedPlanner, Pattern, PeriodPlanner, PlanDecision, PlannerObservation};
+pub use planner::{
+    FixedPlanner, Pattern, PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation,
+};
+pub use resilient::ResilientPlanner;
 pub use subsets::{closed_subsets, dmr_level_subsets};
 
 /// Convenient re-exports for examples and downstream users.
@@ -91,9 +96,11 @@ pub mod prelude {
     pub use crate::offline::{size_capacitors, train_proposed, OfflineConfig};
     pub use crate::online::ProposedPlanner;
     pub use crate::optimal::OptimalPlanner;
-    pub use crate::planner::{FixedPlanner, Pattern, PeriodPlanner};
+    pub use crate::planner::{FixedPlanner, Pattern, PeriodPlanner, PlannerHealth};
+    pub use crate::resilient::ResilientPlanner;
     pub use helio_common::time::{PeriodRef, TimeGrid};
     pub use helio_common::units::{Farads, Joules, Seconds, Volts, Watts};
+    pub use helio_faults::{FaultHarness, FaultPlan};
     pub use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, TraceBuilder, WcmaPredictor};
     pub use helio_storage::StorageModelParams;
     pub use helio_tasks::benchmarks;

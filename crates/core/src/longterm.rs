@@ -254,8 +254,17 @@ fn run_horizon(
     cache: Option<&SubsetSimCache>,
     parallel: bool,
 ) -> DpResult {
-    assert!(!solar.is_empty(), "horizon must contain periods");
-    assert!(!subsets.is_empty(), "need candidate subsets");
+    // Degenerate horizons (no periods, no candidate subsets) have a
+    // well-defined empty optimum; returning it keeps fault-injected
+    // callers alive instead of aborting the run.
+    if solar.is_empty() || subsets.is_empty() {
+        return DpResult {
+            plans: Vec::new(),
+            total_misses: 0,
+            final_voltage: initial.voltage(),
+            complexity: 0,
+        };
+    }
     let horizon = solar.len();
     let buckets = cfg.voltage_buckets.max(2);
     let mut complexity: u64 = 0;

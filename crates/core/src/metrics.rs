@@ -4,6 +4,7 @@
 
 use helio_common::time::PeriodRef;
 use helio_common::units::Joules;
+use helio_faults::{DegradedCounters, FaultEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::planner::Pattern;
@@ -51,7 +52,13 @@ impl PeriodRecord {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written rather than derived: the fault log
+/// and degraded counters are *omitted* from the JSON when empty/zero,
+/// so clean runs produce byte-identical reports to the pre-fault
+/// format (the golden gate depends on this), and reports written
+/// before the fault harness existed still deserialise.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Scheduler/planner name.
     pub planner: String,
@@ -65,6 +72,60 @@ pub struct SimReport {
     pub nvp_restores: usize,
     /// Total backup/restore energy overhead.
     pub nvp_overhead: Joules,
+    /// Fault windows materialised and degradation reactions taken,
+    /// sorted by start period. Empty for clean runs.
+    pub faults: Vec<FaultEvent>,
+    /// Tallies of graceful-degradation reactions. All-zero for clean
+    /// runs.
+    pub degraded: DegradedCounters,
+}
+
+impl Serialize for SimReport {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"planner\":");
+        self.planner.serialize_json(out);
+        out.push_str(",\"periods\":");
+        self.periods.serialize_json(out);
+        out.push_str(",\"complexity\":");
+        self.complexity.serialize_json(out);
+        out.push_str(",\"nvp_backups\":");
+        self.nvp_backups.serialize_json(out);
+        out.push_str(",\"nvp_restores\":");
+        self.nvp_restores.serialize_json(out);
+        out.push_str(",\"nvp_overhead\":");
+        self.nvp_overhead.serialize_json(out);
+        if !self.faults.is_empty() {
+            out.push_str(",\"faults\":");
+            self.faults.serialize_json(out);
+        }
+        if !self.degraded.is_zero() {
+            out.push_str(",\"degraded\":");
+            self.degraded.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Deserialize for SimReport {
+    fn deserialize_json(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            planner: String::deserialize_json(v.field("planner")?)?,
+            periods: Vec::deserialize_json(v.field("periods")?)?,
+            complexity: u64::deserialize_json(v.field("complexity")?)?,
+            nvp_backups: usize::deserialize_json(v.field("nvp_backups")?)?,
+            nvp_restores: usize::deserialize_json(v.field("nvp_restores")?)?,
+            nvp_overhead: Joules::deserialize_json(v.field("nvp_overhead")?)?,
+            faults: match v.field("faults") {
+                Ok(f) => Vec::deserialize_json(f)?,
+                Err(_) => Vec::new(),
+            },
+            degraded: match v.field("degraded") {
+                Ok(d) => DegradedCounters::deserialize_json(d)?,
+                Err(_) => DegradedCounters::default(),
+            },
+        })
+    }
 }
 
 impl SimReport {
@@ -184,6 +245,8 @@ mod tests {
             nvp_backups: 2,
             nvp_restores: 1,
             nvp_overhead: Joules::new(1e-5),
+            faults: vec![],
+            degraded: DegradedCounters::default(),
         }
     }
 
@@ -222,6 +285,8 @@ mod tests {
             nvp_backups: 0,
             nvp_restores: 0,
             nvp_overhead: Joules::ZERO,
+            faults: vec![],
+            degraded: DegradedCounters::default(),
         };
         assert_eq!(r.overall_dmr(), 0.0);
         assert_eq!(r.energy_utilisation(), 0.0);
@@ -232,5 +297,30 @@ mod tests {
     #[test]
     fn period_record_dmr() {
         assert!((record(0, 0, 2, 5).dmr() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_reports_omit_fault_fields() {
+        let json = serde_json::to_string(&report()).unwrap();
+        assert!(!json.contains("\"faults\""));
+        assert!(!json.contains("\"degraded\""));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report());
+    }
+
+    #[test]
+    fn faulted_reports_round_trip() {
+        let mut r = report();
+        r.faults.push(helio_faults::FaultEvent::at(
+            3,
+            helio_faults::FaultKind::SolarOutage,
+            "factor 0",
+        ));
+        r.degraded.faulted_slots = 10;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"degraded\""));
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -17,13 +17,14 @@
 use helio_ann::{Dbn, PredictScratch};
 use helio_common::units::Joules;
 use helio_common::TaskSet;
+use helio_faults::DbnFaultMode;
 use helio_solar::SolarPredictor;
 use helio_storage::SuperCap;
 use serde::{Deserialize, Serialize};
 
 use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
 use crate::optimal::OptimalPlanner;
-use crate::planner::{PeriodPlanner, PlanDecision, PlannerObservation};
+use crate::planner::{PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
 use crate::subsets::dmr_level_subsets;
 
 /// The Eq. 22 capacitor-switch rule: switch to the suggested capacitor
@@ -94,6 +95,10 @@ pub struct ProposedPlanner {
     complexity: u64,
     /// DBN input scratch, reused across periods.
     input_buf: Vec<f64>,
+    /// Inference fault injected for the upcoming period, if any.
+    injected: Option<DbnFaultMode>,
+    /// Health of the most recent plan.
+    health: PlannerHealth,
 }
 
 impl ProposedPlanner {
@@ -109,6 +114,8 @@ impl ProposedPlanner {
             delta,
             complexity: 0,
             input_buf: Vec::new(),
+            injected: None,
+            health: PlannerHealth::Healthy,
         }
     }
 
@@ -134,6 +141,8 @@ impl ProposedPlanner {
             delta,
             complexity: 0,
             input_buf: Vec::new(),
+            injected: None,
+            health: PlannerHealth::Healthy,
         }
     }
 
@@ -234,6 +243,13 @@ impl ProposedPlanner {
     }
 
     fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
+        // An injected "inference engine down" fault skips the DBN
+        // entirely: the node degrades to the conservative
+        // run-everything decision on the current capacitor.
+        if self.injected == Some(DbnFaultMode::Unavailable) {
+            self.health = PlannerHealth::DbnUnavailable;
+            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
+        }
         let (dbn, scratch, out_buf) = match &mut self.backend {
             Backend::Dbn {
                 dbn,
@@ -261,12 +277,26 @@ impl ProposedPlanner {
         if dbn.predict_into(input, scratch, out_buf).is_err() {
             // Shape mismatch (e.g. trained on another node) — fall
             // back to "run everything".
+            self.health = PlannerHealth::DbnUnavailable;
             return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
         }
+        if self.injected == Some(DbnFaultMode::Nan) {
+            // Bit-flipped weights / numerical blow-up: the inference
+            // completes but every output is garbage.
+            out_buf.iter_mut().for_each(|o| *o = f64::NAN);
+        }
         let out = &*out_buf;
+        let head_cap = out.first().copied().unwrap_or(f64::NAN);
+        let head_alpha = out.get(1).copied().unwrap_or(f64::NAN);
+        if !head_cap.is_finite() || !head_alpha.is_finite() {
+            // Non-finite decision head — never act on it.
+            self.health = PlannerHealth::NonFinite;
+            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
+        }
+        self.health = PlannerHealth::Healthy;
         let h_max = obs.bank.len().saturating_sub(1) as f64;
-        let cap = out[0].clamp(0.0, h_max).round() as usize;
-        let alpha = out[1].clamp(0.0, 10.0);
+        let cap = head_cap.clamp(0.0, h_max).round() as usize;
+        let alpha = head_alpha.clamp(0.0, 10.0);
         let mut allowed = TaskSet::EMPTY;
         for i in 0..obs.graph.len() {
             if out.get(2 + i).is_some_and(|&b| b >= 0.5) {
@@ -314,8 +344,20 @@ impl PeriodPlanner for ProposedPlanner {
     fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
         let (suggested_cap, alpha, allowed) = match self.backend {
             Backend::Mpc { .. } => {
-                let (cap, plan) = self.plan_mpc(obs);
-                (cap, plan.alpha, plan.subset)
+                if let Some(mode) = self.injected {
+                    // The MPC's compute path is its "inference engine":
+                    // either fault degrades to the conservative
+                    // run-everything decision on the current capacitor.
+                    self.health = match mode {
+                        DbnFaultMode::Unavailable => PlannerHealth::DbnUnavailable,
+                        DbnFaultMode::Nan => PlannerHealth::NonFinite,
+                    };
+                    (obs.bank.active_index(), 1.0, obs.graph.all_tasks())
+                } else {
+                    self.health = PlannerHealth::Healthy;
+                    let (cap, plan) = self.plan_mpc(obs);
+                    (cap, plan.alpha, plan.subset)
+                }
             }
             Backend::Dbn { .. } => self.plan_dbn(obs),
         };
@@ -328,6 +370,14 @@ impl PeriodPlanner for ProposedPlanner {
 
     fn complexity(&self) -> u64 {
         self.complexity
+    }
+
+    fn inject_fault(&mut self, mode: Option<DbnFaultMode>) {
+        self.injected = mode;
+    }
+
+    fn health(&self) -> PlannerHealth {
+        self.health
     }
 }
 
@@ -454,6 +504,80 @@ mod tests {
             "complexity {} suggests per-period replanning",
             mpc.complexity()
         );
+    }
+
+    #[test]
+    fn injected_faults_degrade_conservatively() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let storage = &node.storage;
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        let mut p = ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            24,
+            DpConfig {
+                voltage_buckets: 4,
+                keep_per_level: 1,
+            },
+            0.5,
+            SwitchRule::default(),
+        );
+        assert_eq!(p.health(), PlannerHealth::Healthy);
+        p.inject_fault(Some(DbnFaultMode::Unavailable));
+        let d = p.plan(&obs);
+        assert_eq!(p.health(), PlannerHealth::DbnUnavailable);
+        assert_eq!(
+            d.allowed,
+            Some(g.all_tasks()),
+            "degraded mode runs everything"
+        );
+        p.inject_fault(Some(DbnFaultMode::Nan));
+        let _ = p.plan(&obs);
+        assert_eq!(p.health(), PlannerHealth::NonFinite);
+        // Clearing the fault restores the nominal path.
+        p.inject_fault(None);
+        let _ = p.plan(&obs);
+        assert_eq!(p.health(), PlannerHealth::Healthy);
+    }
+
+    #[test]
+    fn dbn_nan_outputs_are_never_acted_on() {
+        let g = benchmarks::ecg();
+        let node = node(1);
+        let t = trace(1);
+        let in_dim = 10 + 2 + 1;
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64; in_dim]).collect();
+        let targets: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0; 2 + g.len()]).collect();
+        let dbn =
+            helio_ann::Dbn::train(&inputs, &targets, &helio_ann::DbnConfig::small(2)).unwrap();
+        let mut planner = ProposedPlanner::from_dbn(dbn, 0.5, SwitchRule::default());
+        let storage = &node.storage;
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        planner.inject_fault(Some(DbnFaultMode::Nan));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::NonFinite);
+        assert_eq!(d.allowed, Some(g.all_tasks()));
     }
 
     #[test]

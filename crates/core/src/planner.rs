@@ -11,6 +11,7 @@
 
 use helio_common::time::{PeriodRef, TimeGrid};
 use helio_common::TaskSet;
+use helio_faults::{DbnFaultMode, FaultEvent};
 use helio_nvp::Pmu;
 use helio_solar::SolarTrace;
 use helio_storage::{CapacitorBank, StorageModelParams};
@@ -84,7 +85,28 @@ pub struct PlannerObservation<'a> {
     pub pmu: &'a Pmu,
 }
 
+/// Self-reported health of a planner's inference path, queried by the
+/// engine (and by [`ResilientPlanner`](crate::resilient::ResilientPlanner))
+/// after every [`PeriodPlanner::plan`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlannerHealth {
+    /// The last decision came from the planner's nominal path.
+    #[default]
+    Healthy,
+    /// The inference backend did not answer (accelerator down, weights
+    /// unreadable); the decision is a built-in conservative default.
+    DbnUnavailable,
+    /// Inference answered with non-finite outputs; the decision is a
+    /// built-in conservative default.
+    NonFinite,
+}
+
 /// A per-period coarse planner.
+///
+/// The fault-injection hooks ([`PeriodPlanner::inject_fault`],
+/// [`PeriodPlanner::health`], [`PeriodPlanner::on_contract_violation`])
+/// have no-op defaults so ordinary planners stay oblivious to the
+/// harness; planners with an inference path override them.
 pub trait PeriodPlanner {
     /// Planner name for experiment tables.
     fn name(&self) -> &'static str;
@@ -96,6 +118,33 @@ pub trait PeriodPlanner {
     /// of Fig. 10(a). Zero for trivial planners.
     fn complexity(&self) -> u64 {
         0
+    }
+
+    /// Injects (or, with `None`, clears) an inference fault for the
+    /// upcoming period. Default: ignored.
+    fn inject_fault(&mut self, mode: Option<DbnFaultMode>) {
+        let _ = mode;
+    }
+
+    /// Health of the most recent [`PeriodPlanner::plan`] call.
+    fn health(&self) -> PlannerHealth {
+        PlannerHealth::Healthy
+    }
+
+    /// Notifies the planner that the engine dropped one of its slot
+    /// assignments for violating the scheduler contract. Default:
+    /// ignored.
+    fn on_contract_violation(&mut self) {}
+
+    /// Periods this planner served from a degraded fallback path.
+    fn fallback_count(&self) -> usize {
+        0
+    }
+
+    /// Degradation events this planner recorded (fallback engagements,
+    /// health transitions), for the report's fault log.
+    fn degraded_events(&self) -> Vec<FaultEvent> {
+        Vec::new()
     }
 }
 

@@ -1,0 +1,260 @@
+//! A health-monitoring wrapper that keeps a node scheduling through
+//! planner failures.
+//!
+//! The proposed online planners depend on an inference path (the DBN
+//! accelerator, the MPC's DP compute) that can fail in the field:
+//! unavailable weights, bit-flipped outputs, decisions that reference
+//! capacitors the bank does not have. [`ResilientPlanner`] wraps any
+//! [`PeriodPlanner`] and validates every decision before the engine
+//! acts on it; an unhealthy or invalid decision is replaced by the
+//! conservative inter-task (LSA) baseline decision for that period, and
+//! every engagement is recorded in the report's fault log. Repeated
+//! scheduler-contract violations demote the inner planner permanently —
+//! a planner that keeps emitting contradictory slot assignments cannot
+//! be trusted again within the run.
+
+use helio_faults::{DbnFaultMode, FaultEvent, FaultKind};
+
+use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
+
+/// Contract violations tolerated before the inner planner is demoted
+/// for the rest of the run.
+const MAX_CONTRACT_VIOLATIONS: usize = 3;
+
+/// A graceful-degradation wrapper around any [`PeriodPlanner`].
+pub struct ResilientPlanner<'a> {
+    inner: Box<dyn PeriodPlanner + 'a>,
+    fallback_pattern: Pattern,
+    contract_violations: usize,
+    demoted: bool,
+    fallback_periods: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl<'a> ResilientPlanner<'a> {
+    /// Wraps `inner`, falling back to the inter-task (LSA) baseline
+    /// pattern when it misbehaves.
+    pub fn new(inner: Box<dyn PeriodPlanner + 'a>) -> Self {
+        Self {
+            inner,
+            fallback_pattern: Pattern::Inter,
+            contract_violations: 0,
+            demoted: false,
+            fallback_periods: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Replaces the fallback pattern (default: [`Pattern::Inter`]).
+    #[must_use]
+    pub fn with_fallback_pattern(mut self, pattern: Pattern) -> Self {
+        self.fallback_pattern = pattern;
+        self
+    }
+
+    /// Periods served from the fallback baseline so far.
+    pub fn fallbacks(&self) -> usize {
+        self.fallback_periods
+    }
+
+    /// Whether the inner planner has been permanently demoted.
+    pub fn is_demoted(&self) -> bool {
+        self.demoted
+    }
+
+    /// The fallback decision: keep the current capacitor, admit every
+    /// task, run the configured baseline pattern.
+    fn fallback_decision(&self) -> PlanDecision {
+        PlanDecision::everything(self.fallback_pattern)
+    }
+
+    fn engage_fallback(&mut self, flat: usize, reason: String) -> PlanDecision {
+        self.fallback_periods += 1;
+        self.events
+            .push(FaultEvent::at(flat, FaultKind::PlannerFallback, reason));
+        self.fallback_decision()
+    }
+
+    /// Why `decision` cannot be trusted, if anything.
+    fn rejection_reason(
+        &self,
+        obs: &PlannerObservation<'_>,
+        decision: &PlanDecision,
+    ) -> Option<String> {
+        match self.inner.health() {
+            PlannerHealth::Healthy => {}
+            PlannerHealth::DbnUnavailable => {
+                return Some("inference unavailable".into());
+            }
+            PlannerHealth::NonFinite => {
+                return Some("non-finite inference output".into());
+            }
+        }
+        if let Some(c) = decision.capacitor {
+            if c >= obs.bank.len() {
+                return Some(format!(
+                    "capacitor {c} out of range for bank of {}",
+                    obs.bank.len()
+                ));
+            }
+        }
+        if let Some(mask) = decision.allowed {
+            if !mask.is_subset_of(obs.graph.all_tasks()) {
+                return Some(format!(
+                    "admission mask {mask} references tasks outside the graph"
+                ));
+            }
+        }
+        None
+    }
+}
+
+impl PeriodPlanner for ResilientPlanner<'_> {
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+        let flat = obs.grid.period_index(obs.period);
+        if self.demoted {
+            self.fallback_periods += 1;
+            return self.fallback_decision();
+        }
+        let decision = self.inner.plan(obs);
+        match self.rejection_reason(obs, &decision) {
+            Some(reason) => self.engage_fallback(flat, reason),
+            None => decision,
+        }
+    }
+
+    fn complexity(&self) -> u64 {
+        self.inner.complexity()
+    }
+
+    fn inject_fault(&mut self, mode: Option<DbnFaultMode>) {
+        self.inner.inject_fault(mode);
+    }
+
+    fn health(&self) -> PlannerHealth {
+        self.inner.health()
+    }
+
+    fn on_contract_violation(&mut self) {
+        self.inner.on_contract_violation();
+        self.contract_violations += 1;
+        if self.contract_violations >= MAX_CONTRACT_VIOLATIONS && !self.demoted {
+            self.demoted = true;
+            self.events.push(FaultEvent::at(
+                0,
+                FaultKind::ContractViolation,
+                format!(
+                    "inner planner demoted after {} contract violations",
+                    self.contract_violations
+                ),
+            ));
+        }
+    }
+
+    fn fallback_count(&self) -> usize {
+        self.fallback_periods
+    }
+
+    fn degraded_events(&self) -> Vec<FaultEvent> {
+        self.events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::engine::Engine;
+    use crate::planner::FixedPlanner;
+    use helio_common::time::TimeGrid;
+    use helio_common::units::{Farads, Seconds};
+    use helio_common::TaskSet;
+    use helio_solar::{DayArchetype, SolarPanel, SolarTrace, TraceBuilder};
+    use helio_tasks::benchmarks;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(1, 24, 10, Seconds::new(60.0)).unwrap()
+    }
+
+    fn node() -> NodeConfig {
+        NodeConfig::builder(grid())
+            .capacitors(&[Farads::new(10.0)])
+            .build()
+            .unwrap()
+    }
+
+    fn trace() -> SolarTrace {
+        TraceBuilder::new(grid(), SolarPanel::paper_panel())
+            .seed(7)
+            .days(&[DayArchetype::Clear])
+            .build()
+    }
+
+    /// A planner that always asks for a capacitor the bank lacks and a
+    /// mask with out-of-graph bits.
+    struct EvilPlanner;
+    impl PeriodPlanner for EvilPlanner {
+        fn name(&self) -> &'static str {
+            "evil"
+        }
+        fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+            PlanDecision {
+                capacitor: Some(obs.bank.len() + 3),
+                allowed: Some(TaskSet::EMPTY.with(obs.graph.len() + 1)),
+                pattern: Pattern::Asap,
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_decisions_engage_fallback_every_period() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let t = trace();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let mut planner = ResilientPlanner::new(Box::new(EvilPlanner));
+        let report = engine.run(&mut planner).unwrap();
+        assert_eq!(report.planner, "resilient");
+        assert_eq!(planner.fallbacks(), 24, "every period must fall back");
+        assert_eq!(planner.degraded_events().len(), 24);
+        assert!(planner
+            .degraded_events()
+            .iter()
+            .all(|e| e.kind == FaultKind::PlannerFallback));
+    }
+
+    #[test]
+    fn healthy_inner_passes_through() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let t = trace();
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let mut wrapped = ResilientPlanner::new(Box::new(FixedPlanner::new(Pattern::Intra, 0)));
+        let resilient = engine.run(&mut wrapped).unwrap();
+        let mut bare = FixedPlanner::new(Pattern::Intra, 0);
+        let baseline = engine.run(&mut bare).unwrap();
+        assert_eq!(wrapped.fallbacks(), 0);
+        assert_eq!(
+            resilient.periods, baseline.periods,
+            "wrapper must be transparent"
+        );
+    }
+
+    #[test]
+    fn repeated_contract_violations_demote_permanently() {
+        let mut planner = ResilientPlanner::new(Box::new(EvilPlanner));
+        assert!(!planner.is_demoted());
+        for _ in 0..MAX_CONTRACT_VIOLATIONS {
+            planner.on_contract_violation();
+        }
+        assert!(planner.is_demoted());
+        assert!(planner
+            .degraded_events()
+            .iter()
+            .any(|e| e.kind == FaultKind::ContractViolation));
+    }
+}

@@ -15,13 +15,26 @@ use helio_tasks::TaskGraph;
 /// is included), as bitmasks over the task ids, in ascending mask
 /// order. Includes the empty and full subsets.
 ///
-/// # Panics
-///
-/// Panics for graphs with more than 20 tasks (enumeration is 2^N; the
-/// paper's benchmarks have at most 8).
+/// Full enumeration is `2^N`; for graphs with more than 20 tasks (the
+/// paper's benchmarks have at most 8) this degrades to the `N + 1`
+/// prefixes of a topological order — each prefix is dependency-closed,
+/// and the empty and full subsets are still present, so the DP keeps a
+/// valid (if coarser) ladder of DMR levels instead of aborting.
 pub fn closed_subsets(graph: &TaskGraph) -> Vec<TaskSet> {
     let n = graph.len();
-    assert!(n <= 20, "subset enumeration is exponential; got {n} tasks");
+    if n > 20 {
+        let order = match graph.topological_order() {
+            Ok(order) => order,
+            Err(_) => graph.ids().collect(),
+        };
+        let mut prefix = TaskSet::EMPTY;
+        let mut out = vec![prefix];
+        for id in order {
+            prefix = prefix.with(id.index());
+            out.push(prefix);
+        }
+        return out;
+    }
     let mut out = Vec::new();
     'mask: for mask in 0u32..(1u32 << n) {
         for (from, to) in graph.edges() {
@@ -61,6 +74,37 @@ pub fn dmr_level_subsets(graph: &TaskGraph, keep: usize) -> Vec<TaskSet> {
 mod tests {
     use super::*;
     use helio_tasks::benchmarks;
+
+    #[test]
+    fn oversized_graphs_degrade_to_topological_prefixes() {
+        use helio_common::units::{Seconds, Watts};
+        let mut g = helio_tasks::TaskGraph::new("wide");
+        let ids: Vec<_> = (0..22)
+            .map(|i| {
+                g.add_task(helio_tasks::Task::new(
+                    format!("t{i}"),
+                    Seconds::new(1.0),
+                    Seconds::new(600.0),
+                    Watts::new(0.01),
+                    i % 3,
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let subsets = closed_subsets(&g);
+        assert_eq!(subsets.len(), 23, "N + 1 prefixes");
+        assert!(subsets.contains(&TaskSet::EMPTY));
+        assert!(subsets.contains(&g.all_tasks()));
+        for s in &subsets {
+            for (from, to) in g.edges() {
+                if s.contains(to.index()) {
+                    assert!(s.contains(from.index()), "prefix {s} breaks an edge");
+                }
+            }
+        }
+    }
 
     #[test]
     fn closed_subsets_respect_dependencies() {

@@ -1,0 +1,265 @@
+//! The serde-configurable description of a fault scenario.
+//!
+//! A [`FaultPlan`] is pure data: windows over the flat period index
+//! (`day * periods_per_day + period`) plus scenario-wide knobs. It is
+//! materialised against a concrete grid by
+//! [`FaultHarness::new`](crate::FaultHarness::new).
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open window of flat period indices `[start, start + periods)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodWindow {
+    /// First flat period index affected.
+    pub start: usize,
+    /// Number of consecutive periods affected.
+    pub periods: usize,
+}
+
+impl PeriodWindow {
+    /// Creates a window covering `periods` periods from `start`.
+    pub const fn new(start: usize, periods: usize) -> Self {
+        Self { start, periods }
+    }
+
+    /// Whether `flat` falls inside the window.
+    pub const fn contains(&self, flat: usize) -> bool {
+        flat >= self.start && flat < self.start + self.periods
+    }
+
+    /// One past the last affected period.
+    pub const fn end(&self) -> usize {
+        self.start + self.periods
+    }
+}
+
+/// A solar-supply fault: the harvested energy of every slot in the
+/// window is multiplied by `factor`.
+///
+/// `factor == 0.0` is a total blackout (panel disconnected, snow
+/// cover, eclipse); `0.0 < factor < 1.0` is a cloud burst or partial
+/// shading event on top of whatever the trace already contains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolarFault {
+    /// Affected periods.
+    pub window: PeriodWindow,
+    /// Harvest multiplier in `[0, 1]` (values outside are clamped).
+    pub factor: f64,
+}
+
+/// Seeded stochastic blackouts layered on top of the explicit
+/// [`SolarFault`] windows: each period outside an ongoing outage
+/// starts one with `per_period_probability`, lasting a uniformly drawn
+/// `min_periods..=max_periods`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomBlackouts {
+    /// Probability that a new outage starts at any given period.
+    pub per_period_probability: f64,
+    /// Shortest outage, in periods.
+    pub min_periods: usize,
+    /// Longest outage, in periods.
+    pub max_periods: usize,
+}
+
+/// Capacitor aging: per simulated day, every capacitance fades by
+/// `capacitance_fade_per_day` (a multiplier, e.g. `0.995`) and the
+/// leakage power `P_leak(V)` grows by `leakage_growth_per_day` (a
+/// multiplier, e.g. `1.05`). Day 0 is pristine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingFault {
+    /// Multiplicative capacitance retention per day, in `(0, 1]`.
+    pub capacitance_fade_per_day: f64,
+    /// Multiplicative leakage growth per day, `>= 1`.
+    pub leakage_growth_per_day: f64,
+}
+
+/// A PMU switch failure: the active-capacitor mux is stuck on
+/// `channel` for the window, regardless of what the planner (or the
+/// Eq. 22 switch rule) asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmuStuckFault {
+    /// Affected periods.
+    pub window: PeriodWindow,
+    /// The capacitor index the mux is stuck on (clamped into the bank
+    /// by the engine).
+    pub channel: usize,
+}
+
+/// How a corrupted forecast presents to the fine-grained schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ForecastMode {
+    /// The predicted per-period energy is multiplied by the factor
+    /// (over- or under-prediction).
+    Scale(f64),
+    /// The predictor returns NaN (corrupted history buffer).
+    Nan,
+    /// The predictor returns zero (predictor offline).
+    Zero,
+}
+
+/// A forecast-corruption fault over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastFault {
+    /// Affected periods.
+    pub window: PeriodWindow,
+    /// What the corruption looks like.
+    pub mode: ForecastMode,
+}
+
+/// How the DBN inference path fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DbnFaultMode {
+    /// The inference engine does not answer at all (accelerator down,
+    /// weights unreadable).
+    Unavailable,
+    /// Inference completes but returns NaN outputs (bit-flipped
+    /// weights, numerical blow-up).
+    Nan,
+}
+
+/// A DBN inference fault over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbnFault {
+    /// Affected periods.
+    pub window: PeriodWindow,
+    /// Failure mode.
+    pub mode: DbnFaultMode,
+}
+
+/// A complete fault scenario. The default plan is empty: no faults,
+/// and the simulation behaves exactly as without a harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the stochastic components ([`RandomBlackouts`]).
+    pub seed: u64,
+    /// Explicit solar blackout / cloud-burst windows.
+    pub solar: Vec<SolarFault>,
+    /// Stochastic blackouts layered on top of `solar`.
+    pub random_blackouts: Option<RandomBlackouts>,
+    /// Capacitor aging over the horizon.
+    pub aging: Option<AgingFault>,
+    /// PMU stuck-channel windows.
+    pub pmu_stuck: Vec<PmuStuckFault>,
+    /// Forecast-corruption windows.
+    pub forecast: Vec<ForecastFault>,
+    /// DBN inference faults.
+    pub dbn: Vec<DbnFault>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing at all. An empty plan's harness
+    /// is behaviour-neutral and (near) zero-cost.
+    pub fn is_empty(&self) -> bool {
+        self.solar.is_empty()
+            && self.random_blackouts.is_none()
+            && self.aging.is_none()
+            && self.pmu_stuck.is_empty()
+            && self.forecast.is_empty()
+            && self.dbn.is_empty()
+    }
+}
+
+// Hand-written so that config files may omit fields: every missing
+// field falls back to its default (the vendored derive requires every
+// field to be present).
+impl Deserialize for FaultPlan {
+    fn deserialize_json(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn opt<T: Deserialize>(v: &serde::Value, name: &str) -> Result<Option<T>, serde::DeError> {
+            match v.field(name) {
+                Ok(serde::Value::Null) | Err(_) => Ok(None),
+                Ok(inner) => Ok(Some(T::deserialize_json(inner)?)),
+            }
+        }
+        fn list<T: Deserialize>(v: &serde::Value, name: &str) -> Result<Vec<T>, serde::DeError> {
+            match v.field(name) {
+                Ok(inner) => Vec::deserialize_json(inner),
+                Err(_) => Ok(Vec::new()),
+            }
+        }
+        Ok(Self {
+            seed: opt(v, "seed")?.unwrap_or(0),
+            solar: list(v, "solar")?,
+            random_blackouts: opt(v, "random_blackouts")?,
+            aging: opt(v, "aging")?,
+            pmu_stuck: list(v, "pmu_stuck")?,
+            forecast: list(v, "forecast")?,
+            dbn: list(v, "dbn")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        let with_aging = FaultPlan {
+            aging: Some(AgingFault {
+                capacitance_fade_per_day: 0.99,
+                leakage_growth_per_day: 1.02,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(!with_aging.is_empty());
+    }
+
+    #[test]
+    fn window_membership() {
+        let w = PeriodWindow::new(4, 3);
+        assert!(!w.contains(3));
+        assert!(w.contains(4) && w.contains(6));
+        assert!(!w.contains(7));
+        assert_eq!(w.end(), 7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan {
+            seed: 99,
+            solar: vec![SolarFault {
+                window: PeriodWindow::new(10, 5),
+                factor: 0.0,
+            }],
+            random_blackouts: Some(RandomBlackouts {
+                per_period_probability: 0.02,
+                min_periods: 1,
+                max_periods: 4,
+            }),
+            aging: Some(AgingFault {
+                capacitance_fade_per_day: 0.995,
+                leakage_growth_per_day: 1.05,
+            }),
+            pmu_stuck: vec![PmuStuckFault {
+                window: PeriodWindow::new(20, 2),
+                channel: 1,
+            }],
+            forecast: vec![ForecastFault {
+                window: PeriodWindow::new(3, 1),
+                mode: ForecastMode::Scale(2.5),
+            }],
+            dbn: vec![DbnFault {
+                window: PeriodWindow::new(30, 4),
+                mode: DbnFaultMode::Unavailable,
+            }],
+        };
+        let json = serde_json::to_string(&plan).expect("serialises");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn deserialize_tolerates_missing_fields() {
+        let plan: FaultPlan = serde_json::from_str("{}").expect("empty object parses");
+        assert!(plan.is_empty());
+        assert_eq!(plan.seed, 0);
+        let plan: FaultPlan = serde_json::from_str(
+            r#"{"seed":7,"dbn":[{"window":{"start":1,"periods":2},"mode":"Nan"}]}"#,
+        )
+        .expect("partial object parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.dbn.len(), 1);
+        assert_eq!(plan.dbn[0].mode, DbnFaultMode::Nan);
+    }
+}

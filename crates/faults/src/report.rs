@@ -1,0 +1,141 @@
+//! Fault observability: the event log and degraded-mode counters the
+//! simulation report carries.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of fault (or degradation reaction) an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Harvest forced to zero over a window.
+    SolarOutage,
+    /// Harvest attenuated (but not zeroed) over a window.
+    CloudBurst,
+    /// Capacitance fade / leakage growth active.
+    CapacitorAging,
+    /// The active-capacitor mux was stuck on one channel.
+    PmuStuck,
+    /// The per-period forecast was corrupted.
+    ForecastCorruption,
+    /// DBN inference was unavailable.
+    DbnUnavailable,
+    /// DBN inference returned non-finite outputs.
+    DbnNan,
+    /// A resilient planner engaged its fallback baseline.
+    PlannerFallback,
+    /// The engine dropped a task assignment that violated the
+    /// scheduler contract instead of aborting.
+    ContractViolation,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::SolarOutage => "solar-outage",
+            FaultKind::CloudBurst => "cloud-burst",
+            FaultKind::CapacitorAging => "capacitor-aging",
+            FaultKind::PmuStuck => "pmu-stuck",
+            FaultKind::ForecastCorruption => "forecast-corruption",
+            FaultKind::DbnUnavailable => "dbn-unavailable",
+            FaultKind::DbnNan => "dbn-nan",
+            FaultKind::PlannerFallback => "planner-fallback",
+            FaultKind::ContractViolation => "contract-violation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One entry of a simulation's fault log: a fault window that was
+/// materialised, or a degradation reaction that fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Flat period index the event starts at.
+    pub period: usize,
+    /// Number of consecutive periods covered (1 for point events).
+    pub periods: usize,
+    /// Event kind.
+    pub kind: FaultKind,
+    /// Human-readable detail (factor, channel, reason…).
+    pub detail: String,
+}
+
+impl FaultEvent {
+    /// Convenience constructor for a single-period event.
+    pub fn at(period: usize, kind: FaultKind, detail: impl Into<String>) -> Self {
+        Self {
+            period,
+            periods: 1,
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Tallies of the graceful-degradation reactions a run took. All-zero
+/// for a clean run (and omitted from serialised reports in that case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradedCounters {
+    /// Non-finite or negative forecasts replaced by zero.
+    pub sanitized_forecasts: usize,
+    /// Periods where a stuck PMU channel overrode the planner's
+    /// capacitor choice.
+    pub pmu_overrides: usize,
+    /// Task assignments dropped after a scheduler-contract violation
+    /// (instead of aborting the run).
+    pub contract_skips: usize,
+    /// Periods a resilient planner served from its fallback baseline.
+    pub planner_fallbacks: usize,
+    /// Slots whose harvest was modified by a solar fault.
+    pub faulted_slots: usize,
+}
+
+impl DegradedCounters {
+    /// Whether nothing degraded (the clean-run state).
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Sum of all counters — a coarse "how off-nominal was this run"
+    /// scalar for sweep tables.
+    pub fn total(&self) -> usize {
+        self.sanitized_forecasts
+            + self.pmu_overrides
+            + self.contract_skips
+            + self.planner_fallbacks
+            + self.faulted_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_zero_and_total() {
+        let mut c = DegradedCounters::default();
+        assert!(c.is_zero());
+        assert_eq!(c.total(), 0);
+        c.pmu_overrides = 2;
+        c.faulted_slots = 3;
+        assert!(!c.is_zero());
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let e = FaultEvent {
+            period: 12,
+            periods: 4,
+            kind: FaultKind::SolarOutage,
+            detail: "factor 0".into(),
+        };
+        let json = serde_json::to_string(&e).expect("serialises");
+        let back: FaultEvent = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn kind_display_is_kebab() {
+        assert_eq!(FaultKind::DbnUnavailable.to_string(), "dbn-unavailable");
+        assert_eq!(FaultKind::PlannerFallback.to_string(), "planner-fallback");
+    }
+}

@@ -69,13 +69,26 @@ impl Pmu {
     ///
     /// # Panics
     ///
-    /// Panics when the direct-channel efficiency leaves `(0, 1]`.
+    /// Panics when the direct-channel efficiency leaves `(0, 1]`; use
+    /// [`Pmu::try_new`] for untrusted calibration data.
     pub fn new(params: PmuParams) -> Self {
-        assert!(
-            params.direct_efficiency > 0.0 && params.direct_efficiency <= 1.0,
-            "direct-channel efficiency must lie in (0, 1]"
-        );
-        Self { params }
+        Self::try_new(params).expect("PMU parameters are valid")
+    }
+
+    /// Fallible variant of [`Pmu::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint when the
+    /// direct-channel efficiency is non-finite or outside `(0, 1]`.
+    pub fn try_new(params: PmuParams) -> Result<Self, String> {
+        let eta = params.direct_efficiency;
+        if !(eta.is_finite() && eta > 0.0 && eta <= 1.0) {
+            return Err(format!(
+                "direct-channel efficiency must lie in (0, 1], got {eta}"
+            ));
+        }
+        Ok(Self { params })
     }
 
     /// The PMU parameters.

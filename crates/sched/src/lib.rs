@@ -24,6 +24,10 @@
 //! Both published baselines optimise the *current* period — exactly the
 //! short-sightedness the paper's long-term scheduler corrects.
 
+// Library code must degrade gracefully, never panic; tests are
+// exempt. CI enforces this via clippy.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod asap;
 pub mod cache;
 pub mod context;

@@ -7,6 +7,7 @@
 //! power" the paper points to when explaining why over-long prediction
 //! horizons stop helping.
 
+use helio_common::error::CommonError;
 use helio_common::rng::DetRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -27,22 +28,44 @@ impl WeatherProcess {
     ///
     /// # Panics
     ///
-    /// Panics when any row (or the initial distribution) has negative
-    /// entries or does not sum to 1 within 1e-9.
+    /// Panics when the matrices are rejected by
+    /// [`WeatherProcess::try_new`] — the in-tree climates are constants,
+    /// so malformed matrices are programming errors. Use `try_new` for
+    /// matrices from configuration files.
     pub fn new(transition: [[f64; 4]; 4], initial: [f64; 4]) -> Self {
-        let check = |row: &[f64; 4], what: &str| {
-            assert!(row.iter().all(|&p| p >= 0.0), "{what} has negative entry");
+        Self::try_new(transition, initial).expect("weather matrices are valid")
+    }
+
+    /// Fallible variant of [`WeatherProcess::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommonError::InvalidArgument`] when any row (or the
+    /// initial distribution) has negative or non-finite entries or does
+    /// not sum to 1 within 1e-9 — i.e. is not a stochastic vector.
+    pub fn try_new(transition: [[f64; 4]; 4], initial: [f64; 4]) -> Result<Self, CommonError> {
+        let check = |row: &[f64; 4], what: &str| -> Result<(), CommonError> {
+            if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
+                return Err(CommonError::InvalidArgument(format!(
+                    "{what} has a negative or non-finite entry"
+                )));
+            }
             let sum: f64 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{what} sums to {sum}, not 1");
+            if (sum - 1.0).abs() >= 1e-9 {
+                return Err(CommonError::InvalidArgument(format!(
+                    "{what} sums to {sum}, not 1"
+                )));
+            }
+            Ok(())
         };
         for (i, row) in transition.iter().enumerate() {
-            check(row, &format!("transition row {i}"));
+            check(row, &format!("transition row {i}"))?;
         }
-        check(&initial, "initial distribution");
-        Self {
+        check(&initial, "initial distribution")?;
+        Ok(Self {
             transition,
             initial,
-        }
+        })
     }
 
     /// A temperate climate: clear and broken-cloud days dominate, storms
@@ -198,5 +221,25 @@ mod tests {
         let mut t = [[0.25; 4]; 4];
         t[0][0] = 0.5;
         WeatherProcess::new(t, [0.25; 4]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use helio_common::error::CommonError;
+        let good = [[0.25; 4]; 4];
+        assert!(WeatherProcess::try_new(good, [0.25; 4]).is_ok());
+        let mut unnormalised = good;
+        unnormalised[1][0] = 0.5;
+        assert!(matches!(
+            WeatherProcess::try_new(unnormalised, [0.25; 4]),
+            Err(CommonError::InvalidArgument(_))
+        ));
+        let mut nan = good;
+        nan[0][0] = f64::NAN;
+        assert!(WeatherProcess::try_new(nan, [0.25; 4]).is_err());
+        let mut negative = good;
+        negative[2][3] = -0.25;
+        assert!(WeatherProcess::try_new(negative, [0.25; 4]).is_err());
+        assert!(WeatherProcess::try_new(good, [1.0, 0.5, -0.5, 0.0]).is_err());
     }
 }

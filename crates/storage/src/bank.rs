@@ -176,6 +176,41 @@ impl CapacitorBank {
         self.states.iter().map(|s| s.voltage().value()).collect()
     }
 
+    /// Applies capacitor aging: multiplies every capacitance by
+    /// `factor` (e.g. `0.999` for one step of fade), preserving each
+    /// capacitor's stored energy — the terminal voltage rises as
+    /// `V' = V·√(C/C')`, clamped to the full-charge voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidCapacitance`] when `factor` is
+    /// non-positive or non-finite (the bank is left untouched).
+    pub fn apply_aging(
+        &mut self,
+        params: &StorageModelParams,
+        factor: f64,
+    ) -> Result<(), StorageError> {
+        if !(factor > 0.0 && factor.is_finite()) {
+            return Err(StorageError::InvalidCapacitance(factor));
+        }
+        if (factor - 1.0).abs() < 1e-15 {
+            return Ok(());
+        }
+        let mut aged_caps = Vec::with_capacity(self.caps.len());
+        let mut aged_states = Vec::with_capacity(self.states.len());
+        for (cap, state) in self.caps.iter().zip(self.states.iter()) {
+            let new_c = Farads::new(cap.capacitance().value() * factor);
+            let aged = SuperCap::new(new_c, params)?;
+            let energy = state.stored_energy(cap);
+            let v = new_c.voltage_for_energy(energy).min(aged.v_full());
+            aged_states.push(aged.state_at(v));
+            aged_caps.push(aged);
+        }
+        self.caps = aged_caps;
+        self.states = aged_states;
+        Ok(())
+    }
+
     /// Overwrites the state at `index` (used by planners that roll the
     /// bank forward hypothetically and restore).
     ///
@@ -279,6 +314,31 @@ mod tests {
         bank.set_state(0, snapshot).unwrap();
         assert_eq!(bank.active_state().voltage(), snapshot.voltage());
         assert!(bank.set_state(9, snapshot).is_err());
+    }
+
+    #[test]
+    fn aging_preserves_energy_and_shrinks_capacitance() {
+        let (mut bank, params) = bank();
+        bank.set_active(1).unwrap();
+        bank.charge_active(&params, Joules::new(5.0));
+        let c_before = bank.cap(1).unwrap().capacitance().value();
+        let e_before: Vec<Joules> = bank
+            .iter()
+            .map(|(cap, state)| state.stored_energy(cap))
+            .collect();
+        let v_before = bank.state(1).unwrap().voltage();
+        bank.apply_aging(&params, 0.9).unwrap();
+        let c_after = bank.cap(1).unwrap().capacitance().value();
+        assert!((c_after - 0.9 * c_before).abs() < 1e-12);
+        for (e0, (cap, state)) in e_before.iter().zip(bank.iter()) {
+            assert!((state.stored_energy(cap) - *e0).abs() < Joules::new(1e-9));
+        }
+        // Same energy on a smaller capacitance → higher voltage.
+        assert!(bank.state(1).unwrap().voltage() > v_before);
+        // Degenerate factors are rejected without touching the bank.
+        assert!(bank.apply_aging(&params, 0.0).is_err());
+        assert!(bank.apply_aging(&params, f64::NAN).is_err());
+        assert!((bank.cap(1).unwrap().capacitance().value() - c_after).abs() < 1e-12);
     }
 
     #[test]

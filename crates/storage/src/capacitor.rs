@@ -141,7 +141,12 @@ impl SuperCap {
             return Joules::ZERO;
         }
         let eta = params.charge_curve.efficiency(state.voltage) * self.cycle_efficiency;
-        debug_assert!(eta > 0.0 && eta <= 1.0);
+        // A degenerate efficiency (zero, negative or NaN from corrupted
+        // calibration) means the channel cannot move energy — refuse
+        // the transfer instead of poisoning the voltage state.
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Joules::ZERO;
+        }
         let headroom = self
             .capacitance
             .energy_between(self.v_full, state.voltage)
@@ -169,7 +174,11 @@ impl SuperCap {
             return Joules::ZERO;
         }
         let eta = params.discharge_curve.efficiency(state.voltage) * self.cycle_efficiency;
-        debug_assert!(eta > 0.0 && eta <= 1.0);
+        // Degenerate efficiency: the channel cannot deliver — see
+        // `charge` above.
+        if !(eta > 0.0 && eta <= 1.0) {
+            return Joules::ZERO;
+        }
         let usable = self
             .capacitance
             .energy_between(state.voltage, self.v_cutoff)

@@ -38,6 +38,10 @@
 //! # }
 //! ```
 
+// Library code must degrade through typed `StorageError`s, never
+// panic; tests are exempt. CI enforces this via clippy.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod bank;
 pub mod capacitor;
 pub mod error;

@@ -14,6 +14,8 @@ use helio_common::math::lerp_table;
 use helio_common::units::Volts;
 use serde::{Deserialize, Serialize};
 
+use crate::error::StorageError;
+
 /// A voltage-dependent efficiency curve stored as piecewise-linear knots.
 ///
 /// Queries clamp outside the knot range. Efficiencies are fractions in
@@ -40,24 +42,47 @@ impl RegulatorCurve {
     ///
     /// # Panics
     ///
-    /// Panics when the knot arrays are empty, differ in length, are not
-    /// strictly increasing in voltage, or contain efficiencies outside
-    /// `(0, 1]` — the curves in this workspace are constants defined at
-    /// build time, so malformed knots are programming errors.
+    /// Panics when the knots are rejected by
+    /// [`RegulatorCurve::try_from_knots`] — the curves in this
+    /// workspace are constants defined at build time, so malformed
+    /// knots are programming errors.
     pub fn from_knots(knots: &[(f64, f64)]) -> Self {
-        assert!(!knots.is_empty(), "regulator curve needs knots");
-        assert!(
-            knots.windows(2).all(|w| w[0].0 < w[1].0),
-            "knot voltages must be strictly increasing"
-        );
-        assert!(
-            knots.iter().all(|&(_, e)| e > 0.0 && e <= 1.0),
-            "efficiencies must lie in (0, 1]"
-        );
-        Self {
+        Self::try_from_knots(knots).expect("regulator knots are valid")
+    }
+
+    /// Fallible variant of [`RegulatorCurve::from_knots`] for curves
+    /// built from external (untrusted) calibration data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::InvalidParams`] when the knot array is
+    /// empty, is not strictly increasing in voltage, or contains
+    /// non-finite voltages or efficiencies outside `(0, 1]`.
+    pub fn try_from_knots(knots: &[(f64, f64)]) -> Result<Self, StorageError> {
+        if knots.is_empty() {
+            return Err(StorageError::InvalidParams(
+                "regulator curve needs knots".into(),
+            ));
+        }
+        if knots.iter().any(|&(v, _)| !v.is_finite()) {
+            return Err(StorageError::InvalidParams(
+                "knot voltages must be finite".into(),
+            ));
+        }
+        if !knots.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(StorageError::InvalidParams(
+                "knot voltages must be strictly increasing".into(),
+            ));
+        }
+        if !knots.iter().all(|&(_, e)| e > 0.0 && e <= 1.0) {
+            return Err(StorageError::InvalidParams(
+                "efficiencies must lie in (0, 1]".into(),
+            ));
+        }
+        Ok(Self {
             voltages: knots.iter().map(|k| k.0).collect(),
             efficiencies: knots.iter().map(|k| k.1).collect(),
-        }
+        })
     }
 
     /// Default *input* (charging) regulator fit, `η_chr(V)`.

@@ -1,0 +1,147 @@
+//! Property-based "no panic" guarantees: arbitrary finite
+//! configurations and fault plans may produce errors, but never abort
+//! the process. This is the library-level contract behind the
+//! fault-injection harness — a sensor node simulator that panics on a
+//! weird input cannot model a node that degrades gracefully.
+
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_faults::{
+    AgingFault, DbnFault, DbnFaultMode, FaultHarness, FaultPlan, ForecastFault, ForecastMode,
+    PeriodWindow, PmuStuckFault, RandomBlackouts, SolarFault,
+};
+use helio_solar::{DayArchetype, SolarPanel, TraceBuilder};
+use helio_tasks::benchmarks;
+use heliosched::{Engine, FixedPlanner, NodeConfig, Pattern, ResilientPlanner};
+use proptest::prelude::*;
+
+fn pattern(i: usize) -> Pattern {
+    match i % 3 {
+        0 => Pattern::Asap,
+        1 => Pattern::Inter,
+        _ => Pattern::Intra,
+    }
+}
+
+fn archetype(i: usize) -> DayArchetype {
+    DayArchetype::ALL[i % DayArchetype::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `NodeConfig::build` + `Engine::new` + `run` return `Result`s —
+    /// never panic — for arbitrary finite grids, banks and patterns.
+    #[test]
+    fn engine_never_panics_on_finite_configs(
+        days in 1usize..3,
+        periods in 2usize..26,
+        slots in 2usize..12,
+        slot_secs in 10.0f64..300.0,
+        caps in prop::collection::vec(0.5f64..50.0, 1..4),
+        pat in 0usize..3,
+        cap_choice in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let Ok(grid) = TimeGrid::new(days, periods, slots, Seconds::new(slot_secs)) else {
+            return;
+        };
+        let archetypes: Vec<DayArchetype> =
+            (0..days).map(|d| archetype(seed as usize + d)).collect();
+        let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+            .seed(seed)
+            .days(&archetypes)
+            .build();
+        let sizes: Vec<Farads> = caps.iter().map(|&c| Farads::new(c)).collect();
+        let node = match NodeConfig::builder(grid).capacitors(&sizes).build() {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        let graph = benchmarks::ecg();
+        // Short grids reject the benchmark's deadlines — an error, not
+        // a panic.
+        let engine = match Engine::new(&node, &graph, &trace) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        // `cap_choice` may exceed the bank: `run` must surface a typed
+        // error for that, and succeed otherwise. Either way: no panic.
+        let _ = engine.run(&mut FixedPlanner::new(pattern(pat), cap_choice));
+    }
+
+    /// Arbitrary fault plans (including degenerate windows, extreme
+    /// factors, out-of-range channels) never panic the engine, with or
+    /// without the resilient wrapper.
+    #[test]
+    fn fault_injection_never_panics(
+        seed in 0u64..1000,
+        outage_start in 0usize..60,
+        outage_len in 0usize..80,
+        factor in -1.0f64..2.0,
+        fade in 0.0f64..1.5,
+        growth in 0.5f64..3.0,
+        channel in 0usize..9,
+        fmode in 0usize..3,
+        blackout_p in 0.0f64..0.5,
+    ) {
+        let grid = TimeGrid::new(2, 24, 6, Seconds::new(100.0)).expect("static grid");
+        let trace = TraceBuilder::new(grid, SolarPanel::paper_panel())
+            .seed(seed)
+            .days(&[archetype(seed as usize), archetype(seed as usize + 1)])
+            .build();
+        let node = NodeConfig::builder(grid)
+            .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+            .build()
+            .expect("static node");
+        let graph = benchmarks::ecg();
+        let engine = Engine::new(&node, &graph, &trace).expect("static engine");
+        let plan = FaultPlan {
+            seed,
+            solar: vec![SolarFault {
+                window: PeriodWindow::new(outage_start, outage_len),
+                factor,
+            }],
+            random_blackouts: Some(RandomBlackouts {
+                per_period_probability: blackout_p,
+                min_periods: 1,
+                max_periods: 4,
+            }),
+            aging: Some(AgingFault {
+                capacitance_fade_per_day: fade,
+                leakage_growth_per_day: growth,
+            }),
+            pmu_stuck: vec![PmuStuckFault {
+                window: PeriodWindow::new(outage_start / 2, outage_len / 2),
+                channel,
+            }],
+            forecast: vec![ForecastFault {
+                window: PeriodWindow::new(0, outage_len),
+                mode: match fmode {
+                    0 => ForecastMode::Scale(factor * 3.0),
+                    1 => ForecastMode::Nan,
+                    _ => ForecastMode::Zero,
+                },
+            }],
+            dbn: vec![DbnFault {
+                window: PeriodWindow::new(outage_start, 4),
+                mode: if seed % 2 == 0 {
+                    DbnFaultMode::Unavailable
+                } else {
+                    DbnFaultMode::Nan
+                },
+            }],
+        };
+        let harness = FaultHarness::new(&plan, grid.total_periods(), 24);
+        let bare = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Intra, 0), Some(&harness));
+        prop_assert!(bare.is_ok(), "faulted run errored: {:?}", bare.err());
+        let mut wrapped =
+            ResilientPlanner::new(Box::new(FixedPlanner::new(Pattern::Intra, 0)));
+        let resilient = engine.run_with_faults(&mut wrapped, Some(&harness));
+        prop_assert!(resilient.is_ok());
+        // Same plan, same harness: byte-deterministic.
+        let again = engine
+            .run_with_faults(&mut FixedPlanner::new(Pattern::Intra, 0), Some(&harness));
+        prop_assert_eq!(bare.expect("ok"), again.expect("ok"));
+    }
+}
