@@ -7,6 +7,7 @@ use helio_common::rng::seeded;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AnnError;
+use crate::matrix::Matrix;
 use crate::mlp::Mlp;
 use crate::rbm::Rbm;
 use crate::scaler::MinMaxScaler;
@@ -71,6 +72,17 @@ pub struct PredictScratch {
     x: Vec<f64>,
     hidden: Vec<f64>,
     y: Vec<f64>,
+}
+
+/// Reusable buffers for [`Dbn::predict_batch_into`]: the scaled input
+/// batch and the MLP's ping-pong activation matrices. One scratch per
+/// call site makes steady-state batched inference allocation-free once
+/// the matrices have grown to the widest layer.
+#[derive(Debug, Default, Clone)]
+pub struct BatchPredictScratch {
+    x: Matrix,
+    hidden: Matrix,
+    y: Matrix,
 }
 
 /// A trained DBN regressor with built-in input/output scaling.
@@ -194,6 +206,51 @@ impl Dbn {
         self.output_scaler.inverse_into(&scratch.y, out)
     }
 
+    /// Batched [`Dbn::predict_into`]: one prediction per row of
+    /// `inputs` (a `batch × input_dim` matrix of raw, unscaled
+    /// features), written to the corresponding row of `out`. The whole
+    /// batch goes through each network layer as a single blocked
+    /// matrix product, so every row of `out` is bitwise identical to
+    /// calling [`Dbn::predict_into`] on that row alone — batching is a
+    /// pure throughput optimisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when `inputs` is not
+    /// `batch × input_dim`.
+    pub fn predict_batch_into(
+        &self,
+        inputs: &Matrix,
+        scratch: &mut BatchPredictScratch,
+        out: &mut Matrix,
+    ) -> Result<(), AnnError> {
+        if inputs.cols() != self.input_dim() {
+            return Err(AnnError::dims(
+                format!("{} input features", self.input_dim()),
+                format!("{}", inputs.cols()),
+            ));
+        }
+        let batch = inputs.rows();
+        scratch.x.reset(batch, self.input_dim());
+        for r in 0..batch {
+            self.input_scaler
+                .transform_slice(inputs.row(r), scratch.x.row_mut(r))?;
+        }
+        self.network
+            .forward_batch_into(&scratch.x, &mut scratch.hidden, &mut scratch.y)?;
+        for r in 0..batch {
+            for v in scratch.y.row_mut(r) {
+                *v = ((*v - 0.05) / 0.9).clamp(0.0, 1.0);
+            }
+        }
+        out.reset(batch, self.output_dim());
+        for r in 0..batch {
+            self.output_scaler
+                .inverse_slice(scratch.y.row(r), out.row_mut(r))?;
+        }
+        Ok(())
+    }
+
     /// Mean training loss of the final fine-tuning epoch (scaled
     /// space).
     pub fn final_loss(&self) -> f64 {
@@ -309,6 +366,33 @@ mod tests {
             assert_eq!(out, dbn.predict(x).unwrap());
         }
         assert!(dbn.predict_into(&[1.0], &mut scratch, &mut out).is_err());
+    }
+
+    #[test]
+    fn predict_batch_into_is_bitwise_per_row_predict() {
+        let (xs, ys) = dataset();
+        let dbn = Dbn::train(&xs, &ys, &DbnConfig::small(8)).unwrap();
+        let rows: Vec<Vec<f64>> = xs.iter().step_by(13).cloned().collect();
+        let inputs = Matrix::from_rows(&rows).unwrap();
+        let mut scratch = BatchPredictScratch::default();
+        let mut out = Matrix::default();
+        // Twice, so the second pass exercises reused buffers.
+        for _ in 0..2 {
+            dbn.predict_batch_into(&inputs, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!((out.rows(), out.cols()), (rows.len(), dbn.output_dim()));
+            for (r, x) in rows.iter().enumerate() {
+                assert_eq!(out.row(r), dbn.predict(x).unwrap().as_slice(), "row {r}");
+            }
+        }
+        let bad = Matrix::zeros(2, dbn.input_dim() + 1);
+        assert!(dbn
+            .predict_batch_into(&bad, &mut scratch, &mut out)
+            .is_err());
+        let empty = Matrix::zeros(0, dbn.input_dim());
+        dbn.predict_batch_into(&empty, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.rows(), 0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod mlp;
 pub mod rbm;
 pub mod scaler;
 
-pub use dbn::{Dbn, DbnConfig, PredictScratch};
+pub use dbn::{BatchPredictScratch, Dbn, DbnConfig, PredictScratch};
 pub use error::AnnError;
 pub use matrix::Matrix;
 pub use mlp::Mlp;

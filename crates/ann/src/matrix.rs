@@ -103,6 +103,22 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reshapes in place to a zeroed `rows × cols` matrix. The backing
+    /// allocation is kept once grown, so reused scratch matrices (the
+    /// batched-inference ping-pong buffers) stop allocating after the
+    /// first call.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix–vector product `self · x`.
     ///
     /// # Errors
@@ -265,14 +281,28 @@ impl Matrix {
                 format!("{}x{}", out.rows, out.cols),
             ));
         }
+        let k = self.cols;
+        // Where the hardware supports it, full 8-row tiles go through
+        // the lane-parallel kernel: eight samples advance the same
+        // ascending-k mul-then-add chain in the eight lanes of one
+        // vector, so every lane reproduces `matvec` bit for bit while
+        // the batch amortises the instruction stream. Rows past the
+        // last full tile (and non-x86 builds) take the scalar path.
+        let simd_rows = simd::matmul_bt_tiles(
+            &self.data,
+            self.rows,
+            k,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
         // Tile over (i, j) so a block of `other` rows stays hot in
         // cache while a block of `self` rows streams through it. The
         // k loop is NOT tiled: each element keeps the single
         // ascending-k accumulator of `matvec`, so the blocked product
         // is bitwise identical to the naive one.
         const BLOCK: usize = 32;
-        let k = self.cols;
-        for i0 in (0..self.rows).step_by(BLOCK) {
+        for i0 in (simd_rows..self.rows).step_by(BLOCK) {
             let i_end = (i0 + BLOCK).min(self.rows);
             for j0 in (0..other.rows).step_by(BLOCK) {
                 let j_end = (j0 + BLOCK).min(other.rows);
@@ -291,6 +321,143 @@ impl Matrix {
             }
         }
         Ok(())
+    }
+}
+
+/// Lane-parallel product tiles for [`Matrix::matmul_bt_into`].
+///
+/// The batched forward's throughput win comes from vectorising across
+/// the *batch* dimension: one vector register holds the accumulators
+/// of `LANES` samples, and every step performs the same
+/// `acc[l] += a[l][t] * b[t]` (multiply, then add — never a fused
+/// multiply-add, whose single rounding would change the value) in
+/// ascending `t`, exactly the scalar [`Matrix::matvec`] recurrence.
+/// The results are therefore bitwise identical to the scalar kernel on
+/// every lane; only the instruction count per sample shrinks.
+mod simd {
+    /// Runs as many full lane tiles as the hardware allows and returns
+    /// the number of leading rows handled (always a multiple of the
+    /// lane width; `0` when SIMD is unavailable or the batch is smaller
+    /// than one tile).
+    #[cfg(target_arch = "x86_64")]
+    pub(super) fn matmul_bt_tiles(
+        a: &[f64],
+        a_rows: usize,
+        k: usize,
+        b: &[f64],
+        b_rows: usize,
+        out: &mut [f64],
+    ) -> usize {
+        if a_rows >= 8 && k > 0 && b_rows > 0 && is_x86_feature_detected!("avx512f") {
+            // SAFETY: the avx512f requirement is checked at runtime.
+            unsafe { tiles_avx512(a, a_rows, k, b, b_rows, out) }
+        } else {
+            0
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    pub(super) fn matmul_bt_tiles(
+        _a: &[f64],
+        _a_rows: usize,
+        _k: usize,
+        _b: &[f64],
+        _b_rows: usize,
+        _out: &mut [f64],
+    ) -> usize {
+        0
+    }
+
+    /// Eight-lane AVX-512 tile kernel.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `avx512f` support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tiles_avx512(
+        a: &[f64],
+        a_rows: usize,
+        k: usize,
+        b: &[f64],
+        b_rows: usize,
+        out: &mut [f64],
+    ) -> usize {
+        use std::arch::x86_64::{
+            _mm512_add_pd, _mm512_loadu_pd, _mm512_mul_pd, _mm512_set1_pd, _mm512_setzero_pd,
+            _mm512_storeu_pd,
+        };
+        const LANES: usize = 8;
+        // Transposed sample tile: `xt[t * LANES + l] = a[i0 + l][t]`,
+        // so the k-loop loads the eight lanes contiguously.
+        let mut xt = vec![0.0f64; k * LANES];
+        let mut lanes = [0.0f64; LANES];
+        let full = (a_rows / LANES) * LANES;
+        for i0 in (0..full).step_by(LANES) {
+            for t in 0..k {
+                for l in 0..LANES {
+                    xt[t * LANES + l] = a[(i0 + l) * k + t];
+                }
+            }
+            // Four output columns per pass: four independent
+            // accumulator chains hide the vector-add latency the
+            // single chain of one column cannot (each chain is still
+            // the exact ascending-k recurrence of its column).
+            let mut j = 0;
+            while j + 4 <= b_rows {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let mut acc0 = _mm512_setzero_pd();
+                let mut acc1 = _mm512_setzero_pd();
+                let mut acc2 = _mm512_setzero_pd();
+                let mut acc3 = _mm512_setzero_pd();
+                for t in 0..k {
+                    // SAFETY: `xt` holds `k * LANES` elements, so the
+                    // load at `t * LANES` stays in bounds.
+                    let x = unsafe { _mm512_loadu_pd(xt.as_ptr().add(t * LANES)) };
+                    acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(x, _mm512_set1_pd(b0[t])));
+                    acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(x, _mm512_set1_pd(b1[t])));
+                    acc2 = _mm512_add_pd(acc2, _mm512_mul_pd(x, _mm512_set1_pd(b2[t])));
+                    acc3 = _mm512_add_pd(acc3, _mm512_mul_pd(x, _mm512_set1_pd(b3[t])));
+                }
+                for (c, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                    // SAFETY: `lanes` holds exactly LANES elements.
+                    unsafe { _mm512_storeu_pd(lanes.as_mut_ptr(), acc) };
+                    for (l, &v) in lanes.iter().enumerate() {
+                        out[(i0 + l) * b_rows + j + c] = v;
+                    }
+                }
+                j += 4;
+            }
+            while j < b_rows {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = _mm512_setzero_pd();
+                for (t, &w) in brow.iter().enumerate() {
+                    // SAFETY: `xt` holds `k * LANES` elements and
+                    // `t < k`, so the load at `t * LANES` stays in
+                    // bounds.
+                    let x = unsafe { _mm512_loadu_pd(xt.as_ptr().add(t * LANES)) };
+                    acc = _mm512_add_pd(acc, _mm512_mul_pd(x, _mm512_set1_pd(w)));
+                }
+                // SAFETY: `lanes` holds exactly LANES elements.
+                unsafe { _mm512_storeu_pd(lanes.as_mut_ptr(), acc) };
+                for (l, &v) in lanes.iter().enumerate() {
+                    out[(i0 + l) * b_rows + j] = v;
+                }
+                j += 1;
+            }
+        }
+        full
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural seed for
+    /// [`Matrix::reset`]-based scratch buffers.
+    fn default() -> Self {
+        Self::zeros(0, 0)
     }
 }
 

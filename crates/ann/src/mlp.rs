@@ -40,17 +40,20 @@ impl Layer {
     }
 
     /// Forward pass on a whole batch (`samples × in` rows in, `samples
-    /// × out` rows out) via the blocked matmul. `X · Wᵀ` computes the
-    /// same ascending-index dot products as the per-sample `W · x`, so
-    /// the result is bitwise identical to mapping [`Layer::forward`].
-    fn forward_batch(&self, x: &Matrix) -> Result<Matrix, AnnError> {
-        let mut z = x.matmul_bt(&self.weights)?;
-        for r in 0..z.rows() {
-            for (c, b) in self.bias.iter().enumerate() {
-                z.set(r, c, sigmoid(z.get(r, c) + b));
+    /// × out` rows out) via the blocked matmul, writing into a
+    /// caller-owned matrix so repeated batched inference reuses the
+    /// allocation. `X · Wᵀ` computes the same ascending-index dot
+    /// products as the per-sample `W · x`, so the result is bitwise
+    /// identical to mapping [`Layer::forward`].
+    fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix) -> Result<(), AnnError> {
+        out.reset(x.rows(), self.bias.len());
+        x.matmul_bt_into(&self.weights, out)?;
+        for r in 0..out.rows() {
+            for (zi, b) in out.row_mut(r).iter_mut().zip(&self.bias) {
+                *zi = sigmoid(*zi + b);
             }
         }
-        Ok(z)
+        Ok(())
     }
 }
 
@@ -160,12 +163,37 @@ impl Mlp {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong-width inputs.
     pub fn forward_batch_matrix(&self, xs: &Matrix) -> Result<Matrix, AnnError> {
-        let mut a = None;
+        let mut scratch = Matrix::default();
+        let mut out = Matrix::default();
+        self.forward_batch_into(xs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Mlp::forward_batch_matrix`] ping-ponging between two
+    /// caller-owned matrices, mirroring [`Mlp::forward_into`]: `out`
+    /// ends up holding the `samples × out` activations and reused
+    /// buffers make repeated batched inference allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong-width inputs.
+    pub fn forward_batch_into(
+        &self,
+        xs: &Matrix,
+        scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), AnnError> {
+        let mut first = true;
         for layer in &self.layers {
-            let next = layer.forward_batch(a.as_ref().unwrap_or(xs))?;
-            a = Some(next);
+            if first {
+                layer.forward_batch_into(xs, out)?;
+                first = false;
+            } else {
+                std::mem::swap(scratch, out);
+                layer.forward_batch_into(scratch, out)?;
+            }
         }
-        Ok(a.expect("MLP has at least one layer"))
+        Ok(())
     }
 
     /// Forward pass keeping every layer's activation (for backprop).

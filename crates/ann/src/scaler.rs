@@ -84,6 +84,32 @@ impl MinMaxScaler {
         Ok(())
     }
 
+    /// [`MinMaxScaler::transform_into`] writing into a pre-sized slice
+    /// (a matrix row, for batched inference). Arithmetic is identical
+    /// per element, so results are bitwise equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when either slice has
+    /// the wrong feature count.
+    pub fn transform_slice(&self, sample: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        if sample.len() != self.dim() || out.len() != self.dim() {
+            return Err(AnnError::dims(
+                format!("{} features", self.dim()),
+                format!("{} in / {} out", sample.len(), out.len()),
+            ));
+        }
+        for (i, (o, &v)) in out.iter_mut().zip(sample).enumerate() {
+            let span = self.maxs[i] - self.mins[i];
+            *o = if span <= 0.0 {
+                0.5
+            } else {
+                ((v - self.mins[i]) / span).clamp(0.0, 1.0)
+            };
+        }
+        Ok(())
+    }
+
     /// Inverse transform from `[0, 1]` back to the original range.
     ///
     /// # Errors
@@ -118,6 +144,32 @@ impl MinMaxScaler {
         }));
         Ok(())
     }
+
+    /// [`MinMaxScaler::inverse_into`] writing into a pre-sized slice
+    /// (a matrix row, for batched inference). Bitwise identical per
+    /// element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] when either slice has
+    /// the wrong feature count.
+    pub fn inverse_slice(&self, scaled: &[f64], out: &mut [f64]) -> Result<(), AnnError> {
+        if scaled.len() != self.dim() || out.len() != self.dim() {
+            return Err(AnnError::dims(
+                format!("{} features", self.dim()),
+                format!("{} in / {} out", scaled.len(), out.len()),
+            ));
+        }
+        for (i, (o, &v)) in out.iter_mut().zip(scaled).enumerate() {
+            let span = self.maxs[i] - self.mins[i];
+            *o = if span <= 0.0 {
+                self.mins[i]
+            } else {
+                self.mins[i] + v * span
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +200,21 @@ mod tests {
         let s = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]).unwrap();
         assert_eq!(s.transform(&[7.0]).unwrap()[0], 0.5);
         assert_eq!(s.inverse(&[0.9]).unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn slice_variants_are_bitwise_vec_variants() {
+        let data = vec![vec![0.0, 10.0, 3.0], vec![4.0, 20.0, 3.0]];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        let sample = [1.7, 12.5, 3.0];
+        let mut buf = [0.0; 3];
+        s.transform_slice(&sample, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), s.transform(&sample).unwrap());
+        let mut back = [0.0; 3];
+        s.inverse_slice(&buf, &mut back).unwrap();
+        assert_eq!(back.to_vec(), s.inverse(&buf).unwrap());
+        assert!(s.transform_slice(&sample[..2], &mut buf).is_err());
+        assert!(s.inverse_slice(&buf, &mut back[..1]).is_err());
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * `fig8_engine` — one simulated day per scheduler pattern
 //! * `slot_loop` — the online hot path over a four-day run (the loop
 //!   `bench_online` reports in results/BENCH_online.json)
+//! * `batch_loop` — B = 16 DBN scenarios through `BatchEngine` vs a
+//!   sequential `Engine::run` loop (the comparison `bench_batch`
+//!   reports in results/BENCH_batch.json)
 //! * `fig8_fig9_dp` — the long-term DP over one day
 //! * `fig10a_mpc` — an MPC replan at several horizons
 //! * `fig10b_sizing` — per-day capacitor sizing
@@ -135,6 +138,88 @@ fn slot_loop(c: &mut Criterion) {
             |b, &p| b.iter(|| engine.run(&mut FixedPlanner::new(p, 0)).expect("run")),
         );
     }
+    group.finish();
+}
+
+fn batch_loop(c: &mut Criterion) {
+    // The batched engine against the sequential loop it replaces: 16
+    // DBN-planned scenarios (distinct weather-seeded traces, shared
+    // task set and bank shape) on a decision-dominated grid (two 300 s
+    // slots per period), the same comparison `bench_batch` reports in
+    // results/BENCH_batch.json. Byte-identity of the two modes is
+    // CI-gated by `tests/golden_online.rs`; this group guards the
+    // throughput edge.
+    const B: usize = 16;
+    let grid = helio_common::time::TimeGrid::new(1, 48, 2, Seconds::new(300.0)).expect("grid");
+    let graph = benchmarks::ecg();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+        .build()
+        .expect("node");
+    let in_dim = grid.slots_per_period() + node.capacitors.len() + 1;
+    let out_dim = 2 + graph.len();
+    let inputs: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..in_dim)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..out_dim).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let cfg = helio_ann::DbnConfig {
+        hidden: vec![128, 128],
+        rbm_epochs: 10,
+        rbm_lr: 0.1,
+        bp_epochs: 30,
+        bp_lr: 0.4,
+        seed: 9,
+    };
+    let dbn = std::sync::Arc::new(helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train"));
+    let traces: Vec<_> = (0..B)
+        .map(|i| {
+            TraceBuilder::new(grid, SolarPanel::paper_panel())
+                .seed(9000 + i as u64)
+                .weather(WeatherProcess::temperate())
+                .build()
+        })
+        .collect();
+    let planner = |dbn: &std::sync::Arc<helio_ann::Dbn>| {
+        heliosched::ProposedPlanner::from_shared_dbn(
+            std::sync::Arc::clone(dbn),
+            0.5,
+            heliosched::SwitchRule::default(),
+        )
+    };
+    let mut group = c.benchmark_group("batch_loop");
+    group.sample_size(20);
+    group.bench_function("sequential_16_dbn_scenarios", |b| {
+        b.iter(|| {
+            for trace in &traces {
+                let mut p = planner(&dbn);
+                let report = Engine::new(&node, &graph, trace)
+                    .expect("engine")
+                    .run(&mut p)
+                    .expect("run");
+                black_box(report);
+            }
+        })
+    });
+    group.bench_function("batched_16_dbn_scenarios", |b| {
+        b.iter(|| {
+            let mut engine = heliosched::BatchEngine::new(&node, &graph).expect("batch engine");
+            for trace in &traces {
+                engine
+                    .push(heliosched::BatchScenario::new(
+                        trace,
+                        Box::new(planner(&dbn)),
+                    ))
+                    .expect("scenario");
+            }
+            black_box(engine.run().expect("batched run"))
+        })
+    });
     group.finish();
 }
 
@@ -382,6 +467,7 @@ criterion_group!(
     table2_migration,
     fig8_engine,
     slot_loop,
+    batch_loop,
     fig8_fig9_dp,
     matmul_kernels,
     dp_memoization,

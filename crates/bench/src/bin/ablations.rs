@@ -11,13 +11,13 @@
 //! All runs use a compact grid (48 periods/day) so the whole suite
 //! completes in roughly a minute.
 
-use helio_bench::{par_sweep, pct, sized_node, weather_trace};
+use helio_bench::{node_for_eval, par_sweep, pct, run_planner_batch, sized_node, weather_trace};
 use helio_common::units::Joules;
 use helio_solar::NoisyOracle;
 use helio_tasks::{benchmarks, scale_graph, DvfsLaw};
 use heliosched::{
     train_proposed, DpConfig, Engine, FixedPlanner, NodeConfig, OfflineConfig, OptimalPlanner,
-    Pattern, ProposedPlanner, SwitchRule,
+    Pattern, PeriodPlanner, ProposedPlanner, SwitchRule,
 };
 
 const PERIODS: usize = 48;
@@ -38,45 +38,54 @@ fn main() {
     let sizing_trace = weather_trace(8, PERIODS, 5000);
     let node_sized = sized_node(&graph, &sizing_trace, 4).expect("sizing succeeds");
     let eval = weather_trace(DAYS, PERIODS, 5042);
-    let node = NodeConfig {
-        grid: *eval.grid(),
-        ..node_sized.clone()
-    };
+    let node = node_for_eval(&node_sized, &eval);
     let engine = Engine::new(&node, &graph, &eval).expect("engine");
 
     // ------------------------------------------------------------------
     println!("# Ablation 1 — capacitor-switch threshold E_th (Eq. 22), MPC backend");
-    // Each threshold is an independent simulation: sweep them across the
-    // worker pool and print in input order.
+    // The thresholds share the node/graph/trace: run the sweep as one
+    // lockstep batch and print in input order.
     let e_th_cases = [
         ("always switch (E_th = inf)", f64::INFINITY),
         ("default (E_th = 2 J)", 2.0),
         ("never switch (E_th = 0)", 0.0),
     ];
-    let e_th_dmrs = par_sweep(&e_th_cases, |(_, e_th)| {
-        let mut planner = mpc(
-            (0.05, 0.12),
-            SwitchRule {
-                threshold: Joules::new(*e_th),
-            },
-            0.5,
-        );
-        engine.run(&mut planner).expect("run").overall_dmr()
-    });
-    for ((label, _), dmr) in e_th_cases.iter().zip(&e_th_dmrs) {
-        println!("  {label:<28} DMR {}", pct(*dmr));
+    let e_th_planners: Vec<Box<dyn PeriodPlanner>> = e_th_cases
+        .iter()
+        .map(|(_, e_th)| {
+            Box::new(mpc(
+                (0.05, 0.12),
+                SwitchRule {
+                    threshold: Joules::new(*e_th),
+                },
+                0.5,
+            )) as Box<dyn PeriodPlanner>
+        })
+        .collect();
+    let e_th_reports = run_planner_batch(&node, &graph, &eval, e_th_planners).expect("e_th sweep");
+    for ((label, _), report) in e_th_cases.iter().zip(&e_th_reports) {
+        println!("  {label:<28} DMR {}", pct(report.overall_dmr()));
     }
 
     // ------------------------------------------------------------------
     println!();
     println!("# Ablation 2 — pattern-selection threshold delta (Section 5.2)");
     let deltas = [0.1, 0.3, 0.5, 1.0, 2.0];
-    let delta_rows = par_sweep(&deltas, |delta| {
-        let mut planner = mpc((0.05, 0.12), SwitchRule::default(), *delta);
-        let r = engine.run(&mut planner).expect("run");
-        let (_, inter, intra) = heliosched::analysis::pattern_usage(&r);
-        (r.overall_dmr(), inter, intra)
-    });
+    let delta_planners: Vec<Box<dyn PeriodPlanner>> = deltas
+        .iter()
+        .map(|delta| {
+            Box::new(mpc((0.05, 0.12), SwitchRule::default(), *delta)) as Box<dyn PeriodPlanner>
+        })
+        .collect();
+    let delta_reports =
+        run_planner_batch(&node, &graph, &eval, delta_planners).expect("delta sweep");
+    let delta_rows: Vec<(f64, usize, usize)> = delta_reports
+        .iter()
+        .map(|r| {
+            let (_, inter, intra) = heliosched::analysis::pattern_usage(r);
+            (r.overall_dmr(), inter, intra)
+        })
+        .collect();
     for (delta, (dmr, inter, intra)) in deltas.iter().zip(&delta_rows) {
         println!(
             "  delta = {delta:<4} DMR {}  (inter {} / intra {} periods)",

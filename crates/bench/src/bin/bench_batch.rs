@@ -1,0 +1,216 @@
+//! Batched vs sequential simulation throughput — emits the
+//! machine-readable `results/BENCH_batch.json`.
+//!
+//! The sweep advances B independent DBN-planned scenarios (same node
+//! and task set, different weather-seeded traces) at B ∈ {1, 4, 16,
+//! 64}, twice per batch size:
+//!
+//! * **sequential** — one [`Engine::run`] per scenario, the
+//!   one-at-a-time mode every sweep used before the batch engine;
+//! * **batched** — one [`BatchEngine::run`] over all B scenarios in
+//!   lockstep, gathering the B DBN feature vectors into one matrix and
+//!   running a single batched forward per period, with the slot-cost /
+//!   topological-order precomputation shared behind one `Arc`.
+//!
+//! Correctness is asserted before anything is timed: the batched
+//! reports must be byte-identical to the sequential ones (the same
+//! contract `tests/golden_online.rs` pins over the golden suite). The
+//! grid uses two 300 s slots per period so the per-period planner
+//! decision — the part batching accelerates — dominates the slot loop,
+//! as it does on the paper's 93.5 kHz node where one DBN forward costs
+//! orders of magnitude more than the slot bookkeeping. `HELIO_FAST=1`
+//! shrinks the horizon and repetitions for CI smoke runs.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use helio_ann::{Dbn, DbnConfig};
+use helio_bench::{fast_mode, timed, write_json, BatchSweepPoint, BenchBatchReport};
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_solar::{SolarPanel, SolarTrace, TraceBuilder, WeatherProcess};
+use helio_tasks::{benchmarks, TaskGraph};
+use heliosched::{BatchEngine, BatchScenario, Engine, NodeConfig, ProposedPlanner, SwitchRule};
+
+const REPORT_PATH: &str = "results/BENCH_batch.json";
+const DELTA: f64 = 0.5;
+const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+fn planner(dbn: &Arc<Dbn>) -> ProposedPlanner {
+    ProposedPlanner::from_shared_dbn(Arc::clone(dbn), DELTA, SwitchRule::default())
+}
+
+/// Trains a deployment-sized network (two wide RBM layers, unlike the
+/// golden suite's toy net) on synthetic scheduler-shaped samples — the
+/// decision cost is what the sweep measures, not the decision quality.
+fn bench_dbn(graph: &TaskGraph, in_dim: usize) -> Arc<Dbn> {
+    let out_dim = 2 + graph.len();
+    let inputs: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..in_dim)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..out_dim).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let cfg = DbnConfig {
+        hidden: vec![128, 128],
+        rbm_epochs: 10,
+        rbm_lr: 0.1,
+        bp_epochs: 30,
+        bp_lr: 0.4,
+        seed: 9,
+    };
+    Arc::new(Dbn::train(&inputs, &targets, &cfg).expect("bench DBN trains"))
+}
+
+fn run_sequential(
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    traces: &[SolarTrace],
+    dbn: &Arc<Dbn>,
+) -> Vec<String> {
+    traces
+        .iter()
+        .map(|trace| {
+            let mut p = planner(dbn);
+            let report = Engine::new(node, graph, trace)
+                .expect("sequential engine")
+                .run(&mut p)
+                .expect("sequential run");
+            serde_json::to_string(&report).expect("report serialises")
+        })
+        .collect()
+}
+
+fn run_batched(
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    traces: &[SolarTrace],
+    dbn: &Arc<Dbn>,
+) -> Vec<String> {
+    let mut engine = BatchEngine::new(node, graph).expect("batch engine");
+    for trace in traces {
+        engine
+            .push(BatchScenario::new(trace, Box::new(planner(dbn))))
+            .expect("batch scenario");
+    }
+    engine
+        .run()
+        .expect("batched run")
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("report serialises"))
+        .collect()
+}
+
+fn main() {
+    let (days, periods_per_day, reps) = if fast_mode() { (2, 24, 3) } else { (4, 144, 8) };
+    let grid = TimeGrid::new(days, periods_per_day, 2, Seconds::new(300.0)).expect("bench grid");
+    let graph = benchmarks::ecg();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+        .build()
+        .expect("bench node");
+    let in_dim = grid.slots_per_period() + node.capacitors.len() + 1;
+    let dbn = bench_dbn(&graph, in_dim);
+    let total_periods = grid.total_periods() as u64;
+
+    let traces: Vec<SolarTrace> = (0..*BATCH_SIZES.iter().max().expect("nonempty"))
+        .map(|i| {
+            TraceBuilder::new(grid, SolarPanel::paper_panel())
+                .seed(9000 + i as u64)
+                .weather(WeatherProcess::temperate())
+                .build()
+        })
+        .collect();
+
+    println!(
+        "# batched vs sequential throughput (ecg, {days}d x {periods_per_day}p x 2s grid, \
+         {total_periods} periods/scenario, {reps} reps, threads = {})",
+        helio_par::configured_threads()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>16} {:>16} {:>8}",
+        "B", "seq ms", "batch ms", "seq per/s", "batch per/s", "speedup"
+    );
+
+    let mut points = Vec::new();
+    let mut identical = true;
+    for &b in &BATCH_SIZES {
+        // Correctness before throughput: the batched reports must be
+        // byte-identical to the sequential ones.
+        let seq_json = run_sequential(&node, &graph, &traces[..b], &dbn);
+        let batch_json = run_batched(&node, &graph, &traces[..b], &dbn);
+        let matches = seq_json == batch_json;
+        assert!(
+            matches,
+            "batched run diverged from sequential at B = {b} — the batch \
+             engine's byte-identity contract is broken"
+        );
+        identical &= matches;
+
+        let (_, sequential_wall_ms) = timed(|| {
+            for _ in 0..reps {
+                for trace in &traces[..b] {
+                    let mut p = planner(&dbn);
+                    let report = Engine::new(&node, &graph, trace)
+                        .expect("sequential engine")
+                        .run(&mut p)
+                        .expect("sequential run");
+                    black_box(report);
+                }
+            }
+        });
+        let (_, batched_wall_ms) = timed(|| {
+            for _ in 0..reps {
+                let mut engine = BatchEngine::new(&node, &graph).expect("batch engine");
+                for trace in &traces[..b] {
+                    engine
+                        .push(BatchScenario::new(trace, Box::new(planner(&dbn))))
+                        .expect("batch scenario");
+                }
+                black_box(engine.run().expect("batched run"));
+            }
+        });
+
+        let periods = b as u64 * total_periods * reps as u64;
+        let sequential_periods_per_sec = periods as f64 / (sequential_wall_ms / 1e3);
+        let batched_periods_per_sec = periods as f64 / (batched_wall_ms / 1e3);
+        let speedup = sequential_wall_ms / batched_wall_ms;
+        println!(
+            "{b:>6} {sequential_wall_ms:>14.1} {batched_wall_ms:>14.1} \
+             {sequential_periods_per_sec:>16.0} {batched_periods_per_sec:>16.0} {speedup:>7.2}x"
+        );
+        points.push(BatchSweepPoint {
+            batch: b,
+            periods,
+            sequential_wall_ms,
+            batched_wall_ms,
+            sequential_periods_per_sec,
+            batched_periods_per_sec,
+            speedup,
+        });
+    }
+
+    let report = BenchBatchReport {
+        threads: helio_par::configured_threads(),
+        grid: format!("{days}d x {periods_per_day}p x 2s"),
+        backend: "proposed-dbn".into(),
+        identical,
+        points,
+    };
+    println!();
+    write_json(REPORT_PATH, &report);
+
+    let p16 = report
+        .points
+        .iter()
+        .find(|p| p.batch == 16)
+        .expect("B = 16 point");
+    println!(
+        "B = 16 speedup: {:.2}x (target: >= 2x batched over sequential)",
+        p16.speedup
+    );
+}

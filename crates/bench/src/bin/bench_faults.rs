@@ -20,17 +20,19 @@
 //! the blackout window the per-period miss count first returned to the
 //! clean run's level.
 
+use std::sync::Arc;
+
 use helio_ann::Dbn;
 use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
-use helio_bench::{fast_mode, par_sweep, pct, RobustnessPoint, RobustnessReport};
+use helio_bench::{fast_mode, pct, write_json, RobustnessPoint, RobustnessReport};
 use helio_faults::{
     AgingFault, DbnFault, DbnFaultMode, FaultHarness, FaultPlan, PeriodWindow, SolarFault,
 };
 use helio_solar::NoisyOracle;
 use helio_tasks::benchmarks;
 use heliosched::{
-    Engine, FixedPlanner, Pattern, PeriodPlanner, ProposedPlanner, ResilientPlanner, SimReport,
-    SwitchRule,
+    BatchEngine, BatchScenario, FixedPlanner, Pattern, PeriodPlanner, ProposedPlanner,
+    ResilientPlanner, SimReport, SwitchRule,
 };
 
 const REPORT_PATH: &str = "results/ROBUSTNESS.json";
@@ -46,11 +48,11 @@ const DBN_OUTAGE: PeriodWindow = PeriodWindow {
 
 const BACKENDS: [&str; 3] = ["inter", "dbn", "mpc"];
 
-fn make_planner<'a>(backend: &str, dbn: &Dbn) -> ResilientPlanner<'a> {
+fn make_planner<'a>(backend: &str, dbn: &Arc<Dbn>) -> ResilientPlanner<'a> {
     let inner: Box<dyn PeriodPlanner> = match backend {
         "inter" => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
-        "dbn" => Box::new(ProposedPlanner::from_dbn(
-            dbn.clone(),
+        "dbn" => Box::new(ProposedPlanner::from_shared_dbn(
+            Arc::clone(dbn),
             GOLDEN_DELTA,
             SwitchRule::default(),
         )),
@@ -104,16 +106,17 @@ fn main() {
     let node = golden_node();
     let trace = golden_trace();
     let graph = benchmarks::ecg();
-    let engine = Engine::new(&node, &graph, &trace).expect("robustness engine");
     let grid = &node.grid;
     let total_periods = grid.total_periods();
 
     // Train the DBN once from the optimal planner's samples (the same
-    // weights the golden suite pins).
+    // weights the golden suite pins); one shared network means the
+    // batch engine fuses the DBN cells' inference into one forward per
+    // period.
     let optimal =
         heliosched::OptimalPlanner::compute(&node, &graph, &trace, &golden_dp(), GOLDEN_DELTA)
             .expect("optimal for DBN training");
-    let dbn = golden_dbn(&optimal);
+    let dbn = Arc::new(golden_dbn(&optimal));
 
     println!(
         "# robustness sweep (threads = {}, {} backends x {} blackouts x {} agings)",
@@ -123,11 +126,19 @@ fn main() {
         agings.len()
     );
 
-    // Clean baselines: one un-faulted run per backend.
-    let clean: Vec<SimReport> = par_sweep(&BACKENDS, |backend| {
-        let mut planner = make_planner(backend, &dbn);
-        engine.run(&mut planner).expect("clean run")
-    });
+    // Clean baselines: one un-faulted run per backend, as one batch.
+    let clean: Vec<SimReport> = {
+        let mut engine = BatchEngine::new(&node, &graph).expect("robustness engine");
+        for backend in &BACKENDS {
+            engine
+                .push(BatchScenario::new(
+                    &trace,
+                    Box::new(make_planner(backend, &dbn)),
+                ))
+                .expect("clean scenario");
+        }
+        engine.run().expect("clean runs")
+    };
 
     let mut cells: Vec<(usize, usize, usize)> = Vec::new();
     for (b, _) in BACKENDS.iter().enumerate() {
@@ -138,48 +149,71 @@ fn main() {
         }
     }
 
-    let sweep: Vec<RobustnessPoint> = par_sweep(&cells, |&(b, k, a)| {
-        let backend = BACKENDS[b];
-        let blackout = blackouts[k];
-        let aging_label = agings[a];
-        let plan = FaultPlan {
-            solar: if blackout > 0 {
-                vec![SolarFault {
-                    window: PeriodWindow::new(BLACKOUT_START, blackout),
-                    factor: 0.0,
-                }]
-            } else {
-                Vec::new()
-            },
-            aging: aging_fault(aging_label),
-            dbn: vec![DbnFault {
-                window: DBN_OUTAGE,
-                mode: DbnFaultMode::Unavailable,
-            }],
-            ..FaultPlan::default()
-        };
-        let harness = FaultHarness::new(&plan, total_periods, grid.periods_per_day());
-        let mut planner = make_planner(backend, &dbn);
-        let report = engine
-            .run_with_faults(&mut planner, Some(&harness))
-            .expect("faulted run");
-        let clean_report = &clean[b];
-        let dmr = report.overall_dmr();
-        let clean_dmr = clean_report.overall_dmr();
-        RobustnessPoint {
-            backend: backend.to_string(),
-            blackout_periods: blackout,
-            aging: aging_label.to_string(),
-            dmr,
-            clean_dmr,
-            dmr_degradation: dmr - clean_dmr,
-            fallbacks: report.degraded.planner_fallbacks,
-            faulted_slots: report.degraded.faulted_slots,
-            degraded_total: report.degraded.total(),
-            fault_events: report.faults.len(),
-            recovery_periods: recovery_periods(&report, clean_report, blackout),
+    // Every cell shares the node, graph and trace and differs only in
+    // planner and fault plan — exactly the shape `BatchEngine` batches:
+    // one lockstep run advances the whole sweep, scenarios inside a DBN
+    // outage window fall back to per-scenario planning for exactly
+    // those periods.
+    let harnesses: Vec<FaultHarness> = cells
+        .iter()
+        .map(|&(_, k, a)| {
+            let blackout = blackouts[k];
+            let plan = FaultPlan {
+                solar: if blackout > 0 {
+                    vec![SolarFault {
+                        window: PeriodWindow::new(BLACKOUT_START, blackout),
+                        factor: 0.0,
+                    }]
+                } else {
+                    Vec::new()
+                },
+                aging: aging_fault(agings[a]),
+                dbn: vec![DbnFault {
+                    window: DBN_OUTAGE,
+                    mode: DbnFaultMode::Unavailable,
+                }],
+                ..FaultPlan::default()
+            };
+            FaultHarness::new(&plan, total_periods, grid.periods_per_day())
+        })
+        .collect();
+    let faulted: Vec<SimReport> = {
+        let mut engine = BatchEngine::new(&node, &graph).expect("robustness engine");
+        for (&(b, _, _), harness) in cells.iter().zip(&harnesses) {
+            engine
+                .push(
+                    BatchScenario::new(&trace, Box::new(make_planner(BACKENDS[b], &dbn)))
+                        .with_harness(harness),
+                )
+                .expect("faulted scenario");
         }
-    });
+        engine.run().expect("faulted runs")
+    };
+
+    let sweep: Vec<RobustnessPoint> = cells
+        .iter()
+        .zip(&faulted)
+        .map(|(&(b, k, a), report)| {
+            let backend = BACKENDS[b];
+            let blackout = blackouts[k];
+            let clean_report = &clean[b];
+            let dmr = report.overall_dmr();
+            let clean_dmr = clean_report.overall_dmr();
+            RobustnessPoint {
+                backend: backend.to_string(),
+                blackout_periods: blackout,
+                aging: agings[a].to_string(),
+                dmr,
+                clean_dmr,
+                dmr_degradation: dmr - clean_dmr,
+                fallbacks: report.degraded.planner_fallbacks,
+                faulted_slots: report.degraded.faulted_slots,
+                degraded_total: report.degraded.total(),
+                fault_events: report.faults.len(),
+                recovery_periods: recovery_periods(report, clean_report, blackout),
+            }
+        })
+        .collect();
 
     println!("backend  blackout  aging      DMR     clean   +degr   fallbacks  recovery");
     for p in &sweep {
@@ -220,9 +254,6 @@ fn main() {
         dbn_outage: [DBN_OUTAGE.start, DBN_OUTAGE.periods],
         sweep,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write(REPORT_PATH, format!("{json}\n")).expect("write json");
     println!();
-    println!("wrote {REPORT_PATH}");
+    write_json(REPORT_PATH, &report);
 }

@@ -158,9 +158,6 @@ fn main() {
         dp_speedup_vs_serial: dp_speedup,
         dp_matches_serial,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/BENCH_offline.json", format!("{json}\n")).expect("write json");
     println!();
-    println!("wrote results/BENCH_offline.json");
+    helio_bench::write_json("results/BENCH_offline.json", &report);
 }

@@ -161,14 +161,11 @@ fn main() {
         baseline_slots_per_sec,
         speedup_vs_baseline,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let path = if baseline_mode {
         BASELINE_PATH
     } else {
         REPORT_PATH
     };
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write(path, format!("{json}\n")).expect("write json");
     println!();
-    println!("wrote {path}");
+    helio_bench::write_json(path, &report);
 }

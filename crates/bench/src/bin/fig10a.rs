@@ -8,10 +8,10 @@
 //! inter-day migration is rare so the damage is bounded), while
 //! complexity grows with the horizon.
 
-use helio_bench::{fast_mode, pct, sized_node, weather_trace};
+use helio_bench::{fast_mode, node_for_eval, pct, run_planner_batch, sized_node, weather_trace};
 use helio_solar::NoisyOracle;
 use helio_tasks::benchmarks;
-use heliosched::{DpConfig, Engine, NodeConfig, ProposedPlanner, SwitchRule};
+use heliosched::{DpConfig, PeriodPlanner, ProposedPlanner, SwitchRule};
 
 fn main() {
     let (periods, days) = if fast_mode() { (48, 5) } else { (144, 30) };
@@ -22,11 +22,7 @@ fn main() {
     let sizing_trace = weather_trace(6, periods, 3000);
     let node_sized = sized_node(&graph, &sizing_trace, 4).expect("sizing succeeds");
     let eval = weather_trace(days, periods, 3024);
-    let node = NodeConfig {
-        grid: *eval.grid(),
-        ..node_sized
-    };
-    let engine = Engine::new(&node, &graph, &eval).expect("engine");
+    let node = node_for_eval(&node_sized, &eval);
 
     let hours = if fast_mode() {
         vec![3usize, 12, 48]
@@ -38,21 +34,28 @@ fn main() {
 
     println!("# Fig. 10(a) — DMR and complexity vs prediction length (random1, {days} days)");
     println!("{:>10} {:>9} {:>14}", "horizon", "DMR", "complexity");
+    // One horizon per scenario, all sharing the node/graph/trace: run
+    // the whole sweep as a single lockstep batch.
+    let planners: Vec<Box<dyn PeriodPlanner>> = hours
+        .iter()
+        .map(|&h| {
+            let horizon_periods = (h * per_hour).max(1);
+            // Forecast error grows 12 %/day of distance on top of a 2 %
+            // floor — the controllable stand-in for "long predictions
+            // are inaccurate".
+            let oracle = NoisyOracle::new(777, 0.02, 0.12);
+            Box::new(ProposedPlanner::mpc(
+                Box::new(oracle),
+                horizon_periods,
+                dp,
+                delta,
+                SwitchRule::default(),
+            )) as Box<dyn PeriodPlanner>
+        })
+        .collect();
+    let reports = run_planner_batch(&node, &graph, &eval, planners).expect("mpc sweep");
     let mut series: Vec<(usize, f64, u64)> = Vec::new();
-    for &h in &hours {
-        let horizon_periods = (h * per_hour).max(1);
-        // Forecast error grows 12 %/day of distance on top of a 2 %
-        // floor — the controllable stand-in for "long predictions are
-        // inaccurate".
-        let oracle = NoisyOracle::new(777, 0.02, 0.12);
-        let mut planner = ProposedPlanner::mpc(
-            Box::new(oracle),
-            horizon_periods,
-            dp,
-            delta,
-            SwitchRule::default(),
-        );
-        let report = engine.run(&mut planner).expect("mpc run");
+    for (&h, report) in hours.iter().zip(&reports) {
         println!(
             "{:>9}h {:>9} {:>14}",
             h,

@@ -10,15 +10,18 @@
 //! advantage grows as solar energy decreases (Day 1 → Day 4).
 
 use helio_bench::{
-    baseline_capacitor, fast_mode, four_day_trace, par_sweep, pct, run_baselines, sized_node,
-    weather_trace,
+    baseline_capacitor, fast_mode, four_day_trace, node_for_eval, offline_config, par_sweep, pct,
+    run_planner_batch, sized_node, weather_trace,
 };
 use helio_tasks::{benchmarks, TaskGraph};
-use heliosched::{train_proposed, DpConfig, Engine, NodeConfig, OfflineConfig, OptimalPlanner};
+use heliosched::{train_proposed, DpConfig, FixedPlanner, OptimalPlanner, Pattern};
 
-/// The full pipeline for one benchmark: size, train, evaluate the four
-/// schedulers, return one `(inter, intra, proposed, optimal)` DMR tuple
-/// per day. Each benchmark is independent, so the six run concurrently.
+/// The full pipeline for one benchmark: size, train, then evaluate all
+/// four schedulers as one lockstep batch (they share the node, graph
+/// and trace, so the DBN planner's inference and the shared plan
+/// context are amortised). Returns one `(inter, intra, proposed,
+/// optimal)` DMR tuple per day. Each benchmark is independent, so the
+/// six run concurrently.
 fn run_benchmark(
     graph: &TaskGraph,
     periods: usize,
@@ -29,35 +32,34 @@ fn run_benchmark(
     let training = weather_trace(train_days, periods, 1000);
     let node_train = sized_node(graph, &training, 4).expect("sizing succeeds");
 
-    let mut offline = OfflineConfig {
-        dp,
-        delta,
-        ..OfflineConfig::default()
-    };
-    if fast_mode() {
-        offline.dbn.bp_epochs = 150;
-    }
-    let mut proposed =
+    let offline = offline_config(dp, delta);
+    let proposed =
         train_proposed(&node_train, graph, &training, &offline).expect("training succeeds");
 
     let eval = four_day_trace(periods, 7);
-    let node = NodeConfig {
-        grid: *eval.grid(),
-        ..node_train
-    };
-    let engine = Engine::new(&node, graph, &eval).expect("engine");
-    let (inter, intra) = run_baselines(&engine, baseline_capacitor(&node)).expect("baselines");
-    let proposed_report = engine.run(&mut proposed).expect("proposed run");
-    let mut optimal = OptimalPlanner::compute(&node, graph, &eval, &dp, delta).expect("optimal");
-    let optimal_report = engine.run(&mut optimal).expect("optimal run");
+    let node = node_for_eval(&node_train, &eval);
+    let cap = baseline_capacitor(&node);
+    let optimal = OptimalPlanner::compute(&node, graph, &eval, &dp, delta).expect("optimal");
+    let reports = run_planner_batch(
+        &node,
+        graph,
+        &eval,
+        vec![
+            Box::new(FixedPlanner::new(Pattern::Inter, cap)),
+            Box::new(FixedPlanner::new(Pattern::Intra, cap)),
+            Box::new(proposed),
+            Box::new(optimal),
+        ],
+    )
+    .expect("batched evaluation");
 
     (0..4)
         .map(|day| {
             (
-                inter.day_dmr(day),
-                intra.day_dmr(day),
-                proposed_report.day_dmr(day),
-                optimal_report.day_dmr(day),
+                reports[0].day_dmr(day),
+                reports[1].day_dmr(day),
+                reports[2].day_dmr(day),
+                reports[3].day_dmr(day),
             )
         })
         .collect()

@@ -7,11 +7,12 @@
 //! baselines (average differences 5.53 % vs \[3\] and 10.6 % vs \[9\]) —
 //! maximising energy utilisation is not the same as minimising DMR.
 
-use helio_bench::{baseline_capacitor, fast_mode, pct, run_baselines, sized_node, weather_trace};
-use helio_tasks::benchmarks;
-use heliosched::{
-    train_proposed, DpConfig, Engine, NodeConfig, OfflineConfig, OptimalPlanner, SimReport,
+use helio_bench::{
+    baseline_capacitor, fast_mode, node_for_eval, offline_config, pct, run_planner_batch,
+    sized_node, weather_trace,
 };
+use helio_tasks::benchmarks;
+use heliosched::{train_proposed, DpConfig, FixedPlanner, OptimalPlanner, Pattern, SimReport};
 
 fn main() {
     let (periods, days, train_days) = if fast_mode() {
@@ -25,27 +26,32 @@ fn main() {
 
     let training = weather_trace(train_days, periods, 2000);
     let node_train = sized_node(&graph, &training, 4).expect("sizing succeeds");
-    let mut offline = OfflineConfig {
-        dp,
-        delta,
-        ..OfflineConfig::default()
-    };
-    if fast_mode() {
-        offline.dbn.bp_epochs = 150;
-    }
-    let mut proposed =
+    let offline = offline_config(dp, delta);
+    let proposed =
         train_proposed(&node_train, &graph, &training, &offline).expect("training succeeds");
 
     let eval = weather_trace(days, periods, 2024);
-    let node = NodeConfig {
-        grid: *eval.grid(),
-        ..node_train
-    };
-    let engine = Engine::new(&node, &graph, &eval).expect("engine");
-    let (inter, intra) = run_baselines(&engine, baseline_capacitor(&node)).expect("baselines");
-    let proposed_report = engine.run(&mut proposed).expect("proposed");
-    let mut optimal = OptimalPlanner::compute(&node, &graph, &eval, &dp, delta).expect("optimal");
-    let optimal_report = engine.run(&mut optimal).expect("optimal run");
+    let node = node_for_eval(&node_train, &eval);
+    let cap = baseline_capacitor(&node);
+    let optimal = OptimalPlanner::compute(&node, &graph, &eval, &dp, delta).expect("optimal");
+    // All four schedulers share the node, graph and trace: evaluate
+    // them as one lockstep batch.
+    let mut reports = run_planner_batch(
+        &node,
+        &graph,
+        &eval,
+        vec![
+            Box::new(FixedPlanner::new(Pattern::Inter, cap)),
+            Box::new(FixedPlanner::new(Pattern::Intra, cap)),
+            Box::new(proposed),
+            Box::new(optimal),
+        ],
+    )
+    .expect("batched evaluation");
+    let optimal_report = reports.pop().expect("four runs");
+    let proposed_report = reports.pop().expect("four runs");
+    let intra = reports.pop().expect("four runs");
+    let inter = reports.pop().expect("four runs");
 
     println!("# Fig. 9(a) — per-day DMR over {days} days (WAM)");
     println!(

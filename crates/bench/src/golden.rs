@@ -15,8 +15,8 @@ use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
 use helio_tasks::benchmarks;
 use heliosched::{
-    DpConfig, Engine, FixedPlanner, NodeConfig, OptimalPlanner, Pattern, ProposedPlanner,
-    SimReport, SwitchRule,
+    BatchEngine, BatchScenario, DpConfig, Engine, FixedPlanner, NodeConfig, OptimalPlanner,
+    Pattern, ProposedPlanner, SimReport, SwitchRule,
 };
 
 /// Seed of the golden trace (matches the online planner unit tests).
@@ -132,6 +132,76 @@ pub fn golden_reports_with(
             .run_with_faults(&mut dbn_planner, harness)
             .expect("golden dbn run"),
     ));
+    out
+}
+
+/// The same 21 cases as [`golden_reports`], in the same order, built
+/// through [`BatchEngine`] instead of per-scenario [`Engine`] runs:
+/// one lockstep batch per benchmark for the three fixed patterns, one
+/// batch for the three planner-driven ECG cases. The batched engine's
+/// byte-identity contract means these reports must render to exactly
+/// the committed golden files (CI-gated by `tests/golden_online.rs`).
+pub fn golden_batch_reports() -> Vec<(String, SimReport)> {
+    let node = golden_node();
+    let trace = golden_trace();
+    let patterns = [
+        (Pattern::Asap, 0usize),
+        (Pattern::Inter, 1),
+        (Pattern::Intra, 1),
+    ];
+    let mut out = Vec::new();
+
+    for graph in benchmarks::all_six() {
+        let mut engine = BatchEngine::new(&node, &graph).expect("golden batch engine");
+        for (pattern, cap) in patterns {
+            engine
+                .push(BatchScenario::new(
+                    &trace,
+                    Box::new(FixedPlanner::new(pattern, cap)),
+                ))
+                .expect("golden batch scenario");
+        }
+        let reports = engine.run().expect("golden batch run");
+        for ((pattern, _), report) in patterns.iter().zip(reports) {
+            out.push((format!("{}_{}", graph.name(), pattern), report));
+        }
+    }
+
+    let graph = benchmarks::ecg();
+    let dp = golden_dp();
+    let optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &dp, GOLDEN_DELTA).expect("golden optimal");
+    let dbn = golden_dbn(&optimal);
+    let mut engine = BatchEngine::new(&node, &graph).expect("golden batch engine");
+    engine
+        .push(BatchScenario::new(&trace, Box::new(optimal)))
+        .expect("golden batch scenario");
+    engine
+        .push(BatchScenario::new(
+            &trace,
+            Box::new(ProposedPlanner::mpc(
+                Box::new(NoisyOracle::perfect()),
+                24,
+                dp,
+                GOLDEN_DELTA,
+                SwitchRule::default(),
+            )),
+        ))
+        .expect("golden batch scenario");
+    engine
+        .push(BatchScenario::new(
+            &trace,
+            Box::new(ProposedPlanner::from_dbn(
+                dbn,
+                GOLDEN_DELTA,
+                SwitchRule::default(),
+            )),
+        ))
+        .expect("golden batch scenario");
+    let mut reports = engine.run().expect("golden batch run").into_iter();
+    for name in ["ecg_optimal", "ecg_mpc", "ecg_dbn"] {
+        out.push((name.into(), reports.next().expect("three reports")));
+    }
     out
 }
 

@@ -28,8 +28,8 @@ use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, SolarPanel, SolarTrace, TraceBuilder, WeatherProcess};
 use helio_tasks::TaskGraph;
 use heliosched::{
-    size_capacitors, CoreError, Engine, FixedPlanner, NodeConfig, OptimalPlanner, Pattern,
-    SimReport,
+    size_capacitors, BatchEngine, BatchScenario, CoreError, DpConfig, Engine, FixedPlanner,
+    NodeConfig, OfflineConfig, OptimalPlanner, Pattern, PeriodPlanner, SimReport,
 };
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +94,30 @@ pub fn baseline_capacitor(node: &NodeConfig) -> usize {
     node.capacitors.len() / 2
 }
 
+/// The offline-training configuration every experiment binary uses:
+/// the given DP resolution and `δ`, with DBN training shrunk under
+/// `HELIO_FAST=1`.
+pub fn offline_config(dp: DpConfig, delta: f64) -> OfflineConfig {
+    let mut offline = OfflineConfig {
+        dp,
+        delta,
+        ..OfflineConfig::default()
+    };
+    if fast_mode() {
+        offline.dbn.bp_epochs = 150;
+    }
+    offline
+}
+
+/// Rebinds a trained/sized node onto an evaluation trace's grid — the
+/// train-on-one-trace, evaluate-on-another step of every figure.
+pub fn node_for_eval(node_train: &NodeConfig, eval: &SolarTrace) -> NodeConfig {
+    NodeConfig {
+        grid: *eval.grid(),
+        ..node_train.clone()
+    }
+}
+
 /// DMR comparison row: the four schedulers of Fig. 8.
 #[derive(Debug, Clone, Copy)]
 pub struct DmrRow {
@@ -107,25 +131,52 @@ pub struct DmrRow {
     pub optimal: f64,
 }
 
-/// Runs the two baselines on an engine (the proposed/optimal runs are
-/// experiment-specific and supplied by the caller). The two runs are
-/// independent simulations, so they execute on separate workers; the
-/// returned `(inter, intra)` order is fixed regardless of which
-/// finishes first.
+/// Runs several planners against one `(node, graph, trace)` as a
+/// single lockstep [`BatchEngine`] batch — the sweep primitive the
+/// figure binaries build on. Reports come back in planner order and
+/// are byte-identical to per-planner [`Engine::run`] calls; DBN-backed
+/// planners sharing a network get their inference batched.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_planner_batch<'a>(
+    node: &'a NodeConfig,
+    graph: &'a TaskGraph,
+    trace: &'a SolarTrace,
+    planners: Vec<Box<dyn PeriodPlanner + 'a>>,
+) -> Result<Vec<SimReport>, CoreError> {
+    let mut engine = BatchEngine::new(node, graph)?;
+    for planner in planners {
+        engine.push(BatchScenario::new(trace, planner))?;
+    }
+    engine.run()
+}
+
+/// Runs the two baselines (the proposed/optimal runs are
+/// experiment-specific and supplied by the caller) as one batch; the
+/// returned order is `(inter, intra)`.
 ///
 /// # Errors
 ///
 /// Propagates engine failures.
 pub fn run_baselines(
-    engine: &Engine<'_>,
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    trace: &SolarTrace,
     baseline_cap: usize,
 ) -> Result<(SimReport, SimReport), CoreError> {
-    let patterns = [Pattern::Inter, Pattern::Intra];
-    let mut reports = helio_par::par_map_range(2, |i| {
-        engine.run(&mut FixedPlanner::new(patterns[i], baseline_cap))
-    });
-    let intra = reports.pop().expect("two runs")?;
-    let inter = reports.pop().expect("two runs")?;
+    let mut reports = run_planner_batch(
+        node,
+        graph,
+        trace,
+        vec![
+            Box::new(FixedPlanner::new(Pattern::Inter, baseline_cap)),
+            Box::new(FixedPlanner::new(Pattern::Intra, baseline_cap)),
+        ],
+    )?;
+    let intra = reports.pop().expect("two runs");
+    let inter = reports.pop().expect("two runs");
     Ok((inter, intra))
 }
 
@@ -142,6 +193,16 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Writes a machine-readable report under `results/` the way every
+/// bench binary does: pretty JSON, trailing newline, a `wrote <path>`
+/// line on stdout.
+pub fn write_json<T: Serialize>(path: &str, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("report serialises");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(path, format!("{json}\n")).expect("write json");
+    println!("wrote {path}");
 }
 
 /// One timed stage of the offline pipeline (see `bench_offline`).
@@ -221,6 +282,46 @@ pub struct BenchOnlineReport {
     pub baseline_slots_per_sec: Option<f64>,
     /// `slots_per_sec_overall / baseline`, when a baseline is present.
     pub speedup_vs_baseline: Option<f64>,
+}
+
+/// One batch size of the `bench_batch` throughput sweep (see
+/// `bench_batch`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSweepPoint {
+    /// Scenarios advanced in lockstep per batch.
+    pub batch: usize,
+    /// Scenario-periods simulated per mode across all repetitions.
+    pub periods: u64,
+    /// Wall-clock of the sequential mode (one `Engine::run` per
+    /// scenario), milliseconds.
+    pub sequential_wall_ms: f64,
+    /// Wall-clock of the batched mode (one `BatchEngine::run` over all
+    /// scenarios), milliseconds.
+    pub batched_wall_ms: f64,
+    /// Sequential throughput in scenario-periods per second.
+    pub sequential_periods_per_sec: f64,
+    /// Batched throughput in scenario-periods per second.
+    pub batched_periods_per_sec: f64,
+    /// `sequential_wall_ms / batched_wall_ms`.
+    pub speedup: f64,
+}
+
+/// Machine-readable result of the `bench_batch` binary
+/// (`results/BENCH_batch.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBatchReport {
+    /// Worker threads configured (both modes here are single-threaded;
+    /// this records the environment for comparability).
+    pub threads: usize,
+    /// Grid description (days × periods × slots).
+    pub grid: String,
+    /// Planner backend the sweep batches (`proposed-dbn`).
+    pub backend: String,
+    /// Whether every batched run was byte-identical to its sequential
+    /// counterpart (hard failure if ever false).
+    pub identical: bool,
+    /// One point per batch size, ascending.
+    pub points: Vec<BatchSweepPoint>,
 }
 
 /// One point of the `bench_faults` robustness sweep: a (planner

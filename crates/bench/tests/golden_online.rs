@@ -10,7 +10,9 @@
 
 use std::path::PathBuf;
 
-use helio_bench::golden::{golden_reports, golden_reports_with, render, GOLDEN_DIR};
+use helio_bench::golden::{
+    golden_batch_reports, golden_reports, golden_reports_with, render, GOLDEN_DIR,
+};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -41,6 +43,28 @@ fn reports_match_committed_goldens_bytewise() {
     }
     // 6 benchmarks × 3 patterns + optimal + mpc + dbn on ECG.
     assert_eq!(checked, 21, "golden suite shrank unexpectedly");
+}
+
+/// The batching gate: every golden case run through `BatchEngine` —
+/// scenarios advancing in lockstep, DBN inference batched across the
+/// batch — must reproduce the committed bytes exactly. This is the
+/// batched engine's correctness contract over all 21 golden seeds.
+#[test]
+fn batch_engine_reproduces_goldens_bytewise() {
+    let dir = golden_dir();
+    let reports = golden_batch_reports();
+    assert_eq!(reports.len(), 21);
+    for (name, report) in &reports {
+        let path = dir.join(format!("{name}.json"));
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            render(report),
+            committed,
+            "`{name}` diverged when run through BatchEngine — the batched \
+             path must be byte-identical to the sequential engine"
+        );
+    }
 }
 
 /// The robustness gate: an *empty* fault harness must be invisible —

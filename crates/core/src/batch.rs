@@ -1,0 +1,575 @@
+//! Lockstep batched simulation of many independent scenarios.
+//!
+//! Every sweep in the experiment suite runs B scenarios that share one
+//! node configuration and task set but differ in trace, planner, seed
+//! or fault plan. Running them one [`Engine`](crate::engine::Engine)
+//! at a time wastes the structure twice: per-scenario precomputation
+//! (slot costs, topological order) is rebuilt B times, and the DBN
+//! backend pays B separate matrix–vector forwards per period when one
+//! `B × in` matrix product would do.
+//!
+//! [`BatchEngine`] advances B scenarios period-by-period in lockstep.
+//! Per-scenario mutable state lives in a structure-of-arrays `Vec` of
+//! scenario states; immutable cross-scenario precomputation is built
+//! once behind an [`Arc`]ed [`PlanContext`]. At each period boundary
+//! the engine gathers the B DBN feature vectors into one matrix
+//! (grouping scenarios by `Arc` pointer identity of their shared
+//! network), runs a single batched forward per group, and hands each
+//! scenario its output row. Scenarios whose planner declines the batch
+//! slot — MPC backends, fixed baselines, demoted
+//! [`ResilientPlanner`](crate::resilient::ResilientPlanner)s, periods
+//! with an injected `Unavailable` fault — fall back to a plain
+//! [`PeriodPlanner::plan`] call for that period.
+//!
+//! Correctness is absolute: because the batched forward is bitwise
+//! identical to per-sample inference and every other step reuses the
+//! sequential engine's own period step, a batched run is byte-identical
+//! to B sequential [`Engine::run`](crate::engine::Engine::run) calls.
+
+use std::sync::Arc;
+
+use helio_ann::{BatchPredictScratch, Dbn, Matrix};
+use helio_common::units::{Joules, Seconds};
+use helio_faults::FaultHarness;
+use helio_solar::{SolarPredictor, SolarTrace, WcmaPredictor};
+use helio_tasks::{TaskGraph, TaskId};
+
+use crate::config::NodeConfig;
+use crate::engine::{ScenarioEnv, ScenarioState};
+use crate::error::CoreError;
+use crate::metrics::SimReport;
+use crate::planner::{PeriodPlanner, PlanDecision};
+
+/// Immutable precomputation shared by every scenario in a batch (and,
+/// per run, by the sequential engine): quantities that depend only on
+/// the task set and grid, never on scenario state.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    /// Energy one slot of each task costs (`power × slot_duration`),
+    /// indexed by task.
+    pub slot_costs: Vec<Joules>,
+    /// A topological order of the task graph (the admission-closure
+    /// order the DBN planner walks every period).
+    pub topo: Vec<TaskId>,
+}
+
+impl PlanContext {
+    /// Precomputes the context for `graph` on `slot_duration` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tasks`] when the graph is cyclic.
+    pub fn new(graph: &TaskGraph, slot_duration: Seconds) -> Result<Self, CoreError> {
+        let topo = graph
+            .topological_order()
+            .map_err(|e| CoreError::Tasks(e.to_string()))?;
+        let slot_costs = graph
+            .tasks()
+            .iter()
+            .map(|t| t.power * slot_duration)
+            .collect();
+        Ok(Self { slot_costs, topo })
+    }
+}
+
+/// One scenario of a batch: a trace and planner of its own, plus an
+/// optional per-scenario predictor and fault harness. The node and
+/// task set come from the [`BatchEngine`].
+pub struct BatchScenario<'a> {
+    trace: &'a SolarTrace,
+    planner: Box<dyn PeriodPlanner + 'a>,
+    predictor: Box<dyn SolarPredictor + Send + Sync + 'a>,
+    harness: Option<&'a FaultHarness>,
+}
+
+impl<'a> BatchScenario<'a> {
+    /// A scenario running `planner` against `trace` with the default
+    /// WCMA predictor and no fault harness.
+    pub fn new(trace: &'a SolarTrace, planner: Box<dyn PeriodPlanner + 'a>) -> Self {
+        Self {
+            trace,
+            planner,
+            predictor: Box::new(WcmaPredictor::default()),
+            harness: None,
+        }
+    }
+
+    /// Replaces the per-period energy predictor the fine-grained
+    /// schedulers see (mirrors `Engine::with_predictor`).
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: Box<dyn SolarPredictor + Send + Sync + 'a>) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Attaches a fault harness (mirrors `Engine::run_with_faults`).
+    #[must_use]
+    pub fn with_harness(mut self, harness: &'a FaultHarness) -> Self {
+        self.harness = Some(harness);
+        self
+    }
+}
+
+/// Advances B independent scenarios in lockstep, batching DBN
+/// inference across them. See the module docs for the design.
+pub struct BatchEngine<'a> {
+    node: &'a NodeConfig,
+    graph: &'a TaskGraph,
+    ctx: Arc<PlanContext>,
+    scenarios: Vec<BatchScenario<'a>>,
+}
+
+impl<'a> BatchEngine<'a> {
+    /// Creates an empty batch after validating the task set against the
+    /// grid, and precomputes the shared [`PlanContext`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tasks`] when the task set does not fit the
+    /// period.
+    pub fn new(node: &'a NodeConfig, graph: &'a TaskGraph) -> Result<Self, CoreError> {
+        graph
+            .validate(node.grid.period_duration())
+            .map_err(|e| CoreError::Tasks(e.to_string()))?;
+        let ctx = Arc::new(PlanContext::new(graph, node.grid.slot_duration())?);
+        Ok(Self {
+            node,
+            graph,
+            ctx,
+            scenarios: Vec::new(),
+        })
+    }
+
+    /// Adds a scenario to the batch, attaching the shared plan context
+    /// to its planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TraceMismatch`] when the scenario's trace
+    /// does not match the node's grid.
+    pub fn push(&mut self, mut scenario: BatchScenario<'a>) -> Result<(), CoreError> {
+        if scenario.trace.grid() != &self.node.grid {
+            return Err(CoreError::TraceMismatch(format!(
+                "scenario trace grid {:?} differs from node grid {:?}",
+                scenario.trace.grid(),
+                self.node.grid
+            )));
+        }
+        scenario.planner.attach_context(&self.ctx);
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Number of scenarios in the batch.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The shared plan context.
+    pub fn plan_context(&self) -> &Arc<PlanContext> {
+        &self.ctx
+    }
+
+    /// Runs every scenario over the whole horizon in lockstep,
+    /// returning one report per scenario in push order — byte-identical
+    /// to running each scenario through `Engine::run_with_faults`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] any scenario produces (the same
+    /// errors the sequential engine can return).
+    pub fn run(mut self) -> Result<Vec<SimReport>, CoreError> {
+        let grid = &self.node.grid;
+        let b = self.scenarios.len();
+        let mut states = Vec::with_capacity(b);
+        for _ in 0..b {
+            states.push(ScenarioState::new(self.node, self.graph)?);
+        }
+        // Mirror `run_with_faults`: an empty harness is no harness.
+        let harnesses: Vec<Option<&FaultHarness>> = self
+            .scenarios
+            .iter()
+            .map(|s| s.harness.filter(|h| !h.is_empty()))
+            .collect();
+
+        // Structure-of-arrays period scratch, reused across periods.
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); b];
+        let mut decisions: Vec<Option<PlanDecision>> = vec![None; b];
+        let mut pending: Vec<(usize, Arc<Dbn>)> = Vec::new();
+        let mut grouped: Vec<bool> = Vec::new();
+        let mut members: Vec<usize> = Vec::new();
+        let mut inputs = Matrix::default();
+        let mut outputs = Matrix::default();
+        let mut scratch = BatchPredictScratch::default();
+
+        for period in grid.periods() {
+            let flat = grid.period_index(period);
+
+            // Gather phase: per-period harness effects, then either a
+            // batch feature row or (for decliners) the full sequential
+            // plan() call.
+            pending.clear();
+            for (i, sc) in self.scenarios.iter_mut().enumerate() {
+                let env = ScenarioEnv {
+                    node: self.node,
+                    graph: self.graph,
+                    trace: sc.trace,
+                    predictor: sc.predictor.as_ref(),
+                    ctx: &self.ctx,
+                    harness: harnesses[i],
+                };
+                states[i].pre_plan(&env, flat, sc.planner.as_mut())?;
+                let obs = states[i].observation(&env, period);
+                rows[i].clear();
+                if sc.planner.batch_input(&obs, &mut rows[i]) {
+                    match sc.planner.batch_dbn() {
+                        Some(dbn) => pending.push((i, dbn)),
+                        None => {
+                            return Err(CoreError::Config(
+                                "planner accepted a batch slot without exposing a shared DBN"
+                                    .into(),
+                            ))
+                        }
+                    }
+                } else {
+                    decisions[i] = Some(sc.planner.plan(&obs));
+                }
+            }
+
+            // Inference phase: group pending scenarios by shared
+            // network (Arc pointer identity) and run one batched
+            // forward per group; each scenario then completes its
+            // decision from its output row.
+            grouped.clear();
+            grouped.resize(pending.len(), false);
+            for g0 in 0..pending.len() {
+                if grouped[g0] {
+                    continue;
+                }
+                let dbn = Arc::clone(&pending[g0].1);
+                members.clear();
+                for (k, flag) in grouped.iter_mut().enumerate().skip(g0) {
+                    if !*flag && Arc::ptr_eq(&dbn, &pending[k].1) {
+                        *flag = true;
+                        members.push(k);
+                    }
+                }
+                inputs.reset(members.len(), dbn.input_dim());
+                for (r, &k) in members.iter().enumerate() {
+                    inputs.row_mut(r).copy_from_slice(&rows[pending[k].0]);
+                }
+                dbn.predict_batch_into(&inputs, &mut scratch, &mut outputs)?;
+                for (r, &k) in members.iter().enumerate() {
+                    let i = pending[k].0;
+                    let sc = &mut self.scenarios[i];
+                    let env = ScenarioEnv {
+                        node: self.node,
+                        graph: self.graph,
+                        trace: sc.trace,
+                        predictor: sc.predictor.as_ref(),
+                        ctx: &self.ctx,
+                        harness: harnesses[i],
+                    };
+                    let obs = states[i].observation(&env, period);
+                    decisions[i] = Some(sc.planner.plan_with_output(&obs, outputs.row(r)));
+                }
+            }
+
+            // Advance phase: every scenario executes its period.
+            for (i, sc) in self.scenarios.iter_mut().enumerate() {
+                let env = ScenarioEnv {
+                    node: self.node,
+                    graph: self.graph,
+                    trace: sc.trace,
+                    predictor: sc.predictor.as_ref(),
+                    ctx: &self.ctx,
+                    harness: harnesses[i],
+                };
+                let decision = decisions[i].take().ok_or_else(|| {
+                    CoreError::Config(
+                        "scenario reached the advance phase without a decision".into(),
+                    )
+                })?;
+                states[i].run_period(&env, period, sc.planner.as_mut(), decision)?;
+            }
+        }
+
+        let mut reports = Vec::with_capacity(b);
+        for ((state, sc), harness) in states
+            .into_iter()
+            .zip(self.scenarios.iter_mut())
+            .zip(harnesses)
+        {
+            reports.push(state.into_report(sc.planner.as_mut(), harness));
+        }
+        Ok(reports)
+    }
+
+    /// Builds and runs batches of at most `chunk` scenarios over
+    /// `0..count`, fanning the batches out across `helio-par` workers;
+    /// results come back in scenario order. `make(i)` constructs the
+    /// `i`-th scenario (it is called from worker threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] any batch produces.
+    pub fn run_chunked<F>(
+        node: &'a NodeConfig,
+        graph: &'a TaskGraph,
+        count: usize,
+        chunk: usize,
+        make: F,
+    ) -> Result<Vec<SimReport>, CoreError>
+    where
+        F: Fn(usize) -> BatchScenario<'a> + Sync,
+    {
+        let batches = helio_par::par_map_ranges(count, chunk, |range| {
+            let mut engine = BatchEngine::new(node, graph)?;
+            for i in range {
+                engine.push(make(i))?;
+            }
+            engine.run()
+        });
+        let mut all = Vec::with_capacity(count);
+        for batch in batches {
+            all.extend(batch?);
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::engine::Engine;
+    use crate::online::{ProposedPlanner, SwitchRule};
+    use crate::planner::{FixedPlanner, Pattern};
+    use crate::resilient::ResilientPlanner;
+    use helio_common::time::TimeGrid;
+    use helio_common::units::{Farads, Seconds};
+    use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
+    use helio_tasks::benchmarks;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::new(2, 24, 10, Seconds::new(60.0)).unwrap()
+    }
+
+    fn node() -> NodeConfig {
+        NodeConfig::builder(grid())
+            .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+            .build()
+            .unwrap()
+    }
+
+    fn trace(seed: u64) -> SolarTrace {
+        TraceBuilder::new(grid(), SolarPanel::paper_panel())
+            .seed(seed)
+            .days(&[DayArchetype::Clear, DayArchetype::BrokenClouds])
+            .build()
+    }
+
+    fn tiny_dbn(graph: &TaskGraph) -> Arc<Dbn> {
+        let in_dim = 10 + 2 + 1;
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let mut v = vec![(i % 7) as f64 * 10.0; in_dim];
+                v[in_dim - 1] = 0.3;
+                v
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let mut v = vec![(i % 2) as f64, 1.0];
+                v.extend(vec![1.0; graph.len()]);
+                v
+            })
+            .collect();
+        Arc::new(Dbn::train(&inputs, &targets, &helio_ann::DbnConfig::small(2)).unwrap())
+    }
+
+    fn dbn_planner(dbn: &Arc<Dbn>) -> ProposedPlanner {
+        ProposedPlanner::from_shared_dbn(Arc::clone(dbn), 0.5, SwitchRule::default())
+    }
+
+    #[test]
+    fn batch_is_byte_identical_to_sequential_mixed_planners() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..5).map(|s| trace(11 + s)).collect();
+
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        engine
+            .push(BatchScenario::new(
+                &traces[0],
+                Box::new(FixedPlanner::new(Pattern::Asap, 0)),
+            ))
+            .unwrap();
+        engine
+            .push(BatchScenario::new(&traces[1], Box::new(dbn_planner(&dbn))))
+            .unwrap();
+        engine
+            .push(BatchScenario::new(
+                &traces[2],
+                Box::new(ResilientPlanner::new(Box::new(dbn_planner(&dbn)))),
+            ))
+            .unwrap();
+        engine
+            .push(BatchScenario::new(
+                &traces[3],
+                Box::new(ProposedPlanner::mpc(
+                    Box::new(NoisyOracle::perfect()),
+                    24,
+                    crate::longterm::DpConfig {
+                        voltage_buckets: 4,
+                        keep_per_level: 1,
+                    },
+                    0.5,
+                    SwitchRule::default(),
+                )),
+            ))
+            .unwrap();
+        engine
+            .push(BatchScenario::new(&traces[4], Box::new(dbn_planner(&dbn))))
+            .unwrap();
+        assert_eq!(engine.len(), 5);
+        let batched = engine.run().unwrap();
+
+        let sequential: Vec<SimReport> = {
+            let mut out = Vec::new();
+            let mut planners: Vec<Box<dyn PeriodPlanner>> = vec![
+                Box::new(FixedPlanner::new(Pattern::Asap, 0)),
+                Box::new(dbn_planner(&dbn)),
+                Box::new(ResilientPlanner::new(Box::new(dbn_planner(&dbn)))),
+                Box::new(ProposedPlanner::mpc(
+                    Box::new(NoisyOracle::perfect()),
+                    24,
+                    crate::longterm::DpConfig {
+                        voltage_buckets: 4,
+                        keep_per_level: 1,
+                    },
+                    0.5,
+                    SwitchRule::default(),
+                )),
+                Box::new(dbn_planner(&dbn)),
+            ];
+            for (t, p) in traces.iter().zip(planners.iter_mut()) {
+                out.push(Engine::new(&node, &g, t).unwrap().run(p.as_mut()).unwrap());
+            }
+            out
+        };
+
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(s).unwrap(),
+                "scenario {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_under_faults() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let t = trace(23);
+        let plan = helio_faults::FaultPlan {
+            seed: 42,
+            random_blackouts: Some(helio_faults::RandomBlackouts {
+                per_period_probability: 0.2,
+                min_periods: 1,
+                max_periods: 3,
+            }),
+            dbn: vec![helio_faults::DbnFault {
+                window: helio_faults::PeriodWindow::new(5, 6),
+                mode: helio_faults::DbnFaultMode::Nan,
+            }],
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 48, 24);
+        let empty = helio_faults::FaultHarness::empty();
+
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        engine
+            .push(BatchScenario::new(&t, Box::new(dbn_planner(&dbn))).with_harness(&harness))
+            .unwrap();
+        engine
+            .push(BatchScenario::new(&t, Box::new(dbn_planner(&dbn))).with_harness(&empty))
+            .unwrap();
+        engine
+            .push(
+                BatchScenario::new(
+                    &t,
+                    Box::new(ResilientPlanner::new(Box::new(dbn_planner(&dbn)))),
+                )
+                .with_harness(&harness),
+            )
+            .unwrap();
+        let batched = engine.run().unwrap();
+
+        let seq0 = Engine::new(&node, &g, &t)
+            .unwrap()
+            .run_with_faults(&mut dbn_planner(&dbn), Some(&harness))
+            .unwrap();
+        let seq1 = Engine::new(&node, &g, &t)
+            .unwrap()
+            .run_with_faults(&mut dbn_planner(&dbn), Some(&empty))
+            .unwrap();
+        let mut resilient = ResilientPlanner::new(Box::new(dbn_planner(&dbn)));
+        let seq2 = Engine::new(&node, &g, &t)
+            .unwrap()
+            .run_with_faults(&mut resilient, Some(&harness))
+            .unwrap();
+
+        for (b, s) in batched.iter().zip([&seq0, &seq1, &seq2]) {
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(s).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn run_chunked_matches_single_batch() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..6).map(|s| trace(100 + s)).collect();
+        let make = |i: usize| BatchScenario::new(&traces[i], Box::new(dbn_planner(&dbn)));
+        let chunked = BatchEngine::run_chunked(&node, &g, traces.len(), 2, make).unwrap();
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        for t in &traces {
+            engine
+                .push(BatchScenario::new(t, Box::new(dbn_planner(&dbn))))
+                .unwrap();
+        }
+        let whole = engine.run().unwrap();
+        assert_eq!(chunked, whole);
+    }
+
+    #[test]
+    fn push_rejects_mismatched_trace() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let other_grid = TimeGrid::new(1, 24, 10, Seconds::new(60.0)).unwrap();
+        let wrong = TraceBuilder::new(other_grid, SolarPanel::paper_panel())
+            .seed(1)
+            .days(&[DayArchetype::Clear])
+            .build();
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        assert!(engine.is_empty());
+        let err = engine.push(BatchScenario::new(
+            &wrong,
+            Box::new(FixedPlanner::new(Pattern::Asap, 0)),
+        ));
+        assert!(matches!(err, Err(CoreError::TraceMismatch(_))));
+    }
+}

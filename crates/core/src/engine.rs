@@ -9,6 +9,7 @@
 //! the energy spent is wasted (the mechanism that punishes greedy
 //! schedulers at night).
 
+use helio_common::time::PeriodRef;
 use helio_common::units::Joules;
 use helio_faults::{DegradedCounters, FaultEvent, FaultHarness, ForecastMode};
 use helio_nvp::NvpFleet;
@@ -21,10 +22,11 @@ use helio_storage::{CapacitorBank, StorageModelParams};
 use helio_tasks::TaskGraph;
 use helio_tasks::TaskId;
 
+use crate::batch::PlanContext;
 use crate::config::NodeConfig;
 use crate::error::CoreError;
 use crate::metrics::{PeriodRecord, SimReport};
-use crate::planner::{Pattern, PeriodPlanner, PlannerObservation};
+use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerObservation};
 
 /// The simulation engine. Construct once per (node, task set, trace)
 /// and [`Engine::run`] any number of planners against it.
@@ -117,219 +119,313 @@ impl<'a> Engine<'a> {
     ) -> Result<SimReport, CoreError> {
         let harness = harness.filter(|h| !h.is_empty());
         let grid = &self.node.grid;
-        let storage = &self.node.storage;
-        let pmu = &self.node.pmu;
-        let slot_duration = grid.slot_duration();
-
-        let mut bank = CapacitorBank::new(&self.node.capacitors, storage)?;
-        let mut fleet = NvpFleet::for_graph(self.graph);
-        let mut asap = AsapScheduler::new();
-        let mut inter = LsaScheduler::new();
-        let mut intra = IntraTaskScheduler::new();
-
-        let mut periods: Vec<PeriodRecord> = Vec::with_capacity(grid.total_periods());
-        let mut acc_misses = 0usize;
-        let mut acc_tasks = 0usize;
-        let mut degraded = DegradedCounters::default();
-        // Aging state: the cumulative capacitance factor already applied
-        // to the bank, and the leakage-scaled parameter set (built only
-        // when the multiplier departs from 1, so the clean path never
-        // clones).
-        let mut applied_cap_factor = 1.0f64;
-        let mut leak_scale = 1.0f64;
-        let mut scaled_leak: Option<StorageModelParams> = None;
-
-        // Slot-path scratch, built once: the execution state is reset in
-        // place each period and the per-task slot energies never change,
-        // so the loop below allocates nothing once warm.
-        let mut exec = ExecState::new(self.graph, slot_duration);
-        let slot_costs: Vec<Joules> = self
-            .graph
-            .tasks()
-            .iter()
-            .map(|t| t.power * slot_duration)
-            .collect();
-
+        // The plan context is rebuilt per run here (sequential runs
+        // keep their original cost profile — the planner is NOT
+        // attached to it, so it still derives the topological order
+        // itself); the batch engine builds it once per batch instead.
+        let ctx = PlanContext::new(self.graph, grid.slot_duration())?;
+        let env = ScenarioEnv {
+            node: self.node,
+            graph: self.graph,
+            trace: self.trace,
+            predictor: self.predictor.as_ref(),
+            ctx: &ctx,
+            harness,
+        };
+        let mut state = ScenarioState::new(self.node, self.graph)?;
         for period in grid.periods() {
             let flat = grid.period_index(period);
-            if let Some(h) = harness {
-                let cf = h.capacitance_factor(flat);
-                if (cf - applied_cap_factor).abs() > 1e-15 {
-                    bank.apply_aging(storage, cf / applied_cap_factor)?;
-                    applied_cap_factor = cf;
-                }
-                let lm = h.leak_multiplier(flat);
-                if (lm - leak_scale).abs() > 1e-15 {
-                    scaled_leak = Some(storage.clone().with_leakage_scale(lm));
-                    leak_scale = lm;
-                }
-                planner.inject_fault(h.dbn_mode(flat));
-            }
-            let leak_params = scaled_leak.as_ref().unwrap_or(storage);
-
-            let accumulated_dmr = if acc_tasks == 0 {
-                0.0
-            } else {
-                acc_misses as f64 / acc_tasks as f64
-            };
+            state.pre_plan(&env, flat, planner)?;
             let decision = {
-                let obs = PlannerObservation {
-                    grid,
-                    period,
-                    graph: self.graph,
-                    trace: self.trace,
-                    bank: &bank,
-                    accumulated_dmr,
-                    storage,
-                    pmu,
-                };
+                let obs = state.observation(&env, period);
                 planner.plan(&obs)
             };
-            if let Some(c) = decision.capacitor {
-                bank.set_active(c)?;
-            }
-            if let Some(ch) = harness.and_then(|h| h.stuck_channel(flat)) {
-                // A stuck mux pins the bank to one (in-range) channel
-                // regardless of what the planner asked for.
-                let ch = ch.min(bank.len() - 1);
-                if bank.active_index() != ch {
-                    degraded.pmu_overrides += 1;
-                    bank.set_active(ch)?;
-                }
-            }
+            state.run_period(&env, period, planner, decision)?;
+        }
+        Ok(state.into_report(planner, harness))
+    }
+}
 
-            let mut predicted = self.predictor.forecast_one(self.trace, period);
-            if let Some(mode) = harness.and_then(|h| h.forecast_mode(flat)) {
-                predicted = match mode {
-                    ForecastMode::Scale(s) => predicted * s,
-                    ForecastMode::Nan => Joules::new(f64::NAN),
-                    ForecastMode::Zero => Joules::ZERO,
-                };
-            }
-            if !predicted.value().is_finite() || predicted.value() < 0.0 {
-                predicted = Joules::ZERO;
-                degraded.sanitized_forecasts += 1;
-            }
-            let start = PeriodStart {
-                graph: self.graph,
-                slot_duration,
-                slots_per_period: grid.slots_per_period(),
-                predicted_energy: predicted,
-                stored_energy: bank.active_deliverable(storage),
-                allowed: decision.allowed,
-            };
-            let scheduler: &mut dyn SlotScheduler = match decision.pattern {
-                Pattern::Asap => &mut asap,
-                Pattern::Inter => &mut inter,
-                Pattern::Intra => &mut intra,
-            };
-            scheduler.begin_period(&start);
+/// The immutable surroundings of one simulated scenario: the node, the
+/// task set, that scenario's trace/predictor/fault harness, and the
+/// shared [`PlanContext`]. Everything a period step needs that is not
+/// per-scenario mutable state.
+pub(crate) struct ScenarioEnv<'e> {
+    pub(crate) node: &'e NodeConfig,
+    pub(crate) graph: &'e TaskGraph,
+    pub(crate) trace: &'e SolarTrace,
+    pub(crate) predictor: &'e (dyn SolarPredictor + 'e),
+    pub(crate) ctx: &'e PlanContext,
+    pub(crate) harness: Option<&'e FaultHarness>,
+}
 
-            exec.reset();
-            let mut record = PeriodRecord {
-                period,
-                misses: 0,
-                tasks: self.graph.len(),
-                harvested: Joules::ZERO,
-                served_direct: Joules::ZERO,
-                served_storage: Joules::ZERO,
-                stored: Joules::ZERO,
-                wasted: Joules::ZERO,
-                unmet: Joules::ZERO,
-                leaked: Joules::ZERO,
-                brownouts: 0,
-                pattern: decision.pattern,
-                capacitor: bank.active_index(),
-            };
+/// The mutable state of one simulated scenario, advanced period by
+/// period. [`Engine::run_with_faults`] drives a single one; the
+/// [`BatchEngine`](crate::batch::BatchEngine) keeps a `Vec` of these
+/// (structure-of-arrays over scenarios) and advances them in lockstep.
+pub(crate) struct ScenarioState {
+    bank: CapacitorBank,
+    fleet: NvpFleet,
+    asap: AsapScheduler,
+    inter: LsaScheduler,
+    intra: IntraTaskScheduler,
+    /// Slot-path scratch, built once: reset in place each period so the
+    /// slot loop allocates nothing once warm.
+    exec: ExecState,
+    periods: Vec<PeriodRecord>,
+    acc_misses: usize,
+    acc_tasks: usize,
+    degraded: DegradedCounters,
+    // Aging state: the cumulative capacitance factor already applied
+    // to the bank, and the leakage-scaled parameter set (built only
+    // when the multiplier departs from 1, so the clean path never
+    // clones).
+    applied_cap_factor: f64,
+    leak_scale: f64,
+    scaled_leak: Option<StorageModelParams>,
+}
 
-            for m in 0..grid.slots_per_period() {
-                record.leaked += bank.leak_all(leak_params, slot_duration);
-                let mut harvest = self.trace.slot_energy(helio_common::time::SlotRef::new(
-                    period.day,
-                    period.period,
-                    m,
-                ));
-                if let Some(h) = harness {
-                    let f = h.harvest_factor(flat);
-                    if f < 1.0 {
-                        harvest = harvest * f;
-                        degraded.faulted_slots += 1;
-                    }
-                }
-                let picked = {
-                    let ctx = SlotContext {
-                        graph: self.graph,
-                        exec: &exec,
-                        slot: m,
-                        slot_duration,
-                        slots_per_period: grid.slots_per_period(),
-                        harvest,
-                        direct_deliverable: harvest * pmu.params().direct_efficiency,
-                        storage_deliverable: bank.active_deliverable(storage),
-                    };
-                    scheduler.select(&ctx)
-                };
-                // The bitmask iterates in ascending task index — the
-                // canonical order the f64 demand sum below relies on.
-                fleet.begin_slot();
-                let mut assigned = picked;
-                for i in picked.iter() {
-                    let id = TaskId(i);
-                    if let Err(other) = fleet.assign(self.graph, id) {
-                        if harness.is_some() {
-                            // Under fault injection the run must survive:
-                            // drop the offending assignment, tell the
-                            // planner, and keep scheduling.
-                            assigned.remove(i);
-                            degraded.contract_skips += 1;
-                            planner.on_contract_violation();
-                            continue;
-                        }
-                        return Err(CoreError::SchedulerContract(format!(
-                            "scheduler {} violated NVP exclusivity: {id} vs {other}",
-                            scheduler.name()
-                        )));
-                    }
-                }
-                let demand: Joules = assigned.iter().map(|i| slot_costs[i]).sum();
-                let flow = pmu.settle_slot(harvest, demand, &mut bank, storage);
-                record.harvested += flow.harvested;
-                record.served_direct += flow.served_direct;
-                record.served_storage += flow.served_storage;
-                record.stored += flow.stored;
-                record.wasted += flow.wasted;
-                record.unmet += flow.unmet;
-                if flow.fully_served() {
-                    for i in assigned {
-                        exec.advance(TaskId(i));
-                    }
-                } else {
-                    record.brownouts += 1;
-                    fleet.power_failure();
-                }
+impl ScenarioState {
+    pub(crate) fn new(node: &NodeConfig, graph: &TaskGraph) -> Result<Self, CoreError> {
+        Ok(Self {
+            bank: CapacitorBank::new(&node.capacitors, &node.storage)?,
+            fleet: NvpFleet::for_graph(graph),
+            asap: AsapScheduler::new(),
+            inter: LsaScheduler::new(),
+            intra: IntraTaskScheduler::new(),
+            exec: ExecState::new(graph, node.grid.slot_duration()),
+            periods: Vec::with_capacity(node.grid.total_periods()),
+            acc_misses: 0,
+            acc_tasks: 0,
+            degraded: DegradedCounters::default(),
+            applied_cap_factor: 1.0,
+            leak_scale: 1.0,
+            scaled_leak: None,
+        })
+    }
+
+    fn accumulated_dmr(&self) -> f64 {
+        if self.acc_tasks == 0 {
+            0.0
+        } else {
+            self.acc_misses as f64 / self.acc_tasks as f64
+        }
+    }
+
+    /// The period-start harness effects that must land before the
+    /// planner observes the bank: capacitor aging, leakage growth and
+    /// DBN fault injection.
+    pub(crate) fn pre_plan(
+        &mut self,
+        env: &ScenarioEnv<'_>,
+        flat: usize,
+        planner: &mut dyn PeriodPlanner,
+    ) -> Result<(), CoreError> {
+        if let Some(h) = env.harness {
+            let cf = h.capacitance_factor(flat);
+            if (cf - self.applied_cap_factor).abs() > 1e-15 {
+                self.bank
+                    .apply_aging(&env.node.storage, cf / self.applied_cap_factor)?;
+                self.applied_cap_factor = cf;
             }
+            let lm = h.leak_multiplier(flat);
+            if (lm - self.leak_scale).abs() > 1e-15 {
+                self.scaled_leak = Some(env.node.storage.clone().with_leakage_scale(lm));
+                self.leak_scale = lm;
+            }
+            planner.inject_fault(h.dbn_mode(flat));
+        }
+        Ok(())
+    }
 
-            record.misses = exec.misses();
-            acc_misses += record.misses;
-            acc_tasks += record.tasks;
-            periods.push(record);
+    /// What the planner sees at the start of `period`.
+    pub(crate) fn observation<'o>(
+        &'o self,
+        env: &ScenarioEnv<'o>,
+        period: PeriodRef,
+    ) -> PlannerObservation<'o> {
+        PlannerObservation {
+            grid: &env.node.grid,
+            period,
+            graph: env.graph,
+            trace: env.trace,
+            bank: &self.bank,
+            accumulated_dmr: self.accumulated_dmr(),
+            storage: &env.node.storage,
+            pmu: &env.node.pmu,
+        }
+    }
+
+    /// Executes one period under `decision`: capacitor switch, stuck-mux
+    /// override, forecast (with faults and sanitisation), and the slot
+    /// loop through the PMU.
+    pub(crate) fn run_period(
+        &mut self,
+        env: &ScenarioEnv<'_>,
+        period: PeriodRef,
+        planner: &mut dyn PeriodPlanner,
+        decision: PlanDecision,
+    ) -> Result<(), CoreError> {
+        let grid = &env.node.grid;
+        let storage = &env.node.storage;
+        let pmu = &env.node.pmu;
+        let slot_duration = grid.slot_duration();
+        let flat = grid.period_index(period);
+        let leak_params = self.scaled_leak.as_ref().unwrap_or(storage);
+
+        if let Some(c) = decision.capacitor {
+            self.bank.set_active(c)?;
+        }
+        if let Some(ch) = env.harness.and_then(|h| h.stuck_channel(flat)) {
+            // A stuck mux pins the bank to one (in-range) channel
+            // regardless of what the planner asked for.
+            let ch = ch.min(self.bank.len() - 1);
+            if self.bank.active_index() != ch {
+                self.degraded.pmu_overrides += 1;
+                self.bank.set_active(ch)?;
+            }
         }
 
-        degraded.planner_fallbacks = planner.fallback_count();
+        let mut predicted = env.predictor.forecast_one(env.trace, period);
+        if let Some(mode) = env.harness.and_then(|h| h.forecast_mode(flat)) {
+            predicted = match mode {
+                ForecastMode::Scale(s) => predicted * s,
+                ForecastMode::Nan => Joules::new(f64::NAN),
+                ForecastMode::Zero => Joules::ZERO,
+            };
+        }
+        if !predicted.value().is_finite() || predicted.value() < 0.0 {
+            predicted = Joules::ZERO;
+            self.degraded.sanitized_forecasts += 1;
+        }
+        let start = PeriodStart {
+            graph: env.graph,
+            slot_duration,
+            slots_per_period: grid.slots_per_period(),
+            predicted_energy: predicted,
+            stored_energy: self.bank.active_deliverable(storage),
+            allowed: decision.allowed,
+        };
+        let scheduler: &mut dyn SlotScheduler = match decision.pattern {
+            Pattern::Asap => &mut self.asap,
+            Pattern::Inter => &mut self.inter,
+            Pattern::Intra => &mut self.intra,
+        };
+        scheduler.begin_period(&start);
+
+        self.exec.reset();
+        let mut record = PeriodRecord {
+            period,
+            misses: 0,
+            tasks: env.graph.len(),
+            harvested: Joules::ZERO,
+            served_direct: Joules::ZERO,
+            served_storage: Joules::ZERO,
+            stored: Joules::ZERO,
+            wasted: Joules::ZERO,
+            unmet: Joules::ZERO,
+            leaked: Joules::ZERO,
+            brownouts: 0,
+            pattern: decision.pattern,
+            capacitor: self.bank.active_index(),
+        };
+
+        for m in 0..grid.slots_per_period() {
+            record.leaked += self.bank.leak_all(leak_params, slot_duration);
+            let mut harvest = env.trace.slot_energy(helio_common::time::SlotRef::new(
+                period.day,
+                period.period,
+                m,
+            ));
+            if let Some(h) = env.harness {
+                let f = h.harvest_factor(flat);
+                if f < 1.0 {
+                    harvest = harvest * f;
+                    self.degraded.faulted_slots += 1;
+                }
+            }
+            let picked = {
+                let ctx = SlotContext {
+                    graph: env.graph,
+                    exec: &self.exec,
+                    slot: m,
+                    slot_duration,
+                    slots_per_period: grid.slots_per_period(),
+                    harvest,
+                    direct_deliverable: harvest * pmu.params().direct_efficiency,
+                    storage_deliverable: self.bank.active_deliverable(storage),
+                };
+                scheduler.select(&ctx)
+            };
+            // The bitmask iterates in ascending task index — the
+            // canonical order the f64 demand sum below relies on.
+            self.fleet.begin_slot();
+            let mut assigned = picked;
+            for i in picked.iter() {
+                let id = TaskId(i);
+                if let Err(other) = self.fleet.assign(env.graph, id) {
+                    if env.harness.is_some() {
+                        // Under fault injection the run must survive:
+                        // drop the offending assignment, tell the
+                        // planner, and keep scheduling.
+                        assigned.remove(i);
+                        self.degraded.contract_skips += 1;
+                        planner.on_contract_violation();
+                        continue;
+                    }
+                    return Err(CoreError::SchedulerContract(format!(
+                        "scheduler {} violated NVP exclusivity: {id} vs {other}",
+                        scheduler.name()
+                    )));
+                }
+            }
+            let demand: Joules = assigned.iter().map(|i| env.ctx.slot_costs[i]).sum();
+            let flow = pmu.settle_slot(harvest, demand, &mut self.bank, storage);
+            record.harvested += flow.harvested;
+            record.served_direct += flow.served_direct;
+            record.served_storage += flow.served_storage;
+            record.stored += flow.stored;
+            record.wasted += flow.wasted;
+            record.unmet += flow.unmet;
+            if flow.fully_served() {
+                for i in assigned {
+                    self.exec.advance(TaskId(i));
+                }
+            } else {
+                record.brownouts += 1;
+                self.fleet.power_failure();
+            }
+        }
+
+        record.misses = self.exec.misses();
+        self.acc_misses += record.misses;
+        self.acc_tasks += record.tasks;
+        self.periods.push(record);
+        Ok(())
+    }
+
+    /// Finalises the run into the report, draining the planner's fault
+    /// log and counters exactly as the sequential engine always has.
+    pub(crate) fn into_report(
+        mut self,
+        planner: &mut dyn PeriodPlanner,
+        harness: Option<&FaultHarness>,
+    ) -> SimReport {
+        self.degraded.planner_fallbacks = planner.fallback_count();
         let mut faults: Vec<FaultEvent> = harness.map(|h| h.events().to_vec()).unwrap_or_default();
         faults.extend(planner.degraded_events());
         faults.sort_by_key(|e| (e.period, e.periods));
 
-        Ok(SimReport {
+        SimReport {
             planner: planner.name().to_string(),
-            periods,
+            periods: self.periods,
             complexity: planner.complexity(),
-            nvp_backups: fleet.backup_count(),
-            nvp_restores: fleet.restore_count(),
-            nvp_overhead: fleet.overhead_energy(),
+            nvp_backups: self.fleet.backup_count(),
+            nvp_restores: self.fleet.restore_count(),
+            nvp_overhead: self.fleet.overhead_energy(),
             faults,
-            degraded,
-        })
+            degraded: self.degraded,
+        }
     }
 }
 

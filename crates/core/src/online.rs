@@ -14,14 +14,18 @@
 //! abandon a charged capacitor) and the `δ` pattern-selection
 //! threshold of Section 5.2.
 
+use std::sync::Arc;
+
 use helio_ann::{Dbn, PredictScratch};
 use helio_common::units::Joules;
 use helio_common::TaskSet;
 use helio_faults::DbnFaultMode;
 use helio_solar::SolarPredictor;
 use helio_storage::SuperCap;
+use helio_tasks::TaskId;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::PlanContext;
 use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
 use crate::optimal::OptimalPlanner;
 use crate::planner::{PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
@@ -63,7 +67,10 @@ impl SwitchRule {
 
 enum Backend {
     Dbn {
-        dbn: Box<Dbn>,
+        /// The trained network, behind an `Arc` so a batch of
+        /// scenarios can share one copy (and the batch engine can
+        /// group scenarios by pointer identity).
+        dbn: Arc<Dbn>,
         /// Inference scratch + output buffer, reused across periods.
         scratch: PredictScratch,
         out_buf: Vec<f64>,
@@ -77,6 +84,10 @@ enum Backend {
         /// energies and the per-slot spread the DP consumes.
         forecast_buf: Vec<Joules>,
         solar_buf: Vec<Vec<Joules>>,
+        /// The DMR-level subset table, built on first use; the graph
+        /// and `keep_per_level` never change within a run, so the
+        /// table is identical for every replan.
+        subsets: Option<Vec<TaskSet>>,
     },
 }
 
@@ -99,14 +110,25 @@ pub struct ProposedPlanner {
     injected: Option<DbnFaultMode>,
     /// Health of the most recent plan.
     health: PlannerHealth,
+    /// Shared cross-scenario precomputation, when driven by a
+    /// [`BatchEngine`](crate::batch::BatchEngine).
+    ctx: Option<Arc<PlanContext>>,
 }
 
 impl ProposedPlanner {
     /// Creates the DBN-backed planner (the paper's deployed design).
     pub fn from_dbn(dbn: Dbn, delta: f64, switch: SwitchRule) -> Self {
+        Self::from_shared_dbn(Arc::new(dbn), delta, switch)
+    }
+
+    /// [`ProposedPlanner::from_dbn`] on an already-shared network:
+    /// every scenario in a batch clones the `Arc` instead of the
+    /// weights, and the batch engine groups planners whose `Arc`s
+    /// point at the same network into one batched forward.
+    pub fn from_shared_dbn(dbn: Arc<Dbn>, delta: f64, switch: SwitchRule) -> Self {
         Self {
             backend: Backend::Dbn {
-                dbn: Box::new(dbn),
+                dbn,
                 scratch: PredictScratch::default(),
                 out_buf: Vec::new(),
             },
@@ -116,6 +138,7 @@ impl ProposedPlanner {
             input_buf: Vec::new(),
             injected: None,
             health: PlannerHealth::Healthy,
+            ctx: None,
         }
     }
 
@@ -136,6 +159,7 @@ impl ProposedPlanner {
                 cache: None,
                 forecast_buf: Vec::new(),
                 solar_buf: Vec::new(),
+                subsets: None,
             },
             switch,
             delta,
@@ -143,6 +167,7 @@ impl ProposedPlanner {
             input_buf: Vec::new(),
             injected: None,
             health: PlannerHealth::Healthy,
+            ctx: None,
         }
     }
 
@@ -154,7 +179,7 @@ impl ProposedPlanner {
     fn plan_mpc(&mut self, obs: &PlannerObservation<'_>) -> (usize, PeriodPlan) {
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        let (predictor, horizon_periods, dp, cache, forecast_buf, solar_buf) =
+        let (predictor, horizon_periods, dp, cache, forecast_buf, solar_buf, subset_cache) =
             match &mut self.backend {
                 Backend::Mpc {
                     predictor,
@@ -163,6 +188,7 @@ impl ProposedPlanner {
                     cache,
                     forecast_buf,
                     solar_buf,
+                    subsets,
                 } => (
                     predictor,
                     *horizon_periods,
@@ -170,6 +196,7 @@ impl ProposedPlanner {
                     cache,
                     forecast_buf,
                     solar_buf,
+                    subsets,
                 ),
                 Backend::Dbn { .. } => unreachable!("plan_mpc called on DBN backend"),
             };
@@ -192,7 +219,8 @@ impl ProposedPlanner {
                 row.resize(slots, e / slots as f64);
             }
             let solar = &*solar_buf;
-            let subsets = dmr_level_subsets(obs.graph, dp.keep_per_level);
+            let subsets = &*subset_cache
+                .get_or_insert_with(|| dmr_level_subsets(obs.graph, dp.keep_per_level));
 
             let mut best: Option<(usize, crate::longterm::DpResult)> = None;
             for h in 0..obs.bank.len() {
@@ -201,7 +229,7 @@ impl ProposedPlanner {
                 let v0 = obs.bank.state(h).expect("h in range").voltage();
                 let r = optimize_horizon(
                     obs.graph,
-                    &subsets,
+                    subsets,
                     solar,
                     grid.slot_duration(),
                     &cap,
@@ -242,25 +270,14 @@ impl ProposedPlanner {
         (c.capacitor, plan)
     }
 
-    fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
-        // An injected "inference engine down" fault skips the DBN
-        // entirely: the node degrades to the conservative
-        // run-everything decision on the current capacitor.
-        if self.injected == Some(DbnFaultMode::Unavailable) {
-            self.health = PlannerHealth::DbnUnavailable;
-            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
-        }
-        let (dbn, scratch, out_buf) = match &mut self.backend {
-            Backend::Dbn {
-                dbn,
-                scratch,
-                out_buf,
-            } => (dbn, scratch, out_buf),
-            Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
-        };
+    /// Builds the DBN feature vector (previous-period solar powers,
+    /// capacitor voltages, accumulated DMR — Fig. 6's inputs) into
+    /// `input`, cleared first. Shared by the sequential path and the
+    /// batch engine's gather phase, so the two are identical by
+    /// construction.
+    fn gather_dbn_input(obs: &PlannerObservation<'_>, input: &mut Vec<f64>) {
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        let input = &mut self.input_buf;
         input.clear();
         input.reserve(grid.slots_per_period() + obs.bank.len() + 1);
         if flat == 0 {
@@ -271,44 +288,64 @@ impl ProposedPlanner {
         }
         input.extend(obs.bank.voltages());
         input.push(obs.accumulated_dmr);
+    }
 
-        // One DBN inference ≈ one state expansion worth of work.
-        self.complexity += 1;
-        if dbn.predict_into(input, scratch, out_buf).is_err() {
-            // Shape mismatch (e.g. trained on another node) — fall
-            // back to "run everything".
-            self.health = PlannerHealth::DbnUnavailable;
-            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
-        }
+    /// Turns the network output already sitting in `out_buf` into the
+    /// period decision: Nan fault injection, decision-head parsing,
+    /// dependency closure and the abundant-solar override. Everything
+    /// in [`ProposedPlanner::plan_dbn`] after the inference call lives
+    /// here, so the batched path reuses it verbatim.
+    fn decide_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
         if self.injected == Some(DbnFaultMode::Nan) {
             // Bit-flipped weights / numerical blow-up: the inference
             // completes but every output is garbage.
-            out_buf.iter_mut().for_each(|o| *o = f64::NAN);
+            if let Backend::Dbn { out_buf, .. } = &mut self.backend {
+                out_buf.iter_mut().for_each(|o| *o = f64::NAN);
+            }
         }
-        let out = &*out_buf;
-        let head_cap = out.first().copied().unwrap_or(f64::NAN);
-        let head_alpha = out.get(1).copied().unwrap_or(f64::NAN);
-        if !head_cap.is_finite() || !head_alpha.is_finite() {
+        let heads = {
+            let out: &[f64] = match &self.backend {
+                Backend::Dbn { out_buf, .. } => out_buf,
+                Backend::Mpc { .. } => unreachable!("decide_dbn called on MPC backend"),
+            };
+            let head_cap = out.first().copied().unwrap_or(f64::NAN);
+            let head_alpha = out.get(1).copied().unwrap_or(f64::NAN);
+            if head_cap.is_finite() && head_alpha.is_finite() {
+                let mut allowed = TaskSet::EMPTY;
+                for i in 0..obs.graph.len() {
+                    if out.get(2 + i).is_some_and(|&b| b >= 0.5) {
+                        allowed.insert(i);
+                    }
+                }
+                Some((head_cap, head_alpha, allowed))
+            } else {
+                None
+            }
+        };
+        let Some((head_cap, head_alpha, mut allowed)) = heads else {
             // Non-finite decision head — never act on it.
             self.health = PlannerHealth::NonFinite;
             return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
-        }
+        };
         self.health = PlannerHealth::Healthy;
         let h_max = obs.bank.len().saturating_sub(1) as f64;
         let cap = head_cap.clamp(0.0, h_max).round() as usize;
         let alpha = head_alpha.clamp(0.0, 10.0);
-        let mut allowed = TaskSet::EMPTY;
-        for i in 0..obs.graph.len() {
-            if out.get(2 + i).is_some_and(|&b| b >= 0.5) {
-                allowed.insert(i);
-            }
-        }
         // Close under dependencies: an admitted task drags in its
-        // predecessors (the DBN's bits are independent sigmoids).
-        let topo = obs
-            .graph
-            .topological_order()
-            .expect("validated graphs are acyclic");
+        // predecessors (the DBN's bits are independent sigmoids). A
+        // batch-attached context supplies the topological order
+        // precomputed once per batch.
+        let computed;
+        let topo: &[TaskId] = match &self.ctx {
+            Some(ctx) => &ctx.topo,
+            None => {
+                computed = obs
+                    .graph
+                    .topological_order()
+                    .expect("validated graphs are acyclic");
+                &computed
+            }
+        };
         for &id in topo.iter().rev() {
             if allowed.contains(id.index()) {
                 allowed = allowed.union(obs.graph.predecessor_set(id));
@@ -319,6 +356,8 @@ impl ProposedPlanner {
         // alone can power the whole task set through the direct
         // channel, committing to everything is dominant — it costs no
         // stored energy and completes every deadline.
+        let grid = obs.grid;
+        let flat = grid.period_index(obs.period);
         if flat > 0 {
             let prev = grid.period_at(flat - 1);
             let last_harvest = obs.trace.period_energy(prev);
@@ -330,6 +369,37 @@ impl ProposedPlanner {
             }
         }
         (cap, alpha, allowed)
+    }
+
+    fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
+        // An injected "inference engine down" fault skips the DBN
+        // entirely: the node degrades to the conservative
+        // run-everything decision on the current capacitor.
+        if self.injected == Some(DbnFaultMode::Unavailable) {
+            self.health = PlannerHealth::DbnUnavailable;
+            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
+        }
+        Self::gather_dbn_input(obs, &mut self.input_buf);
+        // One DBN inference ≈ one state expansion worth of work.
+        self.complexity += 1;
+        let predict_failed = {
+            let (dbn, scratch, out_buf) = match &mut self.backend {
+                Backend::Dbn {
+                    dbn,
+                    scratch,
+                    out_buf,
+                } => (dbn, scratch, out_buf),
+                Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
+            };
+            dbn.predict_into(&self.input_buf, scratch, out_buf).is_err()
+        };
+        if predict_failed {
+            // Shape mismatch (e.g. trained on another node) — fall
+            // back to "run everything".
+            self.health = PlannerHealth::DbnUnavailable;
+            return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
+        }
+        self.decide_dbn(obs)
     }
 }
 
@@ -378,6 +448,53 @@ impl PeriodPlanner for ProposedPlanner {
 
     fn health(&self) -> PlannerHealth {
         self.health
+    }
+
+    fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
+        self.ctx = Some(Arc::clone(ctx));
+    }
+
+    fn batch_input(&mut self, obs: &PlannerObservation<'_>, input: &mut Vec<f64>) -> bool {
+        let Backend::Dbn { dbn, .. } = &self.backend else {
+            return false;
+        };
+        if self.injected == Some(DbnFaultMode::Unavailable) {
+            // The sequential path would skip inference entirely;
+            // decline the batch slot so plan() reproduces that.
+            return false;
+        }
+        let input_dim = dbn.input_dim();
+        Self::gather_dbn_input(obs, input);
+        if input.len() != input_dim {
+            // The sequential path pays the complexity increment and
+            // then fails predict; declining here routes this scenario
+            // through plan(), which does exactly that.
+            return false;
+        }
+        // One DBN inference ≈ one state expansion worth of work — the
+        // same accounting plan_dbn does before predicting.
+        self.complexity += 1;
+        true
+    }
+
+    fn batch_dbn(&self) -> Option<Arc<Dbn>> {
+        match &self.backend {
+            Backend::Dbn { dbn, .. } => Some(Arc::clone(dbn)),
+            Backend::Mpc { .. } => None,
+        }
+    }
+
+    fn plan_with_output(&mut self, obs: &PlannerObservation<'_>, out: &[f64]) -> PlanDecision {
+        if let Backend::Dbn { out_buf, .. } = &mut self.backend {
+            out_buf.clear();
+            out_buf.extend_from_slice(out);
+        }
+        let (suggested_cap, alpha, allowed) = self.decide_dbn(obs);
+        PlanDecision {
+            capacitor: self.switch.decide(obs, suggested_cap),
+            allowed: Some(allowed),
+            pattern: OptimalPlanner::pattern_for_alpha(alpha, self.delta),
+        }
     }
 }
 

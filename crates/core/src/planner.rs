@@ -9,6 +9,9 @@
 //! the optimal and proposed planners answer from the long-term DP and
 //! the DBN/MPC respectively.
 
+use std::sync::Arc;
+
+use helio_ann::Dbn;
 use helio_common::time::{PeriodRef, TimeGrid};
 use helio_common::TaskSet;
 use helio_faults::{DbnFaultMode, FaultEvent};
@@ -17,6 +20,8 @@ use helio_solar::SolarTrace;
 use helio_storage::{CapacitorBank, StorageModelParams};
 use helio_tasks::TaskGraph;
 use serde::{Deserialize, Serialize};
+
+use crate::batch::PlanContext;
 
 /// The fine-grained scheduling pattern for one period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,6 +150,41 @@ pub trait PeriodPlanner {
     /// health transitions), for the report's fault log.
     fn degraded_events(&self) -> Vec<FaultEvent> {
         Vec::new()
+    }
+
+    /// Attaches shared cross-scenario precomputation (slot costs,
+    /// topological order) built once per
+    /// [`BatchEngine`](crate::batch::BatchEngine). Default: ignored.
+    fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
+        let _ = ctx;
+    }
+
+    /// Batched-inference hook: when this period's decision needs one
+    /// DBN forward, write the raw feature vector into `input`, perform
+    /// the same internal bookkeeping as [`PeriodPlanner::plan`] up to
+    /// the inference call (complexity accounting included), and return
+    /// `true`. Returning `false` (the default, and the path taken by
+    /// degraded or non-DBN planners) tells the batch engine to fall
+    /// back to a plain [`PeriodPlanner::plan`] call for this scenario.
+    fn batch_input(&mut self, obs: &PlannerObservation<'_>, input: &mut Vec<f64>) -> bool {
+        let _ = (obs, input);
+        false
+    }
+
+    /// The shared network behind [`PeriodPlanner::batch_input`], used
+    /// by the batch engine to group scenarios that can share one
+    /// batched forward (grouping is by `Arc` pointer identity).
+    fn batch_dbn(&self) -> Option<Arc<Dbn>> {
+        None
+    }
+
+    /// Completes a period that [`PeriodPlanner::batch_input`] started,
+    /// given the network output row computed by the batched forward.
+    /// Must produce exactly the decision (and internal state changes)
+    /// that [`PeriodPlanner::plan`] would have.
+    fn plan_with_output(&mut self, obs: &PlannerObservation<'_>, out: &[f64]) -> PlanDecision {
+        let _ = out;
+        self.plan(obs)
     }
 }
 

@@ -13,8 +13,12 @@
 //! a planner that keeps emitting contradictory slot assignments cannot
 //! be trusted again within the run.
 
+use std::sync::Arc;
+
+use helio_ann::Dbn;
 use helio_faults::{DbnFaultMode, FaultEvent, FaultKind};
 
+use crate::batch::PlanContext;
 use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
 
 /// Contract violations tolerated before the inner planner is demoted
@@ -161,6 +165,32 @@ impl PeriodPlanner for ResilientPlanner<'_> {
 
     fn degraded_events(&self) -> Vec<FaultEvent> {
         self.events.clone()
+    }
+
+    fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
+        self.inner.attach_context(ctx);
+    }
+
+    fn batch_input(&mut self, obs: &PlannerObservation<'_>, input: &mut Vec<f64>) -> bool {
+        if self.demoted {
+            // plan() serves the fallback without consulting the inner
+            // planner; decline the batch slot so it still does.
+            return false;
+        }
+        self.inner.batch_input(obs, input)
+    }
+
+    fn batch_dbn(&self) -> Option<Arc<Dbn>> {
+        self.inner.batch_dbn()
+    }
+
+    fn plan_with_output(&mut self, obs: &PlannerObservation<'_>, out: &[f64]) -> PlanDecision {
+        let flat = obs.grid.period_index(obs.period);
+        let decision = self.inner.plan_with_output(obs, out);
+        match self.rejection_reason(obs, &decision) {
+            Some(reason) => self.engage_fallback(flat, reason),
+            None => decision,
+        }
     }
 }
 

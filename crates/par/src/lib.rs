@@ -65,6 +65,25 @@ where
     parts.into_iter().flatten().collect()
 }
 
+/// Splits `0..n` into contiguous ranges of at most `chunk` items and
+/// maps `f` over the ranges, in parallel, returning one result per
+/// range in range order. This is the fan-out shape of the batched
+/// engine: each range becomes one lockstep batch, and ordered
+/// reassembly keeps sweep output byte-identical to a serial run.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` on the calling thread.
+pub fn par_map_ranges<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let ranges = n.div_ceil(chunk);
+    par_map_range(ranges, |c| f(c * chunk..((c + 1) * chunk).min(n)))
+}
+
 /// Maps `f` over a slice, in parallel, returning results in input
 /// order.
 ///
@@ -106,6 +125,15 @@ mod tests {
         let parallel = par_map_range(257, |i| format!("{i}:{}", i % 7));
         let serial: Vec<String> = (0..257).map(|i| format!("{i}:{}", i % 7)).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn range_chunks_cover_exactly_once() {
+        let parts = par_map_ranges(10, 4, |r| r.collect::<Vec<usize>>());
+        assert_eq!(parts, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        assert!(par_map_ranges(0, 4, |r| r.len()).is_empty());
+        // A zero chunk is clamped to 1 instead of dividing by zero.
+        assert_eq!(par_map_ranges(3, 0, |r| r.start), vec![0, 1, 2]);
     }
 
     #[test]
