@@ -11,6 +11,7 @@ use crate::matrix::Matrix;
 use crate::mlp::Mlp;
 use crate::rbm::Rbm;
 use crate::scaler::MinMaxScaler;
+use crate::train::TrainingSet;
 
 /// Training hyper-parameters of a [`Dbn`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,7 +98,8 @@ pub struct Dbn {
 impl Dbn {
     /// Trains a DBN on `(inputs, targets)` pairs: greedy RBM
     /// pre-training of the hidden stack, then supervised BP fine-tuning
-    /// of the whole network.
+    /// of the whole network. Thin wrapper over [`Dbn::train_set`] —
+    /// identical results, one extra packing pass over the data.
     ///
     /// # Errors
     ///
@@ -109,33 +111,55 @@ impl Dbn {
         cfg: &DbnConfig,
     ) -> Result<Self, AnnError> {
         cfg.validate()?;
-        if inputs.is_empty() || inputs.len() != targets.len() {
+        if inputs.len() != targets.len() {
             return Err(AnnError::BadTrainingSet(format!(
                 "{} inputs vs {} targets",
                 inputs.len(),
                 targets.len()
             )));
         }
-        let input_scaler = MinMaxScaler::fit(inputs)?;
-        let output_scaler = MinMaxScaler::fit(targets)?;
-        let xs: Vec<Vec<f64>> = inputs
-            .iter()
-            .map(|x| input_scaler.transform(x))
-            .collect::<Result<_, _>>()?;
-        // Targets are squeezed into [0.05, 0.95] so the sigmoid output
-        // layer can actually reach them.
-        let ys: Vec<Vec<f64>> = targets
-            .iter()
-            .map(|t| {
-                output_scaler
-                    .transform(t)
-                    .map(|v| v.into_iter().map(|y| 0.05 + 0.9 * y).collect())
-            })
-            .collect::<Result<_, _>>()?;
+        Self::train_set(&TrainingSet::from_rows(inputs, targets)?, cfg)
+    }
 
-        let mut rng = seeded(cfg.seed);
+    /// Trains a DBN on a packed [`TrainingSet`] — the core training
+    /// entry point. The whole pipeline stays `Matrix`-native: scaler
+    /// fit, transforms, CD-1 sweeps and back-propagation all read the
+    /// packed rows in place, and the per-sample kernels reuse scratch
+    /// buffers, so no stage clones the data set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for an empty set and
+    /// [`AnnError::BadConfig`] for invalid hyper-parameters.
+    pub fn train_set(set: &TrainingSet, cfg: &DbnConfig) -> Result<Self, AnnError> {
+        cfg.validate()?;
+        if set.is_empty() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                set.len(),
+                set.len()
+            )));
+        }
+        let input_scaler = MinMaxScaler::fit_matrix(&set.inputs)?;
+        let output_scaler = MinMaxScaler::fit_matrix(&set.targets)?;
+        let n = set.len();
         let in_dim = input_scaler.dim();
         let out_dim = output_scaler.dim();
+        let mut xs = Matrix::zeros(n, in_dim);
+        for r in 0..n {
+            input_scaler.transform_slice(set.inputs.row(r), xs.row_mut(r))?;
+        }
+        // Targets are squeezed into [0.05, 0.95] so the sigmoid output
+        // layer can actually reach them.
+        let mut ys = Matrix::zeros(n, out_dim);
+        for r in 0..n {
+            output_scaler.transform_slice(set.targets.row(r), ys.row_mut(r))?;
+            for y in ys.row_mut(r) {
+                *y = 0.05 + 0.9 * *y;
+            }
+        }
+
+        let mut rng = seeded(cfg.seed);
 
         // Greedy unsupervised pre-training of the RBM stack.
         let mut rbms: Vec<Rbm> = Vec::with_capacity(cfg.hidden.len());
@@ -143,10 +167,10 @@ impl Dbn {
         let mut prev_dim = in_dim;
         for &h in &cfg.hidden {
             let mut rbm = Rbm::new(prev_dim, h, &mut rng);
-            rbm.train(&layer_input, cfg.rbm_epochs, cfg.rbm_lr, &mut rng)?;
+            rbm.train_matrix(&layer_input, cfg.rbm_epochs, cfg.rbm_lr, &mut rng)?;
             // One blocked matmul instead of a matvec per sample;
             // bitwise identical to mapping `hidden_probs`.
-            layer_input = rbm.hidden_probs_batch(&layer_input)?;
+            layer_input = rbm.hidden_probs_batch_matrix(&layer_input)?;
             prev_dim = h;
             rbms.push(rbm);
         }
@@ -161,7 +185,7 @@ impl Dbn {
         }
 
         // Supervised fine-tuning.
-        let final_loss = network.train(&xs, &ys, cfg.bp_epochs, cfg.bp_lr)?;
+        let final_loss = network.train_matrix(&xs, &ys, cfg.bp_epochs, cfg.bp_lr)?;
 
         Ok(Self {
             input_scaler,
@@ -393,6 +417,36 @@ mod tests {
         dbn.predict_batch_into(&empty, &mut scratch, &mut out)
             .unwrap();
         assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn train_set_is_bitwise_train() {
+        let (xs, ys) = dataset();
+        let mut cfg = DbnConfig::small(9);
+        cfg.bp_epochs = 60;
+        let a = Dbn::train(&xs, &ys, &cfg).unwrap();
+        let set = TrainingSet::from_rows(&xs, &ys).unwrap();
+        let b = Dbn::train_set(&set, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.final_loss().to_bits(), b.final_loss().to_bits());
+    }
+
+    #[test]
+    fn empty_and_mismatched_sets_are_rejected() {
+        let cfg = DbnConfig::small(1);
+        let empty = TrainingSet::from_rows(&[], &[]).unwrap();
+        assert!(matches!(
+            Dbn::train_set(&empty, &cfg),
+            Err(AnnError::BadTrainingSet(_))
+        ));
+        assert!(matches!(
+            Dbn::train(&[vec![1.0]], &[], &cfg),
+            Err(AnnError::BadTrainingSet(_))
+        ));
+        assert!(matches!(
+            Dbn::train(&[vec![1.0], vec![1.0, 2.0]], &[vec![0.0], vec![0.0]], &cfg),
+            Err(AnnError::BadTrainingSet(_))
+        ));
     }
 
     #[test]

@@ -40,10 +40,12 @@ pub mod matrix;
 pub mod mlp;
 pub mod rbm;
 pub mod scaler;
+pub mod train;
 
 pub use dbn::{BatchPredictScratch, Dbn, DbnConfig, PredictScratch};
 pub use error::AnnError;
 pub use matrix::Matrix;
-pub use mlp::Mlp;
-pub use rbm::Rbm;
+pub use mlp::{Mlp, MlpTrainScratch};
+pub use rbm::{Rbm, RbmTrainScratch};
 pub use scaler::MinMaxScaler;
+pub use train::TrainingSet;

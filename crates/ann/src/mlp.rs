@@ -6,7 +6,7 @@ use helio_common::rng::DetRng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AnnError;
-use crate::matrix::{sigmoid, Matrix};
+use crate::matrix::{delta_out_into, sigmoid_bias_into, Matrix};
 
 /// One dense layer: `weights · x + bias` followed by a sigmoid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,17 +25,9 @@ impl Layer {
         }
     }
 
-    fn forward(&self, x: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let mut z = Vec::with_capacity(self.bias.len());
-        self.forward_into(x, &mut z)?;
-        Ok(z)
-    }
-
     fn forward_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
         self.weights.matvec_into(x, out)?;
-        for (zi, b) in out.iter_mut().zip(&self.bias) {
-            *zi = sigmoid(*zi + b);
-        }
+        sigmoid_bias_into(out, &self.bias);
         Ok(())
     }
 
@@ -49,12 +41,22 @@ impl Layer {
         out.reset(x.rows(), self.bias.len());
         x.matmul_bt_into(&self.weights, out)?;
         for r in 0..out.rows() {
-            for (zi, b) in out.row_mut(r).iter_mut().zip(&self.bias) {
-                *zi = sigmoid(*zi + b);
-            }
+            sigmoid_bias_into(out.row_mut(r), &self.bias);
         }
         Ok(())
     }
+}
+
+/// Reusable buffers for [`Mlp::sgd_step_into`]: per-layer activations
+/// plus the two delta vectors of the backward pass. Construct once,
+/// thread through every step of a training run, and the whole run
+/// stops allocating after the first sample (the trainer's zero-alloc
+/// gate relies on this).
+#[derive(Debug, Default)]
+pub struct MlpTrainScratch {
+    acts: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    back: Vec<f64>,
 }
 
 /// A multi-layer perceptron with sigmoid activations throughout
@@ -196,16 +198,6 @@ impl Mlp {
         Ok(())
     }
 
-    /// Forward pass keeping every layer's activation (for backprop).
-    fn forward_all(&self, x: &[f64]) -> Result<Vec<Vec<f64>>, AnnError> {
-        let mut acts = vec![x.to_vec()];
-        for layer in &self.layers {
-            let next = layer.forward(acts.last().expect("nonempty"))?;
-            acts.push(next);
-        }
-        Ok(acts)
-    }
-
     /// One SGD step on a single `(input, target)` pair with squared
     /// loss; returns the sample loss before the update.
     ///
@@ -213,14 +205,41 @@ impl Mlp {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong sizes.
     pub fn sgd_step(&mut self, x: &[f64], target: &[f64], lr: f64) -> Result<f64, AnnError> {
+        self.sgd_step_into(x, target, lr, &mut MlpTrainScratch::default())
+    }
+
+    /// [`Mlp::sgd_step`] through caller-provided scratch: identical
+    /// update, zero heap allocation once the buffers have grown to
+    /// this network's layer widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong sizes.
+    pub fn sgd_step_into(
+        &mut self,
+        x: &[f64],
+        target: &[f64],
+        lr: f64,
+        scratch: &mut MlpTrainScratch,
+    ) -> Result<f64, AnnError> {
         if target.len() != self.output_dim() {
             return Err(AnnError::dims(
                 format!("target of length {}", self.output_dim()),
                 format!("{}", target.len()),
             ));
         }
-        let acts = self.forward_all(x)?;
-        let out = acts.last().expect("nonempty");
+        // Forward pass keeping every layer's activation (scratch.acts[li]
+        // is layer li's output; layer 0 reads `x` in place).
+        let nl = self.layers.len();
+        if scratch.acts.len() != nl {
+            scratch.acts.resize_with(nl, Vec::new);
+        }
+        for li in 0..nl {
+            let (done, rest) = scratch.acts.split_at_mut(li);
+            let input: &[f64] = if li == 0 { x } else { &done[li - 1] };
+            self.layers[li].forward_into(input, &mut rest[0])?;
+        }
+        let out = &scratch.acts[nl - 1];
         let loss: f64 = out
             .iter()
             .zip(target)
@@ -229,33 +248,28 @@ impl Mlp {
             / 2.0;
 
         // Output delta for squared loss through a sigmoid.
-        let mut delta: Vec<f64> = out
-            .iter()
-            .zip(target)
-            .map(|(o, t)| (o - t) * o * (1.0 - o))
-            .collect();
+        delta_out_into(out, target, &mut scratch.delta);
 
-        for li in (0..self.layers.len()).rev() {
-            let input = &acts[li];
-            // Propagate before mutating weights.
-            let prev_delta = if li > 0 {
-                let back = self.layers[li].weights.matvec_t(&delta)?;
-                Some(
-                    back.iter()
-                        .zip(input)
-                        .map(|(d, a)| d * a * (1.0 - a))
-                        .collect::<Vec<f64>>(),
-                )
-            } else {
-                None
-            };
+        for li in (0..nl).rev() {
+            let input: &[f64] = if li == 0 { x } else { &scratch.acts[li - 1] };
             let layer = &mut self.layers[li];
-            layer.weights.rank1_update(&delta, input, -lr)?;
-            for (b, d) in layer.bias.iter_mut().zip(&delta) {
-                *b -= lr * d;
-            }
-            if let Some(pd) = prev_delta {
-                delta = pd;
+            if li > 0 {
+                // Fused: delta propagation through the pre-update
+                // weights, derivative factors, and the rank-1 weight
+                // and bias updates in one sweep over the layer's rows.
+                layer.weights.backprop_fused_into(
+                    &scratch.delta,
+                    input,
+                    -lr,
+                    &mut layer.bias,
+                    &mut scratch.back,
+                )?;
+                std::mem::swap(&mut scratch.delta, &mut scratch.back);
+            } else {
+                // Input layer: nothing to propagate, only the updates.
+                layer
+                    .weights
+                    .rank1_bias_update(&scratch.delta, input, -lr, &mut layer.bias)?;
             }
         }
         Ok(loss)
@@ -282,13 +296,63 @@ impl Mlp {
                 targets.len()
             )));
         }
+        self.train_pairs(
+            inputs.len(),
+            |i| (inputs[i].as_slice(), targets[i].as_slice()),
+            epochs,
+            lr,
+        )
+    }
+
+    /// [`Mlp::train`] on sample matrices (one sample per row): the
+    /// same sweep order and updates, without a `Vec<Vec<f64>>` copy of
+    /// the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for empty or mismatched
+    /// data.
+    pub fn train_matrix(
+        &mut self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        epochs: usize,
+        lr: f64,
+    ) -> Result<f64, AnnError> {
+        if inputs.rows() == 0 || inputs.rows() != targets.rows() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                inputs.rows(),
+                targets.rows()
+            )));
+        }
+        self.train_pairs(
+            inputs.rows(),
+            |i| (inputs.row(i), targets.row(i)),
+            epochs,
+            lr,
+        )
+    }
+
+    /// Shared epoch loop over an indexed `(input, target)` accessor.
+    /// One scratch set serves the whole run, so after the first sample
+    /// no step allocates.
+    fn train_pairs<'a>(
+        &mut self,
+        n: usize,
+        pair: impl Fn(usize) -> (&'a [f64], &'a [f64]),
+        epochs: usize,
+        lr: f64,
+    ) -> Result<f64, AnnError> {
+        let mut scratch = MlpTrainScratch::default();
         let mut last = 0.0;
         for _ in 0..epochs {
             last = 0.0;
-            for (x, t) in inputs.iter().zip(targets) {
-                last += self.sgd_step(x, t, lr)?;
+            for i in 0..n {
+                let (x, t) = pair(i);
+                last += self.sgd_step_into(x, t, lr, &mut scratch)?;
             }
-            last /= inputs.len() as f64;
+            last /= n as f64;
         }
         Ok(last)
     }
@@ -458,5 +522,35 @@ mod tests {
             mlp.forward(&[0.5]).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn train_matrix_is_bitwise_train() {
+        let inputs: Vec<Vec<f64>> = (0..12)
+            .map(|i| (0..3).map(|j| ((i * 3 + j) as f64).sin()).collect())
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![0.1 + 0.4 * x[0].abs(), 0.9 - 0.3 * x[1].abs()])
+            .collect();
+        let mut a = Mlp::new(&[3, 9, 2], &mut seeded(15)).unwrap();
+        let loss_a = a.train(&inputs, &targets, 20, 0.4).unwrap();
+        let mut b = Mlp::new(&[3, 9, 2], &mut seeded(15)).unwrap();
+        let loss_b = b
+            .train_matrix(
+                &Matrix::from_rows(&inputs).unwrap(),
+                &Matrix::from_rows(&targets).unwrap(),
+                20,
+                0.4,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        assert!(b
+            .train_matrix(&Matrix::zeros(0, 3), &Matrix::zeros(0, 2), 1, 0.1)
+            .is_err());
+        assert!(b
+            .train_matrix(&Matrix::zeros(4, 3), &Matrix::zeros(3, 2), 1, 0.1)
+            .is_err());
     }
 }

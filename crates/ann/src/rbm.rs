@@ -7,7 +7,19 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AnnError;
-use crate::matrix::{sigmoid, Matrix};
+use crate::matrix::{axpy_diff, sigmoid_bias_into, Matrix};
+
+/// Reusable buffers for [`Rbm::cd1_step_into`]: the four intermediate
+/// vectors of one CD-1 step. Construct once, thread through every step
+/// of a training run, and the whole run stops allocating after the
+/// first sample (the trainer's zero-alloc gate relies on this).
+#[derive(Debug, Default)]
+pub struct RbmTrainScratch {
+    h_pos: Vec<f64>,
+    h_sample: Vec<f64>,
+    v_neg: Vec<f64>,
+    h_neg: Vec<f64>,
+}
 
 /// A restricted Boltzmann machine with `visible × hidden` weights.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,11 +69,20 @@ impl Rbm {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
     pub fn hidden_probs(&self, visible: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let mut act = self.weights.matvec(visible)?;
-        for (a, b) in act.iter_mut().zip(&self.hidden_bias) {
-            *a = sigmoid(*a + b);
-        }
+        let mut act = Vec::with_capacity(self.hidden());
+        self.hidden_probs_into(visible, &mut act)?;
         Ok(act)
+    }
+
+    /// [`Rbm::hidden_probs`] writing into a reused buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn hidden_probs_into(&self, visible: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
+        self.weights.matvec_into(visible, out)?;
+        sigmoid_bias_into(out, &self.hidden_bias);
+        Ok(())
     }
 
     /// [`Rbm::hidden_probs`] over a batch of visible vectors as one
@@ -77,14 +98,23 @@ impl Rbm {
         if visibles.is_empty() {
             return Ok(Vec::new());
         }
-        let v = Matrix::from_rows(visibles)?;
-        let mut z = v.matmul_bt(&self.weights)?;
-        for r in 0..z.rows() {
-            for (c, b) in self.hidden_bias.iter().enumerate() {
-                z.set(r, c, sigmoid(z.get(r, c) + b));
-            }
-        }
+        let z = self.hidden_probs_batch_matrix(&Matrix::from_rows(visibles)?)?;
         Ok((0..z.rows()).map(|r| z.row(r).to_vec()).collect())
+    }
+
+    /// [`Rbm::hidden_probs_batch`] on a sample matrix (one sample per
+    /// row), staying `Matrix`-native for the allocation-lean training
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong-width inputs.
+    pub fn hidden_probs_batch_matrix(&self, visibles: &Matrix) -> Result<Matrix, AnnError> {
+        let mut z = visibles.matmul_bt(&self.weights)?;
+        for r in 0..z.rows() {
+            sigmoid_bias_into(z.row_mut(r), &self.hidden_bias);
+        }
+        Ok(z)
     }
 
     /// Visible reconstruction probabilities `P(v=1 | h)`.
@@ -93,11 +123,20 @@ impl Rbm {
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
     pub fn visible_probs(&self, hidden: &[f64]) -> Result<Vec<f64>, AnnError> {
-        let mut act = self.weights.matvec_t(hidden)?;
-        for (a, b) in act.iter_mut().zip(&self.visible_bias) {
-            *a = sigmoid(*a + b);
-        }
+        let mut act = Vec::with_capacity(self.visible());
+        self.visible_probs_into(hidden, &mut act)?;
         Ok(act)
+    }
+
+    /// [`Rbm::visible_probs`] writing into a reused buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn visible_probs_into(&self, hidden: &[f64], out: &mut Vec<f64>) -> Result<(), AnnError> {
+        self.weights.matvec_t_into(hidden, out)?;
+        sigmoid_bias_into(out, &self.visible_bias);
+        Ok(())
     }
 
     /// One CD-1 update on a single sample with learning rate `lr`;
@@ -112,28 +151,53 @@ impl Rbm {
         lr: f64,
         rng: &mut DetRng,
     ) -> Result<f64, AnnError> {
+        self.cd1_step_into(visible, lr, rng, &mut RbmTrainScratch::default())
+    }
+
+    /// [`Rbm::cd1_step`] through caller-provided scratch: identical
+    /// update and RNG stream, zero heap allocation once the buffers
+    /// have grown to this RBM's shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
+    pub fn cd1_step_into(
+        &mut self,
+        visible: &[f64],
+        lr: f64,
+        rng: &mut DetRng,
+        scratch: &mut RbmTrainScratch,
+    ) -> Result<f64, AnnError> {
         // Positive phase.
-        let h_pos = self.hidden_probs(visible)?;
-        // Sample hidden states.
-        let h_sample: Vec<f64> = h_pos
-            .iter()
-            .map(|&p| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
-            .collect();
+        self.hidden_probs_into(visible, &mut scratch.h_pos)?;
+        // Sample hidden states (one RNG draw per hidden unit, in
+        // order — the stream the fixed-seed golden weights pin).
+        scratch.h_sample.clear();
+        scratch.h_sample.extend(scratch.h_pos.iter().map(|&p| {
+            if rng.gen::<f64>() < p {
+                1.0
+            } else {
+                0.0
+            }
+        }));
         // Negative phase: reconstruct and re-infer.
-        let v_neg = self.visible_probs(&h_sample)?;
-        let h_neg = self.hidden_probs(&v_neg)?;
-        // Weight update: lr · (h⁺ vᵀ − h⁻ v̂ᵀ).
-        self.weights.rank1_update(&h_pos, visible, lr)?;
-        self.weights.rank1_update(&h_neg, &v_neg, -lr)?;
-        for (b, (p, n)) in self.hidden_bias.iter_mut().zip(h_pos.iter().zip(&h_neg)) {
-            *b += lr * (p - n);
-        }
-        for (b, (p, n)) in self.visible_bias.iter_mut().zip(visible.iter().zip(&v_neg)) {
-            *b += lr * (p - n);
-        }
+        self.visible_probs_into(&scratch.h_sample, &mut scratch.v_neg)?;
+        self.hidden_probs_into(&scratch.v_neg, &mut scratch.h_neg)?;
+        // Weight update: lr · (h⁺ vᵀ − h⁻ v̂ᵀ), both phases fused into
+        // one sweep over the weight tiles.
+        self.weights.rank1_pair_update(
+            &scratch.h_pos,
+            visible,
+            lr,
+            &scratch.h_neg,
+            &scratch.v_neg,
+            -lr,
+        )?;
+        axpy_diff(&mut self.hidden_bias, lr, &scratch.h_pos, &scratch.h_neg);
+        axpy_diff(&mut self.visible_bias, lr, visible, &scratch.v_neg);
         Ok(visible
             .iter()
-            .zip(&v_neg)
+            .zip(&scratch.v_neg)
             .map(|(a, b)| (a - b) * (a - b))
             .sum())
     }
@@ -152,16 +216,49 @@ impl Rbm {
         lr: f64,
         rng: &mut DetRng,
     ) -> Result<f64, AnnError> {
-        if samples.is_empty() {
+        self.train_rows(samples.len(), |i| &samples[i], epochs, lr, rng)
+    }
+
+    /// [`Rbm::train`] on a sample matrix (one sample per row): the
+    /// same sweep order and RNG stream, without a `Vec<Vec<f64>>`
+    /// copy of the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for an empty set and
+    /// propagates dimension mismatches.
+    pub fn train_matrix(
+        &mut self,
+        samples: &Matrix,
+        epochs: usize,
+        lr: f64,
+        rng: &mut DetRng,
+    ) -> Result<f64, AnnError> {
+        self.train_rows(samples.rows(), |i| samples.row(i), epochs, lr, rng)
+    }
+
+    /// Shared epoch loop over an indexed sample accessor. One scratch
+    /// set serves the whole run, so after the first sample no step
+    /// allocates.
+    fn train_rows<'a>(
+        &mut self,
+        n: usize,
+        row: impl Fn(usize) -> &'a [f64],
+        epochs: usize,
+        lr: f64,
+        rng: &mut DetRng,
+    ) -> Result<f64, AnnError> {
+        if n == 0 {
             return Err(AnnError::BadTrainingSet("no samples for RBM".into()));
         }
+        let mut scratch = RbmTrainScratch::default();
         let mut last = 0.0;
         for _ in 0..epochs {
             last = 0.0;
-            for s in samples {
-                last += self.cd1_step(s, lr, rng)?;
+            for i in 0..n {
+                last += self.cd1_step_into(row(i), lr, rng, &mut scratch)?;
             }
-            last /= samples.len() as f64;
+            last /= n as f64;
         }
         Ok(last)
     }
@@ -235,6 +332,9 @@ mod tests {
         assert!(rbm.visible_probs(&[0.0; 5]).is_err());
         assert!(rbm.cd1_step(&[0.0; 2], 0.1, &mut rng).is_err());
         assert!(rbm.train(&[], 1, 0.1, &mut rng).is_err());
+        assert!(rbm
+            .train_matrix(&Matrix::zeros(0, 5), 1, 0.1, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -260,5 +360,18 @@ mod tests {
             rbm
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn train_matrix_is_bitwise_train() {
+        let data = patterns();
+        let m = Matrix::from_rows(&data).unwrap();
+        let mut rng_a = seeded(9);
+        let mut a = Rbm::new(6, 4, &mut rng_a);
+        a.train(&data, 10, 0.2, &mut rng_a).unwrap();
+        let mut rng_b = seeded(9);
+        let mut b = Rbm::new(6, 4, &mut rng_b);
+        b.train_matrix(&m, 10, 0.2, &mut rng_b).unwrap();
+        assert_eq!(a, b);
     }
 }

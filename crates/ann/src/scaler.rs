@@ -44,6 +44,33 @@ impl MinMaxScaler {
         Ok(Self { mins, maxs })
     }
 
+    /// [`MinMaxScaler::fit`] on a sample matrix (one sample per row):
+    /// the same ascending row/feature scan, so the fitted ranges are
+    /// bitwise identical — without a `Vec<Vec<f64>>` copy of the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] when the matrix has no
+    /// rows or contains non-finite values.
+    pub fn fit_matrix(samples: &crate::matrix::Matrix) -> Result<Self, AnnError> {
+        if samples.rows() == 0 {
+            return Err(AnnError::BadTrainingSet("no samples".into()));
+        }
+        let dim = samples.cols();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for r in 0..samples.rows() {
+            for (i, &v) in samples.row(r).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(AnnError::BadTrainingSet("non-finite feature".into()));
+                }
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Ok(Self { mins, maxs })
+    }
+
     /// Number of features.
     pub fn dim(&self) -> usize {
         self.mins.len()
@@ -215,6 +242,21 @@ mod tests {
         assert_eq!(back.to_vec(), s.inverse(&buf).unwrap());
         assert!(s.transform_slice(&sample[..2], &mut buf).is_err());
         assert!(s.inverse_slice(&buf, &mut back[..1]).is_err());
+    }
+
+    #[test]
+    fn fit_matrix_is_bitwise_fit() {
+        use crate::matrix::Matrix;
+        let data = vec![
+            vec![0.0, 10.0, -3.5],
+            vec![4.0, 20.0, 2.25],
+            vec![2.0, 15.0, 0.0],
+        ];
+        let a = MinMaxScaler::fit(&data).unwrap();
+        let b = MinMaxScaler::fit_matrix(&Matrix::from_rows(&data).unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert!(MinMaxScaler::fit_matrix(&Matrix::zeros(0, 3)).is_err());
+        assert!(MinMaxScaler::fit_matrix(&Matrix::from_rows(&[vec![f64::NAN]]).unwrap()).is_err());
     }
 
     #[test]

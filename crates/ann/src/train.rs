@@ -1,0 +1,108 @@
+//! The `Matrix`-native training-sample store: one input row and one
+//! target row per sample, packed contiguously so the whole training
+//! pipeline (scaler fit, CD-1 sweeps, back-propagation) reads the data
+//! in place instead of cloning a `Vec<Vec<f64>>` per stage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnnError;
+use crate::matrix::Matrix;
+
+/// A packed supervised training set: `samples × in_dim` inputs and
+/// `samples × out_dim` targets, row `r` of each belonging to the same
+/// sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// Input features, one sample per row.
+    pub inputs: Matrix,
+    /// Regression targets, one sample per row.
+    pub targets: Matrix,
+}
+
+impl TrainingSet {
+    /// Pairs up input and target matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] when the row counts
+    /// differ.
+    pub fn new(inputs: Matrix, targets: Matrix) -> Result<Self, AnnError> {
+        if inputs.rows() != targets.rows() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                inputs.rows(),
+                targets.rows()
+            )));
+        }
+        Ok(Self { inputs, targets })
+    }
+
+    /// Packs nested per-sample rows into a [`TrainingSet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::BadTrainingSet`] for mismatched sample
+    /// counts or ragged rows.
+    pub fn from_rows(inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> Result<Self, AnnError> {
+        if inputs.len() != targets.len() {
+            return Err(AnnError::BadTrainingSet(format!(
+                "{} inputs vs {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        let pack = |rows: &[Vec<f64>]| {
+            Matrix::from_rows(rows)
+                .map_err(|_| AnnError::BadTrainingSet("ragged sample rows".into()))
+        };
+        Self::new(pack(inputs)?, pack(targets)?)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.rows()
+    }
+
+    /// Whether the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// Target dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.targets.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_and_validates() {
+        let set = TrainingSet::new(Matrix::zeros(3, 4), Matrix::zeros(3, 2)).unwrap();
+        assert_eq!((set.len(), set.input_dim(), set.output_dim()), (3, 4, 2));
+        assert!(!set.is_empty());
+        assert!(TrainingSet::new(Matrix::zeros(3, 4), Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn from_rows_packs_and_rejects_bad_shapes() {
+        let set =
+            TrainingSet::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]], &[vec![5.0], vec![6.0]])
+                .unwrap();
+        assert_eq!(set.inputs.row(1), &[3.0, 4.0]);
+        assert_eq!(set.targets.row(0), &[5.0]);
+        assert!(TrainingSet::from_rows(&[vec![1.0]], &[]).is_err());
+        assert!(
+            TrainingSet::from_rows(&[vec![1.0], vec![1.0, 2.0]], &[vec![0.0], vec![0.0]]).is_err()
+        );
+        let empty = TrainingSet::from_rows(&[], &[]).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,8 +1,21 @@
 //! Property tests of the ANN substrate.
 
-use helio_ann::{Dbn, DbnConfig, Matrix, MinMaxScaler, Mlp};
+use helio_ann::{AnnError, Dbn, DbnConfig, Matrix, MinMaxScaler, Mlp, Rbm, TrainingSet};
 use helio_common::rng::seeded;
 use proptest::prelude::*;
+
+/// A random `n × dim` sample matrix with entries in `[0, 1]` (the
+/// range CD-1 treats as probabilities).
+fn sample_matrix(n: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = seeded(seed ^ 0x5A17);
+    let mut m = Matrix::zeros(n, dim);
+    for r in 0..n {
+        for v in m.row_mut(r) {
+            *v = rand::Rng::gen::<f64>(&mut rng);
+        }
+    }
+    m
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -54,6 +67,95 @@ proptest! {
         let out = mlp.forward(&input).expect("dims");
         prop_assert_eq!(out.len(), 3);
         prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// The scratch-based RBM epoch loop is bit-for-bit the naive
+    /// per-sample `cd1_step` loop, across random shapes, seeds, and
+    /// learning rates (the contract the SIMD kernels must preserve).
+    #[test]
+    fn rbm_train_is_bitwise_per_sample_cd1(
+        visible in 1usize..14,
+        hidden in 1usize..12,
+        n in 1usize..10,
+        epochs in 1usize..4,
+        seed in 0u64..1000,
+        lr in 0.02f64..0.5,
+    ) {
+        let samples = sample_matrix(n, visible, seed);
+        let mut rng_a = seeded(seed);
+        let mut a = Rbm::new(visible, hidden, &mut rng_a);
+        let mut b = a.clone();
+        let mut rng_b = rng_a.clone();
+        let loss_a = a.train_matrix(&samples, epochs, lr, &mut rng_a).expect("trains");
+        let mut loss_b = 0.0;
+        for _ in 0..epochs {
+            loss_b = 0.0;
+            for i in 0..n {
+                loss_b += b.cd1_step(samples.row(i), lr, &mut rng_b).expect("steps");
+            }
+            loss_b /= n as f64;
+        }
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+    }
+
+    /// The scratch-based MLP epoch loop is bit-for-bit the naive
+    /// per-sample `sgd_step` loop, across random shapes and widths
+    /// spanning the SIMD lane boundary.
+    #[test]
+    fn mlp_train_is_bitwise_per_sample_sgd(
+        input in 1usize..14,
+        hidden in 1usize..12,
+        output in 1usize..6,
+        n in 1usize..10,
+        epochs in 1usize..4,
+        seed in 0u64..1000,
+        lr in 0.05f64..0.5,
+    ) {
+        let xs = sample_matrix(n, input, seed);
+        let ys = sample_matrix(n, output, seed.wrapping_add(1));
+        let mut rng = seeded(seed);
+        let mut a = Mlp::new(&[input, hidden, output], &mut rng).expect("valid sizes");
+        let mut b = a.clone();
+        let loss_a = a.train_matrix(&xs, &ys, epochs, lr).expect("trains");
+        let mut loss_b = 0.0;
+        for _ in 0..epochs {
+            loss_b = 0.0;
+            for i in 0..n {
+                loss_b += b.sgd_step(xs.row(i), ys.row(i), lr).expect("steps");
+            }
+            loss_b /= n as f64;
+        }
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+    }
+
+    /// Mismatched or empty training sets are rejected with
+    /// `BadTrainingSet` at every entry point, never a panic.
+    #[test]
+    fn bad_training_sets_are_rejected(
+        n in 1usize..6,
+        extra in 1usize..4,
+        dim in 1usize..5,
+    ) {
+        let inputs = Matrix::zeros(n + extra, dim);
+        let targets = Matrix::zeros(n, dim);
+        prop_assert!(matches!(
+            TrainingSet::new(inputs, targets),
+            Err(AnnError::BadTrainingSet(_))
+        ));
+        let empty = TrainingSet::new(Matrix::zeros(0, dim), Matrix::zeros(0, dim))
+            .expect("empty set packs");
+        prop_assert!(matches!(
+            Dbn::train_set(&empty, &DbnConfig::small(1)),
+            Err(AnnError::BadTrainingSet(_))
+        ));
+        let ragged: Vec<Vec<f64>> = vec![vec![0.0; dim], vec![0.0; dim + 1]];
+        let square: Vec<Vec<f64>> = vec![vec![0.0; dim], vec![0.0; dim]];
+        prop_assert!(matches!(
+            TrainingSet::from_rows(&ragged, &square),
+            Err(AnnError::BadTrainingSet(_))
+        ));
     }
 
     /// DBN predictions stay within the target range it was fitted on.

@@ -1,0 +1,134 @@
+//! Counting-allocator proof that the training pipeline performs zero
+//! heap allocations after warm-up.
+//!
+//! Black-box formulation: a training run pays a fixed setup cost
+//! (weight matrices, the scaled copies of the data set, one scratch
+//! set per stage) and every epoch after that reuses the same buffers.
+//! If the epoch loops are allocation-free, the total allocation count
+//! of a run must not depend on how many epochs it sweeps — extra
+//! epochs are free. The test pins exactly that for the RBM's CD-1
+//! loop, the MLP's back-propagation loop, and the full
+//! `Dbn::train_set` pipeline.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use helio_ann::{Dbn, DbnConfig, Matrix, Mlp, Rbm, TrainingSet};
+use helio_common::rng::seeded;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so tests running on sibling threads
+/// would count each other's allocations into a measured region; each
+/// test holds this lock for its whole body.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    MEASURE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// A scheduler-shaped data set: wide enough (16 features) that the
+/// SIMD row kernels engage, small enough to train in milliseconds.
+fn dataset() -> TrainingSet {
+    let mut rng = seeded(0xA110C);
+    let inputs = Matrix::random(48, 16, 1.0, &mut rng);
+    let targets = Matrix::random(48, 5, 0.5, &mut rng);
+    TrainingSet::new(inputs, targets).expect("consistent set")
+}
+
+#[test]
+fn rbm_training_allocations_do_not_scale_with_epochs() {
+    let _serial = serial();
+    let set = dataset();
+    let count = |epochs: usize| {
+        let mut rng = seeded(3);
+        let mut rbm = Rbm::new(set.input_dim(), 12, &mut rng);
+        allocations_during(|| {
+            rbm.train_matrix(&set.inputs, epochs, 0.1, &mut rng)
+                .expect("rbm trains");
+        })
+    };
+    let short = count(2);
+    let long = count(40);
+    assert_eq!(
+        long, short,
+        "{long} allocations over 40 epochs vs {short} over 2 — \
+         the CD-1 loop allocates per step"
+    );
+}
+
+#[test]
+fn mlp_training_allocations_do_not_scale_with_epochs() {
+    let _serial = serial();
+    let set = dataset();
+    let count = |epochs: usize| {
+        let mut rng = seeded(4);
+        let mut mlp =
+            Mlp::new(&[set.input_dim(), 16, 10, set.output_dim()], &mut rng).expect("valid sizes");
+        allocations_during(|| {
+            mlp.train_matrix(&set.inputs, &set.targets, epochs, 0.3)
+                .expect("mlp trains");
+        })
+    };
+    let short = count(2);
+    let long = count(40);
+    assert_eq!(
+        long, short,
+        "{long} allocations over 40 epochs vs {short} over 2 — \
+         the back-propagation loop allocates per step"
+    );
+}
+
+#[test]
+fn dbn_training_allocations_do_not_scale_with_epochs() {
+    let _serial = serial();
+    let set = dataset();
+    let count = |rbm_epochs: usize, bp_epochs: usize| {
+        let mut cfg = DbnConfig::small(7);
+        cfg.rbm_epochs = rbm_epochs;
+        cfg.bp_epochs = bp_epochs;
+        allocations_during(|| {
+            Dbn::train_set(&set, &cfg).expect("dbn trains");
+        })
+    };
+    let short = count(2, 2);
+    let long = count(30, 60);
+    assert_eq!(
+        long, short,
+        "{long} allocations at 30/60 epochs vs {short} at 2/2 — \
+         a training stage allocates per epoch"
+    );
+}

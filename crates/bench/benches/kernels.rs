@@ -460,6 +460,78 @@ fn sec65_dbn(c: &mut Criterion) {
     group.finish();
 }
 
+fn train_loop(c: &mut Criterion) {
+    // The training hot loops behind `bench_train`'s stage timings:
+    // scratch-based CD-1 and back-propagation epochs on packed sample
+    // matrices, against the per-sample-step loops they replaced (one
+    // fresh scratch per step — the pre-refactor allocation pattern).
+    // Bit-identity of the two paths is proptest- and golden-gated;
+    // this group guards the throughput edge.
+    use helio_common::rng::seeded;
+    let mut rng = seeded(0x7124);
+    let xs = helio_ann::Matrix::random(96, 13, 1.0, &mut rng);
+    let ys = helio_ann::Matrix::random(96, 8, 0.5, &mut rng);
+    let mut group = c.benchmark_group("train_loop");
+    group.sample_size(20);
+    group.bench_function("rbm_cd1_30_epochs_scratch", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = seeded(5);
+                (helio_ann::Rbm::new(13, 16, &mut rng), rng)
+            },
+            |(mut rbm, mut rng)| {
+                rbm.train_matrix(black_box(&xs), 30, 0.1, &mut rng)
+                    .expect("trains")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rbm_cd1_30_epochs_per_step", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = seeded(5);
+                (helio_ann::Rbm::new(13, 16, &mut rng), rng)
+            },
+            |(mut rbm, mut rng)| {
+                let mut last = 0.0;
+                for _ in 0..30 {
+                    for i in 0..xs.rows() {
+                        last = rbm.cd1_step(xs.row(i), 0.1, &mut rng).expect("steps");
+                    }
+                }
+                last
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("mlp_bp_50_epochs_scratch", |b| {
+        b.iter_batched(
+            || helio_ann::Mlp::new(&[13, 16, 10, 8], &mut seeded(6)).expect("mlp"),
+            |mut mlp| {
+                mlp.train_matrix(black_box(&xs), &ys, 50, 0.4)
+                    .expect("trains")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("mlp_bp_50_epochs_per_step", |b| {
+        b.iter_batched(
+            || helio_ann::Mlp::new(&[13, 16, 10, 8], &mut seeded(6)).expect("mlp"),
+            |mut mlp| {
+                let mut last = 0.0;
+                for _ in 0..50 {
+                    for i in 0..xs.rows() {
+                        last = mlp.sgd_step(xs.row(i), ys.row(i), 0.4).expect("steps");
+                    }
+                }
+                last
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig5_regulator,
@@ -473,6 +545,7 @@ criterion_group!(
     dp_memoization,
     fig10a_mpc,
     fig10b_sizing,
-    sec65_dbn
+    sec65_dbn,
+    train_loop
 );
 criterion_main!(benches);

@@ -67,11 +67,10 @@ fn main() {
     });
 
     // --- Stage 3: DBN training on the recorded samples -----------------
-    let inputs: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.input.clone()).collect();
-    let targets: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.target.clone()).collect();
+    let samples = optimal.samples();
     let mut dbn_cfg = OfflineConfig::default().dbn;
     dbn_cfg.bp_epochs = bp_epochs;
-    let (dbn, dbn_ms) = timed(|| helio_ann::Dbn::train(&inputs, &targets, &dbn_cfg).expect("dbn"));
+    let (dbn, dbn_ms) = timed(|| helio_ann::Dbn::train_set(samples, &dbn_cfg).expect("dbn"));
     println!(
         "dbn train       {dbn_ms:9.1} ms   final loss {:.5}",
         dbn.final_loss()

@@ -1,0 +1,172 @@
+//! Times the DBN training pipeline stage by stage and emits the
+//! machine-readable `results/BENCH_train.json`.
+//!
+//! The training set is the real thing: the optimal planner's recorded
+//! `(observation, decision)` samples on the four-day training trace the
+//! offline benchmark uses. Three stages are timed by replicating
+//! `Dbn::train`'s phases through the public API — `scaler` (min–max
+//! fit + transforms), `cd1` (greedy RBM pre-training), `backprop`
+//! (supervised fine-tuning) — plus the end-to-end `Dbn::train` call
+//! whose wall-clock is the headline number compared against the
+//! committed pre-refactor baseline
+//! (`results/BENCH_train_baseline.json`).
+//!
+//! The node uses a fixed capacitance ladder (not the sizing pipeline),
+//! so the training set is invariant to sizing-model changes and the
+//! baseline comparison stays apples to apples.
+
+use helio_ann::{Dbn, Matrix, MinMaxScaler, Mlp, Rbm};
+use helio_bench::{
+    fast_mode, paper_grid, standard_sizes, timed, weather_trace, BenchStage, BenchTrainReport,
+};
+use helio_common::rng::seeded;
+use helio_tasks::benchmarks;
+use heliosched::{DpConfig, NodeConfig, OfflineConfig, OptimalPlanner};
+
+/// Repetitions each stage is summed over (totals are compared, which is
+/// stable enough for a smoke metric).
+const REPS: usize = 3;
+
+fn main() {
+    let (train_days, periods, bp_epochs) = if fast_mode() {
+        (2, 48, 100)
+    } else {
+        (4, 48, 300)
+    };
+    let graph = benchmarks::ecg();
+    let training = weather_trace(train_days, periods, 1000);
+    let node = NodeConfig::builder(paper_grid(train_days, periods))
+        .capacitors(&standard_sizes())
+        .build()
+        .expect("bench node config is valid");
+    let mut cfg = OfflineConfig::default().dbn;
+    cfg.bp_epochs = bp_epochs;
+
+    println!(
+        "# training pipeline timings (threads = {})",
+        helio_par::configured_threads()
+    );
+
+    let optimal = OptimalPlanner::compute(&node, &graph, &training, &DpConfig::default(), 0.5)
+        .expect("optimal plan");
+    let set = optimal.samples();
+    let (samples, in_dim, out_dim) = (set.len(), set.input_dim(), set.output_dim());
+    println!("samples         {samples} ({in_dim} features -> {out_dim} targets)");
+
+    // --- Staged replication of Dbn::train_set through the public API ---
+    let mut scaler_ms = 0.0;
+    let mut cd1_ms = 0.0;
+    let mut backprop_ms = 0.0;
+    for _ in 0..REPS {
+        // Stage 1: scaler fit + transforms on the packed matrices.
+        let ((xs, ys), ms) = timed(|| {
+            let input_scaler = MinMaxScaler::fit_matrix(&set.inputs).expect("fit inputs");
+            let output_scaler = MinMaxScaler::fit_matrix(&set.targets).expect("fit targets");
+            let mut xs = Matrix::zeros(samples, in_dim);
+            let mut ys = Matrix::zeros(samples, out_dim);
+            for r in 0..samples {
+                input_scaler
+                    .transform_slice(set.inputs.row(r), xs.row_mut(r))
+                    .expect("transform");
+                output_scaler
+                    .transform_slice(set.targets.row(r), ys.row_mut(r))
+                    .expect("transform");
+                for y in ys.row_mut(r) {
+                    *y = 0.05 + 0.9 * *y;
+                }
+            }
+            (xs, ys)
+        });
+        scaler_ms += ms;
+
+        // Stage 2: greedy CD-1 pre-training of the RBM stack.
+        let mut rng = seeded(cfg.seed);
+        let (rbms, ms) = timed(|| {
+            let mut rbms: Vec<Rbm> = Vec::with_capacity(cfg.hidden.len());
+            let mut layer_input = xs.clone();
+            let mut prev_dim = in_dim;
+            for &h in &cfg.hidden {
+                let mut rbm = Rbm::new(prev_dim, h, &mut rng);
+                rbm.train_matrix(&layer_input, cfg.rbm_epochs, cfg.rbm_lr, &mut rng)
+                    .expect("rbm trains");
+                layer_input = rbm
+                    .hidden_probs_batch_matrix(&layer_input)
+                    .expect("batch probs");
+                prev_dim = h;
+                rbms.push(rbm);
+            }
+            rbms
+        });
+        cd1_ms += ms;
+
+        // Stage 3: supervised back-propagation fine-tuning.
+        let (_loss, ms) = timed(|| {
+            let mut sizes = vec![in_dim];
+            sizes.extend_from_slice(&cfg.hidden);
+            sizes.push(out_dim);
+            let mut network = Mlp::new(&sizes, &mut rng).expect("mlp");
+            for (i, rbm) in rbms.iter().enumerate() {
+                network
+                    .load_layer(i, rbm.weights().clone(), rbm.hidden_bias().to_vec())
+                    .expect("load layer");
+            }
+            network
+                .train_matrix(&xs, &ys, cfg.bp_epochs, cfg.bp_lr)
+                .expect("bp trains")
+        });
+        backprop_ms += ms;
+    }
+    println!("scaler          {scaler_ms:9.1} ms  ({REPS} reps)");
+    println!("cd1             {cd1_ms:9.1} ms  ({REPS} reps)");
+    println!("backprop        {backprop_ms:9.1} ms  ({REPS} reps)");
+
+    // --- End-to-end Dbn::train_set (the headline number) ----------------
+    let (dbn, total_ms) = timed(|| {
+        let mut last = Dbn::train_set(set, &cfg).expect("dbn trains");
+        for _ in 1..REPS {
+            last = Dbn::train_set(set, &cfg).expect("dbn trains");
+        }
+        last
+    });
+    println!(
+        "dbn train       {total_ms:9.1} ms  ({REPS} reps)  final loss {:.5}",
+        dbn.final_loss()
+    );
+
+    let baseline_total_ms = std::fs::read_to_string("results/BENCH_train_baseline.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<BenchTrainReport>(&s).ok())
+        .map(|b| b.dbn_train_total_ms);
+    let speedup = baseline_total_ms.map(|b| b / total_ms.max(1e-9));
+    if let (Some(b), Some(s)) = (baseline_total_ms, speedup) {
+        println!("baseline        {b:9.1} ms  speedup {s:.2}x");
+    }
+
+    let report = BenchTrainReport {
+        threads: helio_par::configured_threads(),
+        samples,
+        in_dim,
+        out_dim,
+        bp_epochs,
+        stages: vec![
+            BenchStage {
+                name: "scaler".into(),
+                wall_ms: scaler_ms,
+            },
+            BenchStage {
+                name: "cd1".into(),
+                wall_ms: cd1_ms,
+            },
+            BenchStage {
+                name: "backprop".into(),
+                wall_ms: backprop_ms,
+            },
+        ],
+        dbn_train_total_ms: total_ms,
+        reps: REPS,
+        baseline_total_ms,
+        speedup_vs_baseline: speedup,
+    };
+    println!();
+    helio_bench::write_json("results/BENCH_train.json", &report);
+}

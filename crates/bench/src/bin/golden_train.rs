@@ -1,0 +1,30 @@
+//! Regenerates the training golden fixture under
+//! `results/golden_train/`: the serialised weights of the fixed-seed
+//! golden DBN (`helio_bench::golden::golden_dbn` on the optimal
+//! planner's recorded samples).
+//!
+//! The committed fixture pins `Dbn::train` bitwise: the vendored serde
+//! formats `f64` with shortest-round-trip precision, so byte equality
+//! of the JSON is value equality of every weight. The
+//! `tests/golden_train.rs` gate (and CI) re-trains and compares against
+//! the committed bytes; only rerun this generator when training
+//! behaviour changes *intentionally*.
+
+use helio_bench::golden::{
+    golden_dbn, golden_dp, golden_node, golden_trace, render_dbn, GOLDEN_DELTA, GOLDEN_TRAIN_DIR,
+};
+use helio_tasks::benchmarks;
+use heliosched::OptimalPlanner;
+
+fn main() {
+    let node = golden_node();
+    let trace = golden_trace();
+    let graph = benchmarks::ecg();
+    let optimal = OptimalPlanner::compute(&node, &graph, &trace, &golden_dp(), GOLDEN_DELTA)
+        .expect("golden optimal plan");
+    let dbn = golden_dbn(&optimal);
+    std::fs::create_dir_all(GOLDEN_TRAIN_DIR).expect("golden_train dir");
+    let path = format!("{GOLDEN_TRAIN_DIR}/dbn_ecg.json");
+    std::fs::write(&path, render_dbn(&dbn)).expect("write golden weights");
+    println!("wrote {path}");
+}

@@ -58,11 +58,9 @@ pub fn golden_dp() -> DpConfig {
 
 /// Trains the golden DBN from the optimal planner's recorded samples.
 pub fn golden_dbn(optimal: &OptimalPlanner) -> Dbn {
-    let inputs: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.input.clone()).collect();
-    let targets: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.target.clone()).collect();
     let mut cfg = DbnConfig::small(GOLDEN_SEED);
     cfg.bp_epochs = 150; // golden suite runs in debug CI; keep it quick
-    Dbn::train(&inputs, &targets, &cfg).expect("golden DBN trains")
+    Dbn::train_set(optimal.samples(), &cfg).expect("golden DBN trains")
 }
 
 /// Runs the whole golden suite and returns `(case name, report)` pairs
@@ -212,5 +210,17 @@ pub fn render(report: &SimReport) -> String {
     format!("{json}\n")
 }
 
+/// Canonical byte rendering of a trained DBN's weights — the
+/// `golden_train` generator writes these bytes, `tests/golden_train.rs`
+/// compares against them. Shortest-round-trip `f64` formatting makes
+/// byte equality equivalent to bitwise weight equality.
+pub fn render_dbn(dbn: &Dbn) -> String {
+    let json = serde_json::to_string_pretty(dbn).expect("dbn serialises");
+    format!("{json}\n")
+}
+
 /// Repo-relative directory the golden files live in.
 pub const GOLDEN_DIR: &str = "results/golden_online";
+
+/// Repo-relative directory the training golden fixture lives in.
+pub const GOLDEN_TRAIN_DIR: &str = "results/golden_train";

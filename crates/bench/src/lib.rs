@@ -237,6 +237,38 @@ pub struct BenchOfflineReport {
     pub dp_matches_serial: bool,
 }
 
+/// Machine-readable result of the `bench_train` binary
+/// (`results/BENCH_train.json`; the pre-refactor run is committed as
+/// `results/BENCH_train_baseline.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchTrainReport {
+    /// Worker threads configured (training itself is serial; this
+    /// records the environment for comparability).
+    pub threads: usize,
+    /// Training samples in the set.
+    pub samples: usize,
+    /// Input features per sample.
+    pub in_dim: usize,
+    /// Target features per sample.
+    pub out_dim: usize,
+    /// Back-propagation epochs timed.
+    pub bp_epochs: usize,
+    /// Wall-clock per training stage (`scaler`, `cd1`, `backprop`),
+    /// summed over all repetitions.
+    pub stages: Vec<BenchStage>,
+    /// End-to-end `Dbn::train` wall-clock over all repetitions,
+    /// milliseconds.
+    pub dbn_train_total_ms: f64,
+    /// Repetitions each measurement was summed over.
+    pub reps: usize,
+    /// `dbn_train_total_ms` of the committed pre-refactor baseline,
+    /// when present.
+    pub baseline_total_ms: Option<f64>,
+    /// `baseline_total_ms / dbn_train_total_ms`, when a baseline is
+    /// present.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
 /// Slot-loop throughput of one scheduling pattern (see `bench_online`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlotLoopStat {

@@ -98,7 +98,7 @@ pub fn size_capacitors(
     trace: &SolarTrace,
     h: usize,
     storage: &StorageModelParams,
-    _pmu: &Pmu,
+    pmu: &Pmu,
 ) -> Result<Vec<Farads>, CoreError> {
     if h == 0 {
         return Err(CoreError::Config("need at least one capacitor".into()));
@@ -106,17 +106,23 @@ pub fn size_capacitors(
     let grid = trace.grid();
     let slot = grid.slot_duration();
     let demand = asap_demand_profile(graph, grid.slots_per_period(), slot);
+    // Eq. 2's ΔE is a *delivered*-energy balance: harvested energy
+    // reaches the load through the PMU's direct channel, so the
+    // migration profile discounts it by that channel's efficiency
+    // (matching `Pmu::settle_slot`, where the direct channel serves
+    // the load first).
+    let eta = pmu.params().direct_efficiency;
 
     // Each day's bracket search only reads the trace and the shared
     // ASAP demand profile, so days fan out across workers; results come
     // back in day order, keeping the clustering input deterministic.
     let daily: Vec<Result<Farads, CoreError>> = helio_par::par_map_range(grid.days(), |day| {
-        // ΔE_{i,j,m} = harvested − ASAP load, per slot of the day
-        // (Eq. 2).
+        // ΔE_{i,j,m} = delivered harvest − ASAP load, per slot of the
+        // day (Eq. 2).
         let mut delta_e = Vec::with_capacity(grid.slots_per_day());
         for j in 0..grid.periods_per_day() {
             for (m, s) in grid.slots_in(PeriodRef::new(day, j)).enumerate() {
-                delta_e.push(trace.slot_energy(s) - demand[m]);
+                delta_e.push(trace.slot_energy(s) * eta - demand[m]);
             }
         }
         let out = optimal_capacitance(
@@ -147,9 +153,7 @@ pub fn train_proposed(
     cfg: &OfflineConfig,
 ) -> Result<ProposedPlanner, CoreError> {
     let optimal = OptimalPlanner::compute(node, graph, training, &cfg.dp, cfg.delta)?;
-    let inputs: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.input.clone()).collect();
-    let targets: Vec<Vec<f64>> = optimal.samples().iter().map(|s| s.target.clone()).collect();
-    let dbn = Dbn::train(&inputs, &targets, &cfg.dbn)?;
+    let dbn = Dbn::train_set(optimal.samples(), &cfg.dbn)?;
     Ok(ProposedPlanner::from_dbn(dbn, cfg.delta, cfg.switch))
 }
 
@@ -195,6 +199,47 @@ mod tests {
         assert!(sizes.iter().all(|c| c.value() >= 0.3 && c.value() <= 150.0));
         // Zero capacitors is rejected.
         assert!(size_capacitors(&g, &t, 0, &storage, &Pmu::default()).is_err());
+    }
+
+    #[test]
+    fn sizing_discounts_harvest_by_pmu_direct_efficiency() {
+        let g = benchmarks::ecg();
+        let t = trace(1, 9);
+        let storage = StorageModelParams::default();
+        let pmu = Pmu::default();
+        // Replicate the single-day ΔE profile by hand: harvest reaches
+        // the load through the direct channel, so it is discounted by
+        // that channel's efficiency before the ASAP demand is
+        // subtracted (Eq. 2 on delivered energy).
+        let grid = t.grid();
+        let slot = grid.slot_duration();
+        let demand = asap_demand_profile(&g, grid.slots_per_period(), slot);
+        let eta = pmu.params().direct_efficiency;
+        let mut delta_e = Vec::new();
+        for j in 0..grid.periods_per_day() {
+            for (m, s) in grid.slots_in(PeriodRef::new(0, j)).enumerate() {
+                delta_e.push(t.slot_energy(s) * eta - demand[m]);
+            }
+        }
+        let want = optimal_capacitance(
+            &delta_e,
+            slot,
+            &storage,
+            Farads::new(0.5),
+            Farads::new(120.0),
+        )
+        .unwrap()
+        .capacitance;
+        let got = size_capacitors(&g, &t, 1, &storage, &pmu).unwrap();
+        assert_eq!(got, vec![want]);
+        // A lossless PMU sees more usable harvest, so the sizing must
+        // actually depend on the efficiency (the parameter is no
+        // longer ignored).
+        let lossless = Pmu::new(helio_nvp::PmuParams {
+            direct_efficiency: 1.0,
+        });
+        let got_lossless = size_capacitors(&g, &t, 1, &storage, &lossless).unwrap();
+        assert_ne!(got, got_lossless, "efficiency must influence sizing");
     }
 
     #[test]

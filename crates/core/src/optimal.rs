@@ -8,6 +8,7 @@
 //! per-period `(observation, decision)` pairs it records double as the
 //! DBN training samples of the offline pipeline.
 
+use helio_ann::{Matrix, TrainingSet};
 use helio_common::time::PeriodRef;
 use helio_common::units::{Joules, Volts};
 use helio_par::par_map_range;
@@ -22,22 +23,16 @@ use crate::longterm::{optimize_horizon_with_cache, DpConfig, PeriodPlan};
 use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerObservation};
 use crate::subsets::dmr_level_subsets;
 
-/// One recorded training sample: the observation vector the online DBN
-/// will see, and the optimal decision vector it should produce.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OptimalSample {
-    /// `[prev-period slot powers (mW) ×N_s, capacitor voltages ×H,
-    /// accumulated DMR]`.
-    pub input: Vec<f64>,
-    /// `[capacitor index, α, te bits ×N]`.
-    pub target: Vec<f64>,
-}
-
 /// The precomputed optimal plan, replayed period by period.
+///
+/// The recorded per-period `(observation, decision)` pairs are packed
+/// into a [`TrainingSet`]: input row `r` holds `[prev-period slot
+/// powers (mW) ×N_s, capacitor voltages ×H, accumulated DMR]`, target
+/// row `r` holds `[capacitor index, α, te bits ×N]`.
 #[derive(Debug, Clone)]
 pub struct OptimalPlanner {
     decisions: Vec<(usize, PeriodPlan)>,
-    samples: Vec<OptimalSample>,
+    samples: TrainingSet,
     delta: f64,
     complexity: u64,
     cache_stats: CacheStats,
@@ -84,7 +79,14 @@ impl OptimalPlanner {
 
         let mut voltages: Vec<Volts> = caps.iter().map(|c| c.v_cutoff()).collect();
         let mut decisions: Vec<(usize, PeriodPlan)> = Vec::with_capacity(grid.total_periods());
-        let mut samples: Vec<OptimalSample> = Vec::with_capacity(grid.total_periods());
+        // Per-period observation seeds for the sample builder below:
+        // the bank voltages at period start (flat layout, `caps.len()`
+        // per period) and the accumulated DMR. Everything else an
+        // observation needs is a pure function of the trace or the
+        // decision, so recording these two keeps the sequential replay
+        // cheap and lets sample extraction fan out per day.
+        let mut volt_snap: Vec<f64> = Vec::with_capacity(grid.total_periods() * caps.len());
+        let mut dmr_snap: Vec<f64> = Vec::with_capacity(grid.total_periods());
         let mut complexity = 0u64;
         let mut acc_misses = 0usize;
         let mut acc_tasks = 0usize;
@@ -142,38 +144,16 @@ impl OptimalPlanner {
             }
             let (h_star, result) = best.expect("at least one capacitor");
 
-            // Record decisions and training samples, replaying period by
-            // period so the sample's voltage vector tracks the bank.
+            // Record decisions and observation seeds, replaying period
+            // by period so the snapshot voltages track the bank.
             for (j, plan) in result.plans.iter().enumerate() {
-                let period = PeriodRef::new(day, j);
                 let acc_dmr = if acc_tasks == 0 {
                     0.0
                 } else {
                     acc_misses as f64 / acc_tasks as f64
                 };
-                let mut input: Vec<f64> =
-                    Vec::with_capacity(grid.slots_per_period() + caps.len() + 1);
-                // Previous period's slot powers (mW); zeros before the
-                // first period.
-                let flat = grid.period_index(period);
-                if flat == 0 {
-                    input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
-                } else {
-                    let prev = grid.period_at(flat - 1);
-                    input.extend(trace.period_powers(prev).iter().map(|p| p.milliwatts()));
-                }
-                input.extend(voltages.iter().map(|v| v.value()));
-                input.push(acc_dmr);
-
-                let mut target = vec![h_star as f64, plan.alpha];
-                target.extend((0..graph.len()).map(|i| {
-                    if plan.subset.contains(i) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }));
-                samples.push(OptimalSample { input, target });
+                volt_snap.extend(voltages.iter().map(|v| v.value()));
+                dmr_snap.push(acc_dmr);
 
                 decisions.push((h_star, *plan));
                 acc_misses += plan.expected_misses;
@@ -206,6 +186,58 @@ impl OptimalPlanner {
             }
         }
 
+        // Build the packed training set from the recorded seeds. Each
+        // day's rows depend only on the trace, the decisions, and that
+        // day's snapshots, so extraction fans out across workers; the
+        // day-ordered merge makes the result identical for any thread
+        // count (including serial).
+        let n_caps = caps.len();
+        let spp = grid.slots_per_period();
+        let ppd = grid.periods_per_day();
+        let in_dim = spp + n_caps + 1;
+        let out_dim = 2 + graph.len();
+        let chunks: Vec<(Vec<f64>, Vec<f64>)> =
+            par_map_range(grid.days(), |day| {
+                let mut ins = Vec::with_capacity(ppd * in_dim);
+                let mut outs = Vec::with_capacity(ppd * out_dim);
+                for j in 0..ppd {
+                    let flat = day * ppd + j;
+                    // Previous period's slot powers (mW); zeros before the
+                    // first period.
+                    if flat == 0 {
+                        ins.extend(std::iter::repeat_n(0.0, spp));
+                    } else {
+                        let prev = grid.period_at(flat - 1);
+                        ins.extend(trace.period_powers(prev).iter().map(|p| p.milliwatts()));
+                    }
+                    ins.extend_from_slice(&volt_snap[flat * n_caps..(flat + 1) * n_caps]);
+                    ins.push(dmr_snap[flat]);
+
+                    let (h_star, plan) = &decisions[flat];
+                    outs.push(*h_star as f64);
+                    outs.push(plan.alpha);
+                    outs.extend((0..graph.len()).map(|i| {
+                        if plan.subset.contains(i) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }));
+                }
+                (ins, outs)
+            });
+        let total = grid.total_periods();
+        let mut flat_in = Vec::with_capacity(total * in_dim);
+        let mut flat_out = Vec::with_capacity(total * out_dim);
+        for (ins, outs) in chunks {
+            flat_in.extend_from_slice(&ins);
+            flat_out.extend_from_slice(&outs);
+        }
+        let samples = TrainingSet::new(
+            Matrix::from_flat(total, in_dim, flat_in)?,
+            Matrix::from_flat(total, out_dim, flat_out)?,
+        )?;
+
         Ok(Self {
             decisions,
             samples,
@@ -216,8 +248,9 @@ impl OptimalPlanner {
         })
     }
 
-    /// The recorded DBN training samples.
-    pub fn samples(&self) -> &[OptimalSample] {
+    /// The recorded DBN training samples, packed one observation/
+    /// decision pair per matrix row.
+    pub fn samples(&self) -> &TrainingSet {
         &self.samples
     }
 
@@ -321,15 +354,36 @@ mod tests {
         let t = trace();
         let g = benchmarks::ecg();
         let planner = OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
-        let in_dim = grid().slots_per_period() + 2 + 1;
-        let out_dim = 2 + g.len();
-        assert_eq!(planner.samples().len(), grid().total_periods());
-        for s in planner.samples() {
-            assert_eq!(s.input.len(), in_dim);
-            assert_eq!(s.target.len(), out_dim);
-            assert!(s.target[0] == 0.0 || s.target[0] == 1.0, "cap index");
-            assert!((0.0..=10.0).contains(&s.target[1]), "alpha");
+        let set = planner.samples();
+        assert_eq!(set.len(), grid().total_periods());
+        assert_eq!(set.input_dim(), grid().slots_per_period() + 2 + 1);
+        assert_eq!(set.output_dim(), 2 + g.len());
+        for r in 0..set.len() {
+            let target = set.targets.row(r);
+            assert!(target[0] == 0.0 || target[0] == 1.0, "cap index");
+            assert!((0.0..=10.0).contains(&target[1]), "alpha");
+            // te bits are exactly 0/1.
+            assert!(target[2..].iter().all(|&b| b == 0.0 || b == 1.0));
         }
+        // The first observation has no previous period: its solar
+        // features are zero, and the snapshot voltages start at the
+        // cutoff (both capacitors uncharged but valid).
+        let first = set.inputs.row(0);
+        assert!(first[..grid().slots_per_period()].iter().all(|&p| p == 0.0));
+        assert_eq!(set.inputs.row(1).len(), set.input_dim());
+    }
+
+    /// Sample extraction fans out per day with a day-ordered merge:
+    /// repeated runs must pack byte-identical sets however the OS
+    /// schedules the workers.
+    #[test]
+    fn sample_extraction_is_deterministic() {
+        let node = node();
+        let t = trace();
+        let g = benchmarks::ecg();
+        let a = OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        let b = OptimalPlanner::compute(&node, &g, &t, &DpConfig::default(), 0.5).unwrap();
+        assert_eq!(a.samples(), b.samples());
     }
 
     #[test]
