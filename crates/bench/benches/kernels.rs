@@ -223,6 +223,82 @@ fn batch_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn fleet_loop(c: &mut Criterion) {
+    // The sharded fleet path against the single-shard batch it
+    // partitions: 64 DBN-planned scenarios split over 1, 2 and 4
+    // shards via `run_sharded` — the dispatch `helio-fleet` and
+    // `bench_fleet` drive. Byte-identity across shard counts is
+    // CI-gated by `tests/golden_online.rs` and `tests/shard_props.rs`;
+    // this group guards the partition-and-join overhead.
+    const B: usize = 64;
+    let grid = helio_common::time::TimeGrid::new(1, 48, 2, Seconds::new(300.0)).expect("grid");
+    let graph = benchmarks::ecg();
+    let node = NodeConfig::builder(grid)
+        .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+        .build()
+        .expect("node");
+    let in_dim = grid.slots_per_period() + node.capacitors.len() + 1;
+    let out_dim = 2 + graph.len();
+    let inputs: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..in_dim)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..out_dim).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let cfg = helio_ann::DbnConfig {
+        hidden: vec![128, 128],
+        rbm_epochs: 10,
+        rbm_lr: 0.1,
+        bp_epochs: 30,
+        bp_lr: 0.4,
+        seed: 9,
+    };
+    let dbn = std::sync::Arc::new(helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train"));
+    let traces: Vec<_> = (0..B)
+        .map(|i| {
+            TraceBuilder::new(grid, SolarPanel::paper_panel())
+                .seed(17_000 + i as u64)
+                .weather(WeatherProcess::temperate())
+                .build()
+        })
+        .collect();
+    let planner = |dbn: &std::sync::Arc<helio_ann::Dbn>| {
+        heliosched::ProposedPlanner::from_shared_dbn(
+            std::sync::Arc::clone(dbn),
+            0.5,
+            heliosched::SwitchRule::default(),
+        )
+    };
+    let mut group = c.benchmark_group("fleet_loop");
+    group.sample_size(20);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_64_dbn_scenarios", shards),
+            &shards,
+            |b, &s| {
+                b.iter(|| {
+                    let mut engine =
+                        heliosched::BatchEngine::new(&node, &graph).expect("batch engine");
+                    for trace in &traces {
+                        engine
+                            .push(heliosched::BatchScenario::new(
+                                trace,
+                                Box::new(planner(&dbn)),
+                            ))
+                            .expect("scenario");
+                    }
+                    black_box(engine.run_sharded(s).expect("sharded run"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn fig8_fig9_dp(c: &mut Criterion) {
     let storage = StorageModelParams::default();
     let pmu = Pmu::default();
@@ -540,6 +616,7 @@ criterion_group!(
     fig8_engine,
     slot_loop,
     batch_loop,
+    fleet_loop,
     fig8_fig9_dp,
     matmul_kernels,
     dp_memoization,

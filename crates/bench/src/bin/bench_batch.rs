@@ -25,7 +25,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use helio_ann::{Dbn, DbnConfig};
-use helio_bench::{fast_mode, timed, write_json, BatchSweepPoint, BenchBatchReport};
+use helio_bench::{
+    effective_threads, fast_mode, timed, write_json, BatchSweepPoint, BenchBatchReport,
+};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_solar::{SolarPanel, SolarTrace, TraceBuilder, WeatherProcess};
@@ -106,6 +108,7 @@ fn run_batched(
 }
 
 fn main() {
+    let threads = effective_threads();
     let (days, periods_per_day, reps) = if fast_mode() { (2, 24, 3) } else { (4, 144, 8) };
     let grid = TimeGrid::new(days, periods_per_day, 2, Seconds::new(300.0)).expect("bench grid");
     let graph = benchmarks::ecg();
@@ -129,7 +132,7 @@ fn main() {
     println!(
         "# batched vs sequential throughput (ecg, {days}d x {periods_per_day}p x 2s grid, \
          {total_periods} periods/scenario, {reps} reps, threads = {})",
-        helio_par::configured_threads()
+        threads
     );
     println!(
         "{:>6} {:>14} {:>14} {:>16} {:>16} {:>8}",
@@ -195,7 +198,7 @@ fn main() {
     }
 
     let report = BenchBatchReport {
-        threads: helio_par::configured_threads(),
+        threads,
         grid: format!("{days}d x {periods_per_day}p x 2s"),
         backend: "proposed-dbn".into(),
         identical,

@@ -24,7 +24,9 @@ use std::sync::Arc;
 
 use helio_ann::Dbn;
 use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
-use helio_bench::{fast_mode, pct, write_json, RobustnessPoint, RobustnessReport};
+use helio_bench::{
+    effective_threads, fast_mode, pct, write_json, RobustnessPoint, RobustnessReport,
+};
 use helio_faults::{
     AgingFault, DbnFault, DbnFaultMode, FaultHarness, FaultPlan, PeriodWindow, SolarFault,
 };
@@ -100,6 +102,7 @@ fn recovery_periods(
 }
 
 fn main() {
+    let threads = effective_threads();
     let blackouts: &[usize] = if fast_mode() { &[0, 4] } else { &[0, 4, 8] };
     let agings = ["none", "moderate", "severe"];
 
@@ -119,14 +122,16 @@ fn main() {
     let dbn = Arc::new(golden_dbn(&optimal));
 
     println!(
-        "# robustness sweep (threads = {}, {} backends x {} blackouts x {} agings)",
-        helio_par::configured_threads(),
+        "# robustness sweep (threads = {threads}, {} backends x {} blackouts x {} agings)",
         BACKENDS.len(),
         blackouts.len(),
         agings.len()
     );
 
-    // Clean baselines: one un-faulted run per backend, as one batch.
+    let sweep_start = std::time::Instant::now();
+
+    // Clean baselines: one un-faulted run per backend, as one sharded
+    // batch (byte-identical to `run()` at any shard count).
     let clean: Vec<SimReport> = {
         let mut engine = BatchEngine::new(&node, &graph).expect("robustness engine");
         for backend in &BACKENDS {
@@ -137,7 +142,7 @@ fn main() {
                 ))
                 .expect("clean scenario");
         }
-        engine.run().expect("clean runs")
+        engine.run_parallel().expect("clean runs")
     };
 
     let mut cells: Vec<(usize, usize, usize)> = Vec::new();
@@ -187,8 +192,9 @@ fn main() {
                 )
                 .expect("faulted scenario");
         }
-        engine.run().expect("faulted runs")
+        engine.run_parallel().expect("faulted runs")
     };
+    let wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
 
     let sweep: Vec<RobustnessPoint> = cells
         .iter()
@@ -244,6 +250,7 @@ fn main() {
     }
 
     let report = RobustnessReport {
+        threads,
         grid: format!(
             "{}d x {}p x {}s",
             grid.days(),
@@ -252,8 +259,10 @@ fn main() {
         ),
         blackout_start: BLACKOUT_START,
         dbn_outage: [DBN_OUTAGE.start, DBN_OUTAGE.periods],
+        wall_ms,
         sweep,
     };
+    println!("sweep wall-clock: {wall_ms:.1} ms on {threads} thread(s)");
     println!();
     write_json(REPORT_PATH, &report);
 }

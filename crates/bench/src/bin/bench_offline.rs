@@ -12,7 +12,9 @@
 //! records what was actually used, so numbers from different machines
 //! stay comparable.
 
-use helio_bench::{fast_mode, sized_node, timed, weather_trace, BenchOfflineReport, BenchStage};
+use helio_bench::{
+    effective_threads, fast_mode, sized_node, timed, weather_trace, BenchOfflineReport, BenchStage,
+};
 use helio_common::time::PeriodRef;
 use helio_common::units::Joules;
 use helio_storage::SuperCap;
@@ -27,6 +29,7 @@ use heliosched::{
 const DP_REPS: usize = 3;
 
 fn main() {
+    let threads = effective_threads();
     let (periods, train_days, bp_epochs) = if fast_mode() {
         (48, 2, 100)
     } else {
@@ -36,10 +39,7 @@ fn main() {
     let dp = DpConfig::default();
     let mut stages = Vec::new();
 
-    println!(
-        "# offline pipeline timings (threads = {})",
-        helio_par::configured_threads()
-    );
+    println!("# offline pipeline timings (threads = {})", threads);
 
     // --- Stage 1: sizing (parallel per-day bracket search) -------------
     let training = weather_trace(train_days, periods, 1000);
@@ -149,7 +149,7 @@ fn main() {
     });
 
     let report = BenchOfflineReport {
-        threads: helio_par::configured_threads(),
+        threads,
         stages,
         cache_hits: cache.hits,
         cache_misses: cache.misses,

@@ -20,7 +20,9 @@
 use std::hint::black_box;
 
 use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
-use helio_bench::{fast_mode, timed, BenchOnlineReport, DecisionStat, SlotLoopStat};
+use helio_bench::{
+    effective_threads, fast_mode, timed, BenchOnlineReport, DecisionStat, SlotLoopStat,
+};
 use helio_storage::CapacitorBank;
 use helio_tasks::benchmarks;
 use heliosched::{
@@ -32,6 +34,7 @@ const BASELINE_PATH: &str = "results/BENCH_online_baseline.json";
 const REPORT_PATH: &str = "results/BENCH_online.json";
 
 fn main() {
+    let threads = effective_threads();
     let baseline_mode = std::env::var("HELIO_BENCH_BASELINE").is_ok_and(|v| v == "1");
     let (loop_reps, decision_reps) = if fast_mode() { (10, 5) } else { (300, 100) };
 
@@ -44,8 +47,7 @@ fn main() {
 
     println!(
         "# online hot-path timings (threads = {}, {} slots/run × {loop_reps} reps)",
-        helio_par::configured_threads(),
-        slots_per_run
+        threads, slots_per_run
     );
 
     // --- Slot-loop throughput per pattern ------------------------------
@@ -154,7 +156,7 @@ fn main() {
     };
 
     let report = BenchOnlineReport {
-        threads: helio_par::configured_threads(),
+        threads,
         slot_loop,
         slots_per_sec_overall,
         planner_decision,

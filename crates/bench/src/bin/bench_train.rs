@@ -17,7 +17,8 @@
 
 use helio_ann::{Dbn, Matrix, MinMaxScaler, Mlp, Rbm};
 use helio_bench::{
-    fast_mode, paper_grid, standard_sizes, timed, weather_trace, BenchStage, BenchTrainReport,
+    effective_threads, fast_mode, paper_grid, standard_sizes, timed, weather_trace, BenchStage,
+    BenchTrainReport,
 };
 use helio_common::rng::seeded;
 use helio_tasks::benchmarks;
@@ -28,6 +29,7 @@ use heliosched::{DpConfig, NodeConfig, OfflineConfig, OptimalPlanner};
 const REPS: usize = 3;
 
 fn main() {
+    let threads = effective_threads();
     let (train_days, periods, bp_epochs) = if fast_mode() {
         (2, 48, 100)
     } else {
@@ -42,10 +44,7 @@ fn main() {
     let mut cfg = OfflineConfig::default().dbn;
     cfg.bp_epochs = bp_epochs;
 
-    println!(
-        "# training pipeline timings (threads = {})",
-        helio_par::configured_threads()
-    );
+    println!("# training pipeline timings (threads = {})", threads);
 
     let optimal = OptimalPlanner::compute(&node, &graph, &training, &DpConfig::default(), 0.5)
         .expect("optimal plan");
@@ -143,7 +142,7 @@ fn main() {
     }
 
     let report = BenchTrainReport {
-        threads: helio_par::configured_threads(),
+        threads,
         samples,
         in_dim,
         out_dim,

@@ -140,6 +140,21 @@ pub fn golden_reports_with(
 /// byte-identity contract means these reports must render to exactly
 /// the committed golden files (CI-gated by `tests/golden_online.rs`).
 pub fn golden_batch_reports() -> Vec<(String, SimReport)> {
+    golden_batch_reports_via(&|engine| engine.run().expect("golden batch run"))
+}
+
+/// The same 21 cases as [`golden_batch_reports`] through
+/// [`BatchEngine::run_sharded`] with `shards` workers: the sharded
+/// engine's byte-identity contract means these reports must also
+/// render to exactly the committed golden files, for every shard
+/// count (CI-gated by `tests/golden_online.rs`).
+pub fn golden_sharded_reports(shards: usize) -> Vec<(String, SimReport)> {
+    golden_batch_reports_via(&move |engine| engine.run_sharded(shards).expect("golden sharded run"))
+}
+
+fn golden_batch_reports_via(
+    run: &dyn for<'a> Fn(BatchEngine<'a>) -> Vec<SimReport>,
+) -> Vec<(String, SimReport)> {
     let node = golden_node();
     let trace = golden_trace();
     let patterns = [
@@ -159,7 +174,7 @@ pub fn golden_batch_reports() -> Vec<(String, SimReport)> {
                 ))
                 .expect("golden batch scenario");
         }
-        let reports = engine.run().expect("golden batch run");
+        let reports = run(engine);
         for ((pattern, _), report) in patterns.iter().zip(reports) {
             out.push((format!("{}_{}", graph.name(), pattern), report));
         }
@@ -196,7 +211,7 @@ pub fn golden_batch_reports() -> Vec<(String, SimReport)> {
             )),
         ))
         .expect("golden batch scenario");
-    let mut reports = engine.run().expect("golden batch run").into_iter();
+    let mut reports = run(engine).into_iter();
     for name in ["ecg_optimal", "ecg_mpc", "ecg_dbn"] {
         out.push((name.into(), reports.next().expect("three reports")));
     }

@@ -150,7 +150,9 @@ pub fn run_planner_batch<'a>(
     for planner in planners {
         engine.push(BatchScenario::new(trace, planner))?;
     }
-    engine.run()
+    // Shard across the worker pool: byte-identical to `run()` at any
+    // shard count, so every figure binary gets the cores for free.
+    engine.run_parallel()
 }
 
 /// Runs the two baselines (the proposed/optimal runs are
@@ -185,6 +187,39 @@ pub fn run_baselines(
 /// `HELIO_THREADS`/`HELIO_SERIAL`.
 pub fn par_sweep<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     helio_par::par_map(items, f)
+}
+
+/// Resolves the worker count every bench binary records in its JSON
+/// output: a `--threads N` argument overrides `HELIO_THREADS` (by
+/// setting it, so the whole process — `helio-par` included — agrees),
+/// and a conflict between the two is reported on stderr rather than
+/// silently ignored. Call once at binary start-up, before any pool
+/// work.
+pub fn effective_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut requested: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            requested = iter.next().cloned();
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            requested = Some(v.to_string());
+        }
+    }
+    if let Some(raw) = requested {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                if let Ok(env_raw) = std::env::var("HELIO_THREADS") {
+                    if env_raw.trim() != raw.trim() {
+                        eprintln!("warning: --threads {raw} overrides HELIO_THREADS={env_raw}");
+                    }
+                }
+                std::env::set_var("HELIO_THREADS", n.to_string());
+            }
+            _ => eprintln!("warning: ignoring invalid --threads value `{raw}`"),
+        }
+    }
+    helio_par::configured_threads()
 }
 
 /// Runs `f` and returns its result plus the wall-clock milliseconds it
@@ -391,6 +426,9 @@ pub struct RobustnessPoint {
 /// (`results/ROBUSTNESS.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RobustnessReport {
+    /// Worker threads the sharded batch runs used
+    /// (`--threads`/`HELIO_THREADS`/`HELIO_SERIAL` aware).
+    pub threads: usize,
     /// Grid description (days × periods × slots).
     pub grid: String,
     /// Flat period the injected blackout starts at.
@@ -398,8 +436,55 @@ pub struct RobustnessReport {
     /// DBN-outage window injected into every faulted cell, as
     /// `[start, len]` flat periods.
     pub dbn_outage: [usize; 2],
+    /// Wall-clock of the whole sweep (clean + faulted batches),
+    /// milliseconds.
+    pub wall_ms: f64,
     /// The sweep, ordered backend-major.
     pub sweep: Vec<RobustnessPoint>,
+}
+
+/// One (thread count × batch width) cell of the `bench_fleet` sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweepPoint {
+    /// Worker threads the sharded run was pinned to.
+    pub threads: usize,
+    /// Scenarios advanced in lockstep per run.
+    pub batch: usize,
+    /// Scenario-periods simulated across all repetitions.
+    pub periods: u64,
+    /// Wall-clock across all repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// Throughput in scenario-periods per second.
+    pub periods_per_sec: f64,
+    /// Throughput in completed scenarios per second.
+    pub scenarios_per_sec: f64,
+    /// `scenarios_per_sec` over the sequential B=16 baseline.
+    pub speedup_vs_sequential: f64,
+}
+
+/// Machine-readable result of the `bench_fleet` binary
+/// (`results/BENCH_fleet.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFleetReport {
+    /// CPU cores the host exposed (`available_parallelism`).
+    pub host_cores: usize,
+    /// Grid description (days × periods × slots).
+    pub grid: String,
+    /// Planner backend the sweep shards (`proposed-dbn`).
+    pub backend: String,
+    /// Whether every sharded run was byte-identical to the sequential
+    /// engine (hard failure if ever false).
+    pub identical: bool,
+    /// Sequential baseline: one `Engine::run` per scenario over the
+    /// B=16 workload, scenarios per second.
+    pub sequential_scenarios_per_sec: f64,
+    /// Sequential baseline wall-clock, milliseconds.
+    pub sequential_wall_ms: f64,
+    /// Best `scenarios_per_sec / sequential_scenarios_per_sec` over the
+    /// sweep — the headline number.
+    pub best_speedup: f64,
+    /// One point per (threads × batch) cell, threads-major.
+    pub points: Vec<FleetSweepPoint>,
 }
 
 /// Convenience: run the static optimal planner.

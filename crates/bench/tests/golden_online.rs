@@ -11,7 +11,8 @@
 use std::path::PathBuf;
 
 use helio_bench::golden::{
-    golden_batch_reports, golden_reports, golden_reports_with, render, GOLDEN_DIR,
+    golden_batch_reports, golden_reports, golden_reports_with, golden_sharded_reports, render,
+    GOLDEN_DIR,
 };
 
 fn golden_dir() -> PathBuf {
@@ -64,6 +65,33 @@ fn batch_engine_reproduces_goldens_bytewise() {
             "`{name}` diverged when run through BatchEngine — the batched \
              path must be byte-identical to the sequential engine"
         );
+    }
+}
+
+/// The sharding gate: every golden case run through
+/// `BatchEngine::run_sharded` — scenarios partitioned into contiguous
+/// per-worker shards, each worker with its own scratch — must
+/// reproduce the committed bytes exactly, for single- and multi-shard
+/// partitions. This is the sharded engine's correctness contract over
+/// all 21 golden seeds.
+#[test]
+fn sharded_engine_reproduces_goldens_bytewise() {
+    let dir = golden_dir();
+    for shards in [1usize, 3] {
+        let reports = golden_sharded_reports(shards);
+        assert_eq!(reports.len(), 21);
+        for (name, report) in &reports {
+            let path = dir.join(format!("{name}.json"));
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+            assert_eq!(
+                render(report),
+                committed,
+                "`{name}` diverged when run through BatchEngine::run_sharded \
+                 with {shards} shards — the sharded path must be byte-identical \
+                 to the sequential engine"
+            );
+        }
     }
 }
 

@@ -25,6 +25,18 @@
 //! identical to per-sample inference and every other step reuses the
 //! sequential engine's own period step, a batched run is byte-identical
 //! to B sequential [`Engine::run`](crate::engine::Engine::run) calls.
+//!
+//! On top of the lockstep batch, [`BatchEngine::run_sharded`]
+//! partitions the pushed scenarios into contiguous per-worker shards
+//! and fans them out across the `helio-par` scoped-thread pool. Each
+//! worker owns its shard's SoA state plus one [`BatchScratch`] (reused
+//! across periods, and — via [`BatchEngine::run_sharded_with`] —
+//! across whole runs, which is what the long-lived `helio-fleet`
+//! service does between requests); the [`PlanContext`] and any shared
+//! DBN `Arc`s are shared read-only across all workers. Because
+//! scenarios never interact — grouping only changes *how* inference is
+//! batched, not its bits — a sharded run is byte-identical to
+//! [`BatchEngine::run`] for every shard count.
 
 use std::sync::Arc;
 
@@ -110,6 +122,163 @@ impl<'a> BatchScenario<'a> {
     }
 }
 
+/// Per-worker period scratch for one lockstep shard: feature rows,
+/// pending decisions, group bookkeeping, the gathered input/output
+/// matrices and the DBN forward scratch. Allocation-free in steady
+/// state — every buffer is cleared and reused across periods, and a
+/// scratch kept across [`BatchEngine::run_sharded_with`] calls carries
+/// its warm capacity from one run (or fleet request) to the next.
+#[derive(Default)]
+pub struct BatchScratch {
+    rows: Vec<Vec<f64>>,
+    decisions: Vec<Option<PlanDecision>>,
+    pending: Vec<(usize, Arc<Dbn>)>,
+    grouped: Vec<bool>,
+    members: Vec<usize>,
+    inputs: Matrix,
+    outputs: Matrix,
+    predict: BatchPredictScratch,
+}
+
+/// Runs one shard — a contiguous slice of scenarios — over the whole
+/// horizon in lockstep, reusing `scratch` across periods. This is the
+/// body both the single-threaded [`BatchEngine::run`] and every
+/// sharded worker execute; scenarios are independent, so a shard's
+/// reports are byte-identical to the same scenarios' slice of a
+/// whole-batch run.
+fn shard_loop(
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    ctx: &Arc<PlanContext>,
+    scenarios: &mut [BatchScenario<'_>],
+    scratch: &mut BatchScratch,
+) -> Result<Vec<SimReport>, CoreError> {
+    let grid = &node.grid;
+    let b = scenarios.len();
+    let mut states = Vec::with_capacity(b);
+    for _ in 0..b {
+        states.push(ScenarioState::new(node, graph)?);
+    }
+    // Mirror `run_with_faults`: an empty harness is no harness.
+    let harnesses: Vec<Option<&FaultHarness>> = scenarios
+        .iter()
+        .map(|s| s.harness.filter(|h| !h.is_empty()))
+        .collect();
+
+    // Structure-of-arrays period scratch, reused across periods (and,
+    // when the caller keeps the scratch, across runs).
+    if scratch.rows.len() < b {
+        scratch.rows.resize_with(b, Vec::new);
+    }
+    scratch.decisions.clear();
+    scratch.decisions.resize(b, None);
+    let BatchScratch {
+        rows,
+        decisions,
+        pending,
+        grouped,
+        members,
+        inputs,
+        outputs,
+        predict,
+    } = scratch;
+
+    for period in grid.periods() {
+        let flat = grid.period_index(period);
+
+        // Gather phase: per-period harness effects, then either a
+        // batch feature row or (for decliners) the full sequential
+        // plan() call.
+        pending.clear();
+        for (i, sc) in scenarios.iter_mut().enumerate() {
+            let env = ScenarioEnv {
+                node,
+                graph,
+                trace: sc.trace,
+                predictor: sc.predictor.as_ref(),
+                ctx,
+                harness: harnesses[i],
+            };
+            states[i].pre_plan(&env, flat, sc.planner.as_mut())?;
+            let obs = states[i].observation(&env, period);
+            rows[i].clear();
+            if sc.planner.batch_input(&obs, &mut rows[i]) {
+                match sc.planner.batch_dbn() {
+                    Some(dbn) => pending.push((i, dbn)),
+                    None => {
+                        return Err(CoreError::Config(
+                            "planner accepted a batch slot without exposing a shared DBN".into(),
+                        ))
+                    }
+                }
+            } else {
+                decisions[i] = Some(sc.planner.plan(&obs));
+            }
+        }
+
+        // Inference phase: group pending scenarios by shared network
+        // (Arc pointer identity) and run one batched forward per
+        // group; each scenario then completes its decision from its
+        // output row.
+        grouped.clear();
+        grouped.resize(pending.len(), false);
+        for g0 in 0..pending.len() {
+            if grouped[g0] {
+                continue;
+            }
+            let dbn = Arc::clone(&pending[g0].1);
+            members.clear();
+            for (k, flag) in grouped.iter_mut().enumerate().skip(g0) {
+                if !*flag && Arc::ptr_eq(&dbn, &pending[k].1) {
+                    *flag = true;
+                    members.push(k);
+                }
+            }
+            inputs.reset(members.len(), dbn.input_dim());
+            for (r, &k) in members.iter().enumerate() {
+                inputs.row_mut(r).copy_from_slice(&rows[pending[k].0]);
+            }
+            dbn.predict_batch_into(inputs, predict, outputs)?;
+            for (r, &k) in members.iter().enumerate() {
+                let i = pending[k].0;
+                let sc = &mut scenarios[i];
+                let env = ScenarioEnv {
+                    node,
+                    graph,
+                    trace: sc.trace,
+                    predictor: sc.predictor.as_ref(),
+                    ctx,
+                    harness: harnesses[i],
+                };
+                let obs = states[i].observation(&env, period);
+                decisions[i] = Some(sc.planner.plan_with_output(&obs, outputs.row(r)));
+            }
+        }
+
+        // Advance phase: every scenario executes its period.
+        for (i, sc) in scenarios.iter_mut().enumerate() {
+            let env = ScenarioEnv {
+                node,
+                graph,
+                trace: sc.trace,
+                predictor: sc.predictor.as_ref(),
+                ctx,
+                harness: harnesses[i],
+            };
+            let decision = decisions[i].take().ok_or_else(|| {
+                CoreError::Config("scenario reached the advance phase without a decision".into())
+            })?;
+            states[i].run_period(&env, period, sc.planner.as_mut(), decision)?;
+        }
+    }
+
+    let mut reports = Vec::with_capacity(b);
+    for ((state, sc), harness) in states.into_iter().zip(scenarios.iter_mut()).zip(harnesses) {
+        reports.push(state.into_report(sc.planner.as_mut(), harness));
+    }
+    Ok(reports)
+}
+
 /// Advances B independent scenarios in lockstep, batching DBN
 /// inference across them. See the module docs for the design.
 pub struct BatchEngine<'a> {
@@ -132,6 +301,30 @@ impl<'a> BatchEngine<'a> {
             .validate(node.grid.period_duration())
             .map_err(|e| CoreError::Tasks(e.to_string()))?;
         let ctx = Arc::new(PlanContext::new(graph, node.grid.slot_duration())?);
+        Ok(Self {
+            node,
+            graph,
+            ctx,
+            scenarios: Vec::new(),
+        })
+    }
+
+    /// [`BatchEngine::new`] reusing an already-derived [`PlanContext`]
+    /// — the long-lived fleet service derives the context once at
+    /// startup and hands the same `Arc` to every request's engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tasks`] when the task set does not fit the
+    /// period.
+    pub fn with_context(
+        node: &'a NodeConfig,
+        graph: &'a TaskGraph,
+        ctx: Arc<PlanContext>,
+    ) -> Result<Self, CoreError> {
+        graph
+            .validate(node.grid.period_duration())
+            .map_err(|e| CoreError::Tasks(e.to_string()))?;
         Ok(Self {
             node,
             graph,
@@ -183,131 +376,95 @@ impl<'a> BatchEngine<'a> {
     ///
     /// Returns the first [`CoreError`] any scenario produces (the same
     /// errors the sequential engine can return).
-    pub fn run(mut self) -> Result<Vec<SimReport>, CoreError> {
-        let grid = &self.node.grid;
+    pub fn run(self) -> Result<Vec<SimReport>, CoreError> {
+        self.run_with_scratch(&mut BatchScratch::default())
+    }
+
+    /// [`BatchEngine::run`] with a caller-owned [`BatchScratch`], so a
+    /// long-lived caller (the fleet service, a sweep loop) pays the
+    /// buffer warm-up once and runs allocation-free thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] any scenario produces.
+    pub fn run_with_scratch(
+        mut self,
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<SimReport>, CoreError> {
+        shard_loop(
+            self.node,
+            self.graph,
+            &self.ctx,
+            &mut self.scenarios,
+            scratch,
+        )
+    }
+
+    /// Partitions the batch into at most `shards` contiguous shards and
+    /// runs them on the `helio-par` worker pool, one worker per shard
+    /// with its own scratch. Reports come back in push order,
+    /// byte-identical to [`BatchEngine::run`] for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] any shard produces.
+    pub fn run_sharded(self, shards: usize) -> Result<Vec<SimReport>, CoreError> {
+        let shards = shards.max(1).min(self.scenarios.len().max(1));
+        let mut scratches: Vec<BatchScratch> = Vec::new();
+        scratches.resize_with(shards, BatchScratch::default);
+        self.run_sharded_with(&mut scratches)
+    }
+
+    /// [`BatchEngine::run_sharded`] with caller-owned per-worker
+    /// scratches — one shard per scratch. The fleet service keeps one
+    /// scratch per worker alive across requests, so steady-state
+    /// requests run with zero per-request setup cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `scratches` is empty and the
+    /// batch is not, otherwise the first [`CoreError`] any shard
+    /// produces.
+    pub fn run_sharded_with(
+        mut self,
+        scratches: &mut [BatchScratch],
+    ) -> Result<Vec<SimReport>, CoreError> {
         let b = self.scenarios.len();
-        let mut states = Vec::with_capacity(b);
-        for _ in 0..b {
-            states.push(ScenarioState::new(self.node, self.graph)?);
+        if b == 0 {
+            return Ok(Vec::new());
         }
-        // Mirror `run_with_faults`: an empty harness is no harness.
-        let harnesses: Vec<Option<&FaultHarness>> = self
-            .scenarios
-            .iter()
-            .map(|s| s.harness.filter(|h| !h.is_empty()))
-            .collect();
-
-        // Structure-of-arrays period scratch, reused across periods.
-        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); b];
-        let mut decisions: Vec<Option<PlanDecision>> = vec![None; b];
-        let mut pending: Vec<(usize, Arc<Dbn>)> = Vec::new();
-        let mut grouped: Vec<bool> = Vec::new();
-        let mut members: Vec<usize> = Vec::new();
-        let mut inputs = Matrix::default();
-        let mut outputs = Matrix::default();
-        let mut scratch = BatchPredictScratch::default();
-
-        for period in grid.periods() {
-            let flat = grid.period_index(period);
-
-            // Gather phase: per-period harness effects, then either a
-            // batch feature row or (for decliners) the full sequential
-            // plan() call.
-            pending.clear();
-            for (i, sc) in self.scenarios.iter_mut().enumerate() {
-                let env = ScenarioEnv {
-                    node: self.node,
-                    graph: self.graph,
-                    trace: sc.trace,
-                    predictor: sc.predictor.as_ref(),
-                    ctx: &self.ctx,
-                    harness: harnesses[i],
-                };
-                states[i].pre_plan(&env, flat, sc.planner.as_mut())?;
-                let obs = states[i].observation(&env, period);
-                rows[i].clear();
-                if sc.planner.batch_input(&obs, &mut rows[i]) {
-                    match sc.planner.batch_dbn() {
-                        Some(dbn) => pending.push((i, dbn)),
-                        None => {
-                            return Err(CoreError::Config(
-                                "planner accepted a batch slot without exposing a shared DBN"
-                                    .into(),
-                            ))
-                        }
-                    }
-                } else {
-                    decisions[i] = Some(sc.planner.plan(&obs));
-                }
-            }
-
-            // Inference phase: group pending scenarios by shared
-            // network (Arc pointer identity) and run one batched
-            // forward per group; each scenario then completes its
-            // decision from its output row.
-            grouped.clear();
-            grouped.resize(pending.len(), false);
-            for g0 in 0..pending.len() {
-                if grouped[g0] {
-                    continue;
-                }
-                let dbn = Arc::clone(&pending[g0].1);
-                members.clear();
-                for (k, flag) in grouped.iter_mut().enumerate().skip(g0) {
-                    if !*flag && Arc::ptr_eq(&dbn, &pending[k].1) {
-                        *flag = true;
-                        members.push(k);
-                    }
-                }
-                inputs.reset(members.len(), dbn.input_dim());
-                for (r, &k) in members.iter().enumerate() {
-                    inputs.row_mut(r).copy_from_slice(&rows[pending[k].0]);
-                }
-                dbn.predict_batch_into(&inputs, &mut scratch, &mut outputs)?;
-                for (r, &k) in members.iter().enumerate() {
-                    let i = pending[k].0;
-                    let sc = &mut self.scenarios[i];
-                    let env = ScenarioEnv {
-                        node: self.node,
-                        graph: self.graph,
-                        trace: sc.trace,
-                        predictor: sc.predictor.as_ref(),
-                        ctx: &self.ctx,
-                        harness: harnesses[i],
-                    };
-                    let obs = states[i].observation(&env, period);
-                    decisions[i] = Some(sc.planner.plan_with_output(&obs, outputs.row(r)));
-                }
-            }
-
-            // Advance phase: every scenario executes its period.
-            for (i, sc) in self.scenarios.iter_mut().enumerate() {
-                let env = ScenarioEnv {
-                    node: self.node,
-                    graph: self.graph,
-                    trace: sc.trace,
-                    predictor: sc.predictor.as_ref(),
-                    ctx: &self.ctx,
-                    harness: harnesses[i],
-                };
-                let decision = decisions[i].take().ok_or_else(|| {
-                    CoreError::Config(
-                        "scenario reached the advance phase without a decision".into(),
-                    )
-                })?;
-                states[i].run_period(&env, period, sc.planner.as_mut(), decision)?;
-            }
+        if scratches.is_empty() {
+            return Err(CoreError::Config(
+                "sharded run needs at least one worker scratch".into(),
+            ));
         }
-
-        let mut reports = Vec::with_capacity(b);
-        for ((state, sc), harness) in states
-            .into_iter()
-            .zip(self.scenarios.iter_mut())
-            .zip(harnesses)
-        {
-            reports.push(state.into_report(sc.planner.as_mut(), harness));
+        // Never split below one scenario per shard: chunk boundaries
+        // stay deterministic and idle workers are skipped entirely.
+        let shards = scratches.len().min(b);
+        let node = self.node;
+        let graph = self.graph;
+        let ctx = &self.ctx;
+        let shard_reports = helio_par::par_zip_chunks_mut(
+            &mut self.scenarios,
+            &mut scratches[..shards],
+            |_, shard, scratch| shard_loop(node, graph, ctx, shard, scratch),
+        );
+        let mut all = Vec::with_capacity(b);
+        for reports in shard_reports {
+            all.extend(reports?);
         }
-        Ok(reports)
+        Ok(all)
+    }
+
+    /// [`BatchEngine::run_sharded`] across every configured worker
+    /// (`HELIO_THREADS` / `HELIO_SERIAL`, else available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] any shard produces.
+    pub fn run_parallel(self) -> Result<Vec<SimReport>, CoreError> {
+        let shards = helio_par::configured_threads();
+        self.run_sharded(shards)
     }
 
     /// Builds and runs batches of at most `chunk` scenarios over
@@ -553,6 +710,73 @@ mod tests {
         }
         let whole = engine.run().unwrap();
         assert_eq!(chunked, whole);
+    }
+
+    #[test]
+    fn sharded_matches_run_for_every_shard_count() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..5).map(|s| trace(31 + s)).collect();
+        let build = |ctx: Option<Arc<PlanContext>>| {
+            let mut engine = match ctx {
+                Some(ctx) => BatchEngine::with_context(&node, &g, ctx).unwrap(),
+                None => BatchEngine::new(&node, &g).unwrap(),
+            };
+            for (i, t) in traces.iter().enumerate() {
+                let planner: Box<dyn PeriodPlanner> = match i % 3 {
+                    0 => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
+                    1 => Box::new(dbn_planner(&dbn)),
+                    _ => Box::new(ResilientPlanner::new(Box::new(dbn_planner(&dbn)))),
+                };
+                engine.push(BatchScenario::new(t, planner)).unwrap();
+            }
+            engine
+        };
+        let whole = build(None).run().unwrap();
+        let shared_ctx = Arc::clone(build(None).plan_context());
+        for shards in [1, 2, 3, 5, 8] {
+            let sharded = build(Some(Arc::clone(&shared_ctx)))
+                .run_sharded(shards)
+                .unwrap();
+            assert_eq!(sharded.len(), whole.len());
+            for (i, (a, b)) in sharded.iter().zip(&whole).enumerate() {
+                assert_eq!(
+                    serde_json::to_string(a).unwrap(),
+                    serde_json::to_string(b).unwrap(),
+                    "scenario {i} diverged at {shards} shards"
+                );
+            }
+        }
+        let parallel = build(None).run_parallel().unwrap();
+        assert_eq!(parallel, whole);
+    }
+
+    #[test]
+    fn scratches_are_reusable_across_runs() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..4).map(|s| trace(77 + s)).collect();
+        let build = || {
+            let mut engine = BatchEngine::new(&node, &g).unwrap();
+            for t in &traces {
+                engine
+                    .push(BatchScenario::new(t, Box::new(dbn_planner(&dbn))))
+                    .unwrap();
+            }
+            engine
+        };
+        let whole = build().run().unwrap();
+        let mut scratches = [BatchScratch::default(), BatchScratch::default()];
+        // Same scratches, two consecutive runs: warm buffers must not
+        // change the output.
+        for _ in 0..2 {
+            let reports = build().run_sharded_with(&mut scratches).unwrap();
+            assert_eq!(reports, whole);
+        }
+        let err = build().run_sharded_with(&mut []);
+        assert!(matches!(err, Err(CoreError::Config(_))));
     }
 
     #[test]

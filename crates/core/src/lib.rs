@@ -70,7 +70,7 @@ pub mod subsets;
 pub use analysis::{
     capacitor_usage, day_night_split, dmr_improvement, DayNightSplit, TradeoffPoint,
 };
-pub use batch::{BatchEngine, BatchScenario, PlanContext};
+pub use batch::{BatchEngine, BatchScenario, BatchScratch, PlanContext};
 pub use config::NodeConfig;
 pub use engine::Engine;
 pub use error::CoreError;
@@ -91,7 +91,7 @@ pub use subsets::{closed_subsets, dmr_level_subsets};
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
-    pub use crate::batch::{BatchEngine, BatchScenario, PlanContext};
+    pub use crate::batch::{BatchEngine, BatchScenario, BatchScratch, PlanContext};
     pub use crate::config::NodeConfig;
     pub use crate::engine::Engine;
     pub use crate::error::CoreError;

@@ -76,7 +76,7 @@ enum Backend {
         out_buf: Vec<f64>,
     },
     Mpc {
-        predictor: Box<dyn SolarPredictor>,
+        predictor: Box<dyn SolarPredictor + Send>,
         horizon_periods: usize,
         dp: DpConfig,
         cache: Option<MpcCache>,
@@ -145,7 +145,7 @@ impl ProposedPlanner {
     /// Creates the MPC-backed planner: re-plan each day over
     /// `horizon_periods` of forecast solar.
     pub fn mpc(
-        predictor: Box<dyn SolarPredictor>,
+        predictor: Box<dyn SolarPredictor + Send>,
         horizon_periods: usize,
         dp: DpConfig,
         delta: f64,
@@ -283,10 +283,15 @@ impl ProposedPlanner {
         if flat == 0 {
             input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
         } else {
+            // Stream slot powers straight from the trace: this runs
+            // every period, so it must not allocate a temporary Vec.
             let prev = grid.period_at(flat - 1);
-            input.extend(obs.trace.period_powers(prev).iter().map(|p| p.milliwatts()));
+            input.extend(
+                grid.slots_in(prev)
+                    .map(|s| obs.trace.slot_power(s).milliwatts()),
+            );
         }
-        input.extend(obs.bank.voltages());
+        input.extend(obs.bank.voltages_iter());
         input.push(obs.accumulated_dmr);
     }
 

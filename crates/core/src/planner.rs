@@ -112,7 +112,11 @@ pub enum PlannerHealth {
 /// [`PeriodPlanner::health`], [`PeriodPlanner::on_contract_violation`])
 /// have no-op defaults so ordinary planners stay oblivious to the
 /// harness; planners with an inference path override them.
-pub trait PeriodPlanner {
+///
+/// Planners are `Send` so a batch of boxed planners can be sharded
+/// across the `helio-par` worker pool; every implementor is plain
+/// owned data, so this costs nothing.
+pub trait PeriodPlanner: Send {
     /// Planner name for experiment tables.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,573 @@
+//! The fleet-simulation service: a long-lived process that accepts
+//! JSON scenario-batch requests and streams back one [`SimReport`]
+//! per scenario, sharding each batch across the `helio-par` worker
+//! pool.
+//!
+//! ## Protocol
+//!
+//! Line-delimited JSON over any `BufRead`/`Write` pair (stdin/stdout
+//! by default, one TCP connection in `--listen` mode):
+//!
+//! 1. The **first** line is the fleet configuration — node, grid, task
+//!    benchmark, planner hyper-parameters, optional DBN training spec,
+//!    optional worker count. Everything derivable once is derived
+//!    once: the [`PlanContext`], the trained DBN, the per-worker
+//!    [`BatchScratch`]es.
+//! 2. Every following line is a request: `{"id": N, "scenarios":
+//!    [...]}`. Scenarios within a request run as one sharded lockstep
+//!    batch.
+//! 3. The service answers each request with one line per scenario, in
+//!    scenario order — `{"id": N, "index": I, "report": {...}}` — and
+//!    keeps the connection open for the next request. A malformed
+//!    request line produces a single `{"error": "..."}` (or
+//!    `{"id": N, "error": "..."}`) line and the service keeps serving.
+//!
+//! Output lines are deterministic functions of the input (reports are
+//! byte-identical to `Engine::run_with_faults`), so a recorded session
+//! can be replayed and diffed bytewise — the CI smoke test does
+//! exactly that. Telemetry (timings, worker counts) never goes to the
+//! protocol stream.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use helio_ann::{Dbn, DbnConfig};
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_faults::{FaultHarness, FaultPlan};
+use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
+use helio_tasks::{benchmarks, TaskGraph};
+use heliosched::{
+    BatchEngine, BatchScenario, BatchScratch, CoreError, DpConfig, FixedPlanner, NodeConfig,
+    OptimalPlanner, Pattern, PeriodPlanner, PlanContext, ProposedPlanner, ResilientPlanner,
+    SimReport, SwitchRule,
+};
+use serde::{Deserialize, Value};
+
+/// Anything that can go wrong while configuring or serving the fleet.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A protocol line failed to parse or validate.
+    Protocol(String),
+    /// The fleet configuration is unusable.
+    Config(String),
+    /// The simulation engine rejected a scenario.
+    Engine(String),
+    /// The transport failed (broken pipe, socket error).
+    Io(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FleetError::Config(m) => write!(f, "config error: {m}"),
+            FleetError::Engine(m) => write!(f, "engine error: {m}"),
+            FleetError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Engine(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e.to_string())
+    }
+}
+
+fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, serde::DeError> {
+    match v.field(name) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(inner) => Ok(Some(T::deserialize_json(inner)?)),
+    }
+}
+
+/// Grid dimensions of every scenario the service simulates.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    /// Days per scenario.
+    pub days: usize,
+    /// Periods per day.
+    pub periods: usize,
+    /// Slots per period.
+    pub slots: usize,
+    /// Slot duration in seconds.
+    pub slot_seconds: f64,
+}
+
+impl Deserialize for GridSpec {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            days: usize::deserialize_json(v.field("days")?)?,
+            periods: usize::deserialize_json(v.field("periods")?)?,
+            slots: usize::deserialize_json(v.field("slots")?)?,
+            slot_seconds: opt(v, "slot_seconds")?.unwrap_or(60.0),
+        })
+    }
+}
+
+/// How (and whether) to train the shared DBN at startup: the optimal
+/// planner generates training samples on a dedicated trace, exactly
+/// like the offline phase of the paper.
+#[derive(Debug, Clone)]
+pub struct DbnSpec {
+    /// Seed of the training trace.
+    pub seed: u64,
+    /// Training-trace day archetypes; cycled to the grid's day count
+    /// when shorter. Empty means the four standard archetypes.
+    pub days: Vec<DayArchetype>,
+    /// Backprop epochs (the paper-scale default is slow; fleet
+    /// configs typically lower it).
+    pub bp_epochs: usize,
+}
+
+impl Deserialize for DbnSpec {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            seed: opt(v, "seed")?.unwrap_or(11),
+            days: opt(v, "days")?.unwrap_or_default(),
+            bp_epochs: opt(v, "bp_epochs")?.unwrap_or(150),
+        })
+    }
+}
+
+/// First protocol line: everything the service derives once and reuses
+/// for every request.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Grid dimensions.
+    pub grid: GridSpec,
+    /// Capacitor bank, in farads.
+    pub capacitors_farads: Vec<f64>,
+    /// Task benchmark: `random1..random3`, `wam`, `ecg`, `shm`.
+    pub benchmark: String,
+    /// Pattern-selection threshold `δ` for planner-driven scenarios.
+    pub delta: f64,
+    /// DP resolution for `optimal` / `mpc` scenarios.
+    pub dp: DpConfig,
+    /// Train a shared DBN at startup (required by `dbn` scenarios).
+    pub dbn: Option<DbnSpec>,
+    /// Worker count; defaults to the configured `helio-par` pool.
+    pub threads: Option<usize>,
+}
+
+impl Deserialize for FleetConfig {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        let dp = match v.field("dp") {
+            Ok(d) if !matches!(d, Value::Null) => DpConfig {
+                voltage_buckets: opt(d, "voltage_buckets")?.unwrap_or(6),
+                keep_per_level: opt(d, "keep_per_level")?.unwrap_or(1),
+            },
+            _ => DpConfig {
+                voltage_buckets: 6,
+                keep_per_level: 1,
+            },
+        };
+        Ok(Self {
+            grid: GridSpec::deserialize_json(v.field("grid")?)?,
+            capacitors_farads: Vec::deserialize_json(v.field("capacitors_farads")?)?,
+            benchmark: opt(v, "benchmark")?.unwrap_or_else(|| "ecg".to_string()),
+            delta: opt(v, "delta")?.unwrap_or(0.5),
+            dp,
+            dbn: opt(v, "dbn")?,
+            threads: opt(v, "threads")?,
+        })
+    }
+}
+
+/// One scenario of a request.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Trace seed.
+    pub seed: u64,
+    /// Day archetypes; cycled to the grid's day count when shorter,
+    /// empty means the four standard archetypes.
+    pub days: Vec<DayArchetype>,
+    /// Planner kind: `asap`, `inter`, `intra`, `dbn`, `mpc`,
+    /// `optimal`.
+    pub planner: String,
+    /// Capacitor a fixed-pattern planner locks to; defaults to 0 for
+    /// `asap`, the largest capacitor otherwise.
+    pub capacitor: Option<usize>,
+    /// Wrap the planner in a [`ResilientPlanner`].
+    pub resilient: bool,
+    /// Fault plan to inject, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Deserialize for ScenarioSpec {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            seed: opt(v, "seed")?.unwrap_or(0),
+            days: opt(v, "days")?.unwrap_or_default(),
+            planner: opt(v, "planner")?.unwrap_or_else(|| "inter".to_string()),
+            capacitor: opt(v, "capacitor")?,
+            resilient: opt(v, "resilient")?.unwrap_or(false),
+            faults: opt(v, "faults")?,
+        })
+    }
+}
+
+/// One request line: a batch of scenarios simulated in lockstep.
+#[derive(Debug, Clone)]
+pub struct FleetRequest {
+    /// Echoed back on every response line of this request.
+    pub id: u64,
+    /// The scenarios to simulate.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl Deserialize for FleetRequest {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            id: opt(v, "id")?.unwrap_or(0),
+            scenarios: Vec::deserialize_json(v.field("scenarios")?)?,
+        })
+    }
+}
+
+/// Cycles `days` (or the four standard archetypes when empty) to
+/// exactly `want` entries.
+fn cycle_days(days: &[DayArchetype], want: usize) -> Vec<DayArchetype> {
+    let base: &[DayArchetype] = if days.is_empty() {
+        &DayArchetype::ALL
+    } else {
+        days
+    };
+    base.iter().copied().cycle().take(want).collect()
+}
+
+/// The long-lived service state: node, task set, plan context, shared
+/// DBN and per-worker scratches, all derived once at startup and
+/// reused by every request.
+pub struct FleetService {
+    node: NodeConfig,
+    graph: TaskGraph,
+    ctx: Arc<PlanContext>,
+    dbn: Option<Arc<Dbn>>,
+    delta: f64,
+    dp: DpConfig,
+    scratches: Vec<BatchScratch>,
+    requests_served: u64,
+    scenarios_served: u64,
+}
+
+impl FleetService {
+    /// Builds the service from the first protocol line: validates the
+    /// grid and node, resolves the benchmark, derives the shared
+    /// [`PlanContext`], trains the shared DBN when configured, and
+    /// allocates one [`BatchScratch`] per worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Config`] for an unusable configuration.
+    pub fn new(cfg: &FleetConfig) -> Result<Self, FleetError> {
+        let grid = TimeGrid::new(
+            cfg.grid.days,
+            cfg.grid.periods,
+            cfg.grid.slots,
+            Seconds::new(cfg.grid.slot_seconds),
+        )
+        .map_err(|e| FleetError::Config(e.to_string()))?;
+        if cfg.capacitors_farads.is_empty() {
+            return Err(FleetError::Config("capacitors_farads is empty".into()));
+        }
+        let caps: Vec<Farads> = cfg
+            .capacitors_farads
+            .iter()
+            .map(|&f| Farads::new(f))
+            .collect();
+        let node = NodeConfig::builder(grid)
+            .capacitors(&caps)
+            .build()
+            .map_err(|e| FleetError::Config(e.to_string()))?;
+        let graph = benchmark_by_name(&cfg.benchmark)?;
+        graph
+            .validate(grid.period_duration())
+            .map_err(|e| FleetError::Config(e.to_string()))?;
+        let ctx = Arc::new(
+            PlanContext::new(&graph, grid.slot_duration())
+                .map_err(|e| FleetError::Config(e.to_string()))?,
+        );
+        let dbn = match &cfg.dbn {
+            Some(spec) => Some(Arc::new(train_dbn(&node, &graph, cfg, spec)?)),
+            None => None,
+        };
+        let workers = cfg
+            .threads
+            .unwrap_or_else(helio_par::configured_threads)
+            .max(1);
+        let mut scratches = Vec::new();
+        scratches.resize_with(workers, BatchScratch::default);
+        Ok(Self {
+            node,
+            graph,
+            ctx,
+            dbn,
+            delta: cfg.delta,
+            dp: cfg.dp,
+            scratches,
+            requests_served: 0,
+            scenarios_served: 0,
+        })
+    }
+
+    /// Worker (and scratch) count.
+    pub fn workers(&self) -> usize {
+        self.scratches.len()
+    }
+
+    /// Requests handled so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Scenarios simulated so far.
+    pub fn scenarios_served(&self) -> u64 {
+        self.scenarios_served
+    }
+
+    /// Simulates one request as a sharded lockstep batch, reusing the
+    /// plan context and per-worker scratches; reports come back in
+    /// scenario order, byte-identical to sequential engine runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Protocol`] for an invalid scenario spec
+    /// and [`FleetError::Engine`] when the engine rejects one.
+    pub fn handle(&mut self, req: &FleetRequest) -> Result<Vec<SimReport>, FleetError> {
+        let total = self.node.grid.total_periods();
+        let periods_per_day = self.node.grid.periods_per_day();
+        let days = self.node.grid.days();
+        let traces: Vec<SolarTrace> = req
+            .scenarios
+            .iter()
+            .map(|s| {
+                TraceBuilder::new(self.node.grid, SolarPanel::paper_panel())
+                    .seed(s.seed)
+                    .days(&cycle_days(&s.days, days))
+                    .build()
+            })
+            .collect();
+        let harnesses: Vec<Option<FaultHarness>> = req
+            .scenarios
+            .iter()
+            .map(|s| {
+                s.faults
+                    .as_ref()
+                    .map(|plan| FaultHarness::new(plan, total, periods_per_day))
+            })
+            .collect();
+
+        // Split the borrows: the engine borrows node/graph/ctx
+        // immutably while the run needs the scratches mutably.
+        let Self {
+            node,
+            graph,
+            ctx,
+            dbn,
+            delta,
+            dp,
+            scratches,
+            ..
+        } = self;
+        let mut engine = BatchEngine::with_context(node, graph, Arc::clone(ctx))?;
+        for (i, spec) in req.scenarios.iter().enumerate() {
+            let planner = make_planner(spec, node, graph, &traces[i], dbn.as_ref(), *delta, *dp)?;
+            let mut scenario = BatchScenario::new(&traces[i], planner);
+            if let Some(h) = &harnesses[i] {
+                scenario = scenario.with_harness(h);
+            }
+            engine.push(scenario)?;
+        }
+        let reports = engine.run_sharded_with(scratches)?;
+        self.requests_served += 1;
+        self.scenarios_served += reports.len() as u64;
+        Ok(reports)
+    }
+}
+
+fn benchmark_by_name(name: &str) -> Result<TaskGraph, FleetError> {
+    match name {
+        "wam" => Ok(benchmarks::wam()),
+        "ecg" => Ok(benchmarks::ecg()),
+        "shm" => Ok(benchmarks::shm()),
+        "random1" => Ok(benchmarks::random_case(1)),
+        "random2" => Ok(benchmarks::random_case(2)),
+        "random3" => Ok(benchmarks::random_case(3)),
+        other => Err(FleetError::Config(format!(
+            "unknown benchmark `{other}` (expected random1..random3, wam, ecg, shm)"
+        ))),
+    }
+}
+
+/// Offline phase at startup: compute the optimal planner on the
+/// training trace and train the DBN from its recorded samples.
+fn train_dbn(
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    cfg: &FleetConfig,
+    spec: &DbnSpec,
+) -> Result<Dbn, FleetError> {
+    let trace = TraceBuilder::new(node.grid, SolarPanel::paper_panel())
+        .seed(spec.seed)
+        .days(&cycle_days(&spec.days, node.grid.days()))
+        .build();
+    let optimal = OptimalPlanner::compute(node, graph, &trace, &cfg.dp, cfg.delta)?;
+    let mut dbn_cfg = DbnConfig::small(spec.seed);
+    dbn_cfg.bp_epochs = spec.bp_epochs;
+    Dbn::train_set(optimal.samples(), &dbn_cfg).map_err(|e| FleetError::Config(e.to_string()))
+}
+
+fn make_planner(
+    spec: &ScenarioSpec,
+    node: &NodeConfig,
+    graph: &TaskGraph,
+    trace: &SolarTrace,
+    dbn: Option<&Arc<Dbn>>,
+    delta: f64,
+    dp: DpConfig,
+) -> Result<Box<dyn PeriodPlanner + 'static>, FleetError> {
+    let bank_len = node.capacitor_count();
+    let default_cap = |pattern: Pattern| match pattern {
+        Pattern::Asap => 0,
+        _ => bank_len.saturating_sub(1),
+    };
+    let cap_for = |pattern: Pattern| -> Result<usize, FleetError> {
+        let c = spec.capacitor.unwrap_or_else(|| default_cap(pattern));
+        if c >= bank_len {
+            return Err(FleetError::Protocol(format!(
+                "capacitor {c} out of range for a bank of {bank_len}"
+            )));
+        }
+        Ok(c)
+    };
+    let inner: Box<dyn PeriodPlanner + 'static> = match spec.planner.as_str() {
+        "asap" => Box::new(FixedPlanner::new(Pattern::Asap, cap_for(Pattern::Asap)?)),
+        "inter" => Box::new(FixedPlanner::new(Pattern::Inter, cap_for(Pattern::Inter)?)),
+        "intra" => Box::new(FixedPlanner::new(Pattern::Intra, cap_for(Pattern::Intra)?)),
+        "dbn" => {
+            let dbn = dbn.ok_or_else(|| {
+                FleetError::Protocol(
+                    "scenario requests the dbn planner but the fleet config trained no DBN".into(),
+                )
+            })?;
+            Box::new(ProposedPlanner::from_shared_dbn(
+                Arc::clone(dbn),
+                delta,
+                SwitchRule::default(),
+            ))
+        }
+        "mpc" => Box::new(ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            node.grid.periods_per_day(),
+            dp,
+            delta,
+            SwitchRule::default(),
+        )),
+        "optimal" => Box::new(OptimalPlanner::compute(node, graph, trace, &dp, delta)?),
+        other => {
+            return Err(FleetError::Protocol(format!(
+                "unknown planner `{other}` (expected asap, inter, intra, dbn, mpc, optimal)"
+            )))
+        }
+    };
+    Ok(if spec.resilient {
+        Box::new(ResilientPlanner::new(inner))
+    } else {
+        inner
+    })
+}
+
+/// Writes one response line per report: `{"id":N,"index":I,"report":…}`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] when the transport fails.
+pub fn write_reports<W: Write>(
+    out: &mut W,
+    id: u64,
+    reports: &[SimReport],
+) -> Result<(), FleetError> {
+    for (index, report) in reports.iter().enumerate() {
+        let json = serde_json::to_string(report)
+            .map_err(|e| FleetError::Engine(format!("report serialisation failed: {e}")))?;
+        writeln!(out, "{{\"id\":{id},\"index\":{index},\"report\":{json}}}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn write_error<W: Write>(out: &mut W, id: Option<u64>, msg: &str) -> Result<(), FleetError> {
+    let msg = serde_json::to_string(msg)
+        .map_err(|e| FleetError::Engine(format!("error serialisation failed: {e}")))?;
+    match id {
+        Some(id) => writeln!(out, "{{\"id\":{id},\"error\":{msg}}}")?,
+        None => writeln!(out, "{{\"error\":{msg}}}")?,
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Serves one session: reads the config line, then answers request
+/// lines until EOF. Per-request failures (bad JSON, unknown planner)
+/// produce an error line and the session continues; only transport
+/// failures and an unusable config abort.
+///
+/// Returns the service (with its telemetry counters) once the peer
+/// closes the stream.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Config`]/[`FleetError::Protocol`] when the
+/// first line is unusable and [`FleetError::Io`] when the transport
+/// fails.
+pub fn serve<R: BufRead, W: Write>(input: R, mut out: W) -> Result<FleetService, FleetError> {
+    let mut lines = input.lines();
+    let config_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => {
+                return Err(FleetError::Protocol(
+                    "stream ended before a fleet config line".into(),
+                ))
+            }
+        }
+    };
+    let cfg: FleetConfig = serde_json::from_str(&config_line)
+        .map_err(|e| FleetError::Protocol(format!("bad fleet config: {e}")))?;
+    let mut service = FleetService::new(&cfg)?;
+
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: FleetRequest = match serde_json::from_str(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                write_error(&mut out, None, &format!("bad request: {e}"))?;
+                continue;
+            }
+        };
+        match service.handle(&req) {
+            Ok(reports) => write_reports(&mut out, req.id, &reports)?,
+            Err(FleetError::Io(e)) => return Err(FleetError::Io(e)),
+            Err(e) => write_error(&mut out, Some(req.id), &e.to_string())?,
+        }
+    }
+    Ok(service)
+}

@@ -1,0 +1,119 @@
+//! `helio-fleet` — the long-running fleet-simulation server.
+//!
+//! Default mode serves one session over stdin/stdout:
+//!
+//! ```text
+//! helio-fleet < session.jsonl > reports.jsonl
+//! ```
+//!
+//! `--listen ADDR` binds a TCP listener and serves connections
+//! sequentially, each with the same line protocol (config line first,
+//! then request lines):
+//!
+//! ```text
+//! helio-fleet --listen 127.0.0.1:7077
+//! ```
+//!
+//! Protocol output (report/error lines) goes to the peer; telemetry
+//! (worker count, request totals) goes to stderr so recorded sessions
+//! stay byte-reproducible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use helio_fleet::{serve, FleetError};
+
+fn usage() -> &'static str {
+    "usage: helio-fleet [--listen ADDR]\n\
+     \n\
+     Reads one fleet-config JSON line, then scenario-batch request\n\
+     lines, writing one report line per scenario. Without --listen the\n\
+     session runs over stdin/stdout; with it, over sequential TCP\n\
+     connections to ADDR."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => serve_stdio(),
+        [flag] if flag == "--help" || flag == "-h" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        [flag, addr] if flag == "--listen" => serve_tcp(addr),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_stdio() -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let result = serve(stdin.lock(), BufWriter::new(stdout.lock()));
+    finish("stdin session", result)
+}
+
+fn serve_tcp(addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("helio-fleet: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("helio-fleet: listening on {addr}");
+    for conn in listener.incoming() {
+        let conn = match conn {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("helio-fleet: accept failed: {e}");
+                continue;
+            }
+        };
+        let peer = conn
+            .peer_addr()
+            .map(|p| p.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let reader = match conn.try_clone() {
+            Ok(c) => BufReader::new(c),
+            Err(e) => {
+                eprintln!("helio-fleet: cannot clone connection from {peer}: {e}");
+                continue;
+            }
+        };
+        let mut writer = BufWriter::new(conn);
+        match serve(reader, &mut writer) {
+            Ok(service) => eprintln!(
+                "helio-fleet: {peer}: {} requests, {} scenarios on {} workers",
+                service.requests_served(),
+                service.scenarios_served(),
+                service.workers()
+            ),
+            Err(e) => eprintln!("helio-fleet: {peer}: session failed: {e}"),
+        }
+        let _ = writer.flush();
+    }
+    ExitCode::SUCCESS
+}
+
+fn finish(what: &str, result: Result<helio_fleet::FleetService, FleetError>) -> ExitCode {
+    match result {
+        Ok(service) => {
+            eprintln!(
+                "helio-fleet: {what} done: {} requests, {} scenarios on {} workers",
+                service.requests_served(),
+                service.scenarios_served(),
+                service.workers()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("helio-fleet: {what} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

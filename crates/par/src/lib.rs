@@ -99,6 +99,73 @@ where
     par_map_range(items.len(), |i| f(&items[i]))
 }
 
+/// Splits `items` into `states.len()` contiguous chunks (the first
+/// `items.len().div_ceil(states.len())` items per chunk, last chunk
+/// short) and runs `f(chunk_index, items_chunk, state)` once per chunk
+/// with exclusive access to that chunk's state, one scoped worker per
+/// chunk. Results come back in chunk order.
+///
+/// This is the shard-dispatch shape of the sharded batch engine: each
+/// worker owns a mutable slice of scenarios plus its own scratch
+/// state, and because chunk boundaries depend only on the two lengths
+/// — never on thread count or scheduling — a parallel run partitions
+/// the work identically to the serial fallback.
+///
+/// Chunks beyond `items.len()` (more states than items) receive an
+/// empty item slice.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` on the calling thread.
+pub fn par_zip_chunks_mut<T, S, R, F>(items: &mut [T], states: &mut [S], f: F) -> Vec<R>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut [T], &mut S) -> R + Sync,
+{
+    let chunks = states.len();
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(chunks).max(1);
+    if configured_threads() <= 1 || chunks == 1 {
+        let mut rest = items;
+        return states
+            .iter_mut()
+            .enumerate()
+            .map(|(c, state)| {
+                let take = chunk.min(rest.len());
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                f(c, head, state)
+            })
+            .collect();
+    }
+    let mut results: Vec<R> = Vec::with_capacity(chunks);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(chunks);
+        let mut rest_items = items;
+        let mut rest_states = states;
+        for c in 0..chunks {
+            let take = chunk.min(rest_items.len());
+            let (head, tail) = std::mem::take(&mut rest_items).split_at_mut(take);
+            rest_items = tail;
+            let (state, states_tail) = match std::mem::take(&mut rest_states).split_first_mut() {
+                Some(pair) => pair,
+                None => break,
+            };
+            rest_states = states_tail;
+            let f = &f;
+            handles.push(s.spawn(move || f(c, head, state)));
+        }
+        for handle in handles {
+            results.push(handle.join().unwrap_or_else(|e| panic::resume_unwind(e)));
+        }
+    });
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +201,72 @@ mod tests {
         assert!(par_map_ranges(0, 4, |r| r.len()).is_empty());
         // A zero chunk is clamped to 1 instead of dividing by zero.
         assert_eq!(par_map_ranges(3, 0, |r| r.start), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zip_chunks_partitions_deterministically() {
+        let mut items: Vec<usize> = (0..10).collect();
+        let mut states = vec![0usize; 3];
+        let seen = par_zip_chunks_mut(&mut items, &mut states, |c, chunk, state| {
+            *state = chunk.len();
+            (c, chunk.to_vec())
+        });
+        // 10 items over 3 states: ceil(10/3) = 4 per chunk, last short.
+        assert_eq!(
+            seen,
+            vec![
+                (0, vec![0, 1, 2, 3]),
+                (1, vec![4, 5, 6, 7]),
+                (2, vec![8, 9]),
+            ]
+        );
+        assert_eq!(states, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn zip_chunks_mutates_items_and_states() {
+        let mut items: Vec<i64> = (0..23).collect();
+        let mut states: Vec<i64> = vec![0; 4];
+        par_zip_chunks_mut(&mut items, &mut states, |_, chunk, state| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+                *state += *x;
+            }
+        });
+        let expect: Vec<i64> = (0..23).map(|x| x * 2).collect();
+        assert_eq!(items, expect);
+        assert_eq!(states.iter().sum::<i64>(), expect.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn zip_chunks_handles_edge_shapes() {
+        // More states than items: trailing chunks see empty slices.
+        let mut items = vec![1, 2];
+        let mut states = vec![0usize; 5];
+        let lens = par_zip_chunks_mut(&mut items, &mut states, |_, chunk, _| chunk.len());
+        assert_eq!(lens.iter().sum::<usize>(), 2);
+        assert_eq!(lens.len(), 5);
+        // No states: nothing runs.
+        let mut none: Vec<usize> = Vec::new();
+        assert!(par_zip_chunks_mut(&mut items, &mut none, |_, _, _: &mut usize| 1).is_empty());
+        // No items: every state still gets a (empty) call.
+        let mut empty: Vec<usize> = Vec::new();
+        let calls = par_zip_chunks_mut(&mut empty, &mut states, |c, chunk, _| (c, chunk.len()));
+        assert_eq!(calls.len(), 5);
+        assert!(calls.iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn zip_chunks_worker_panic_propagates() {
+        let result = panic::catch_unwind(|| {
+            let mut items: Vec<usize> = (0..8).collect();
+            let mut states = vec![(); 4];
+            par_zip_chunks_mut(&mut items, &mut states, |c, _, _| {
+                assert!(c != 2, "boom");
+                c
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -173,7 +173,13 @@ impl CapacitorBank {
 
     /// Snapshot of all voltages (the DBN input `V^sc_{i,j,1}(C_h)`).
     pub fn voltages(&self) -> Vec<f64> {
-        self.states.iter().map(|s| s.voltage().value()).collect()
+        self.voltages_iter().collect()
+    }
+
+    /// [`Bank::voltages`] without the allocation — the per-period DBN
+    /// feature gather streams straight into its reused input buffer.
+    pub fn voltages_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.states.iter().map(|s| s.voltage().value())
     }
 
     /// Applies capacitor aging: multiplies every capacitance by
