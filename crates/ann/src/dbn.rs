@@ -197,6 +197,13 @@ impl Dbn {
 
     /// Predicts the target vector for one raw (unscaled) input.
     ///
+    /// **This is the allocating convenience wrapper**: every call
+    /// builds a fresh [`PredictScratch`] and output `Vec`. Hot paths
+    /// that predict once per period (the online planner, benchmarks,
+    /// anything inside a simulation loop) must use
+    /// [`Dbn::predict_into`] with a reused scratch — or the compiled
+    /// fast path, [`crate::compiled::CompiledDbn`] — instead.
+    ///
     /// # Errors
     ///
     /// Returns [`AnnError::DimensionMismatch`] for wrong input sizes.
@@ -279,6 +286,22 @@ impl Dbn {
     /// space).
     pub fn final_loss(&self) -> f64 {
         self.final_loss
+    }
+
+    /// The fitted input scaler (compile-time affine folding reads it;
+    /// see `crate::compiled`).
+    pub(crate) fn input_scaler(&self) -> &MinMaxScaler {
+        &self.input_scaler
+    }
+
+    /// The fitted output scaler.
+    pub(crate) fn output_scaler(&self) -> &MinMaxScaler {
+        &self.output_scaler
+    }
+
+    /// The fine-tuned network.
+    pub(crate) fn network(&self) -> &Mlp {
+        &self.network
     }
 
     /// Input dimensionality.

@@ -34,6 +34,7 @@
 //! # }
 //! ```
 
+pub mod compiled;
 pub mod dbn;
 pub mod error;
 pub mod matrix;
@@ -42,6 +43,7 @@ pub mod rbm;
 pub mod scaler;
 pub mod train;
 
+pub use compiled::{CompiledDbn, CompiledScratch, CompiledTier};
 pub use dbn::{BatchPredictScratch, Dbn, DbnConfig, PredictScratch};
 pub use error::AnnError;
 pub use matrix::Matrix;

@@ -362,6 +362,23 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// Layer `index`'s `out × in` weights and bias (compile-time weight
+    /// packing reads these; see `crate::compiled`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnnError::DimensionMismatch`] for an out-of-range
+    /// index.
+    pub(crate) fn layer(&self, index: usize) -> Result<(&Matrix, &[f64]), AnnError> {
+        let layer = self.layers.get(index).ok_or_else(|| {
+            AnnError::dims(
+                format!("layer index < {}", self.layers.len()),
+                format!("{index}"),
+            )
+        })?;
+        Ok((&layer.weights, &layer.bias))
+    }
+
     /// Replaces layer `index`'s weights with pre-trained values (DBN
     /// pre-training hand-off). Shapes must match.
     ///

@@ -76,6 +76,17 @@ impl MinMaxScaler {
         self.mins.len()
     }
 
+    /// Fitted per-feature minima (compile-time affine folding reads
+    /// these; see `crate::compiled`).
+    pub(crate) fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted per-feature maxima.
+    pub(crate) fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
     /// Scales one sample into `[0, 1]` (constant features map to 0.5).
     ///
     /// # Errors

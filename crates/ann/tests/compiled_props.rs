@@ -1,0 +1,144 @@
+//! Property tests of the compiled forward's tolerance contract: for
+//! random trained-shape networks and in-range inputs, every element of
+//! `CompiledDbn::forward_into` stays within the tier's documented
+//! bound of the f64 reference `Dbn::predict_into` — on both the SIMD
+//! dispatch path and the forced-scalar fallback.
+
+use helio_ann::{CompiledDbn, CompiledScratch, CompiledTier, Dbn, DbnConfig, PredictScratch};
+use helio_common::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Trains a small network of the given shape on a random bounded data
+/// set (the same preconditions the planner's DBN meets: finite
+/// features, outputs in `[0, 1]`-ish ranges after scaling) and
+/// returns the training inputs alongside it.
+fn train(in_dim: usize, hidden: Vec<usize>, out_dim: usize, seed: u64) -> (Dbn, Vec<Vec<f64>>) {
+    let mut rng = seeded(seed ^ 0xC0DE);
+    let n = 24;
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..in_dim)
+                .map(|_| rng.gen::<f64>() * 50.0 - 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..out_dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let cfg = DbnConfig {
+        hidden,
+        rbm_epochs: 3,
+        rbm_lr: 0.1,
+        bp_epochs: 5,
+        bp_lr: 0.4,
+        seed,
+    };
+    let dbn = Dbn::train(&inputs, &targets, &cfg).expect("random bounded set trains");
+    (dbn, inputs)
+}
+
+/// In-range probe inputs: convex combinations of training samples are
+/// per-feature inside the fitted min/max by construction, so the
+/// reference's input clamp is inactive and the de-clamped compiled
+/// affine agrees with it on the whole probe set.
+fn probes(samples: &[Vec<f64>], seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded(seed ^ 0x9B0B);
+    (0..12)
+        .map(|_| {
+            let a = &samples[rng.gen::<u64>() as usize % samples.len()];
+            let b = &samples[rng.gen::<u64>() as usize % samples.len()];
+            let w = rng.gen::<f64>();
+            a.iter().zip(b).map(|(&x, &y)| x + w * (y - x)).collect()
+        })
+        .collect()
+}
+
+fn max_rel_err(dbn: &Dbn, compiled: &CompiledDbn, inputs: &[Vec<f64>], scalar: bool) -> f64 {
+    let mut scratch = compiled.make_scratch();
+    let mut ref_scratch = PredictScratch::default();
+    let mut fast = Vec::new();
+    let mut reference = Vec::new();
+    let mut worst = 0.0f64;
+    for x in inputs {
+        if scalar {
+            compiled
+                .forward_into_scalar(x, &mut scratch, &mut fast)
+                .expect("forward");
+        } else {
+            compiled
+                .forward_into(x, &mut scratch, &mut fast)
+                .expect("forward");
+        }
+        dbn.predict_into(x, &mut ref_scratch, &mut reference)
+            .expect("reference");
+        // The contract normalises by max(1, output span); recover the
+        // span bound from extreme sigmoid outputs via a second probe
+        // is overkill — outputs of the trained nets here live in
+        // [0, 1], so span <= 1 and the divisor is 1.
+        for (a, b) in fast.iter().zip(&reference) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both tiers, both kernel paths, random trained shapes spanning
+    /// partial/full/multiple 16-lane tiles: element-wise error versus
+    /// the f64 reference stays within the documented tolerance.
+    #[test]
+    fn compiled_forward_tracks_f64_reference(
+        in_dim in 2usize..12,
+        h1 in 1usize..20,
+        h2 in 0usize..18,
+        out_dim in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        // h2 == 0 means a single hidden layer.
+        let hidden = if h2 > 0 { vec![h1, h2] } else { vec![h1] };
+        let (dbn, samples) = train(in_dim, hidden, out_dim, seed);
+        let inputs = probes(&samples, seed);
+        for tier in [CompiledTier::F32, CompiledTier::Int8] {
+            let compiled = CompiledDbn::compile(&dbn, tier).expect("compiles");
+            let tol = compiled.tolerance();
+            for scalar in [false, true] {
+                let err = max_rel_err(&dbn, &compiled, &inputs, scalar);
+                prop_assert!(
+                    err <= tol,
+                    "{tier:?} scalar={scalar}: err {err} > tolerance {tol}"
+                );
+            }
+        }
+    }
+
+    /// A scratch shared across differently-shaped networks (the fleet
+    /// reuses worker state) never corrupts results: outputs match a
+    /// fresh pre-sized scratch exactly.
+    #[test]
+    fn shared_scratch_matches_fresh_scratch(
+        in_dim in 2usize..10,
+        h1 in 1usize..20,
+        out_dim in 1usize..5,
+        seed in 0u64..200,
+    ) {
+        let (big, _) = train(6, vec![24], 3, 7);
+        let (small, _) = train(in_dim, vec![h1], out_dim, seed);
+        let compiled_big = CompiledDbn::compile(&big, CompiledTier::F32).expect("compiles");
+        let compiled_small = CompiledDbn::compile(&small, CompiledTier::F32).expect("compiles");
+        let mut shared = CompiledScratch::default();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        // Stretch the shared scratch on the wide network first…
+        compiled_big
+            .forward_into(&[10.0; 6], &mut shared, &mut a)
+            .expect("forward");
+        // …then reuse it on the smaller one.
+        let x = vec![12.0; in_dim];
+        compiled_small.forward_into(&x, &mut shared, &mut a).expect("forward");
+        let mut fresh = compiled_small.make_scratch();
+        compiled_small.forward_into(&x, &mut fresh, &mut b).expect("forward");
+        prop_assert_eq!(a, b);
+    }
+}

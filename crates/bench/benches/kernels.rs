@@ -531,8 +531,65 @@ fn sec65_dbn(c: &mut Criterion) {
         helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train")
     };
     group.bench_function("infer_one_period", |b| {
-        b.iter(|| dbn.predict(black_box(&inputs[0])).expect("predict"))
+        // The zero-alloc reference path (`predict` would allocate a
+        // scratch and output Vec every iteration).
+        let mut scratch = helio_ann::PredictScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            dbn.predict_into(black_box(&inputs[0]), &mut scratch, &mut out)
+                .expect("predict");
+            out[0]
+        })
     });
+    group.finish();
+}
+
+fn decision_loop(c: &mut Criterion) {
+    // The per-period decision gap this repo's compiled path closes:
+    // reference f64 `predict_into` vs the packed `CompiledDbn` forward
+    // at both tiers, on the golden network shape (13 → 16 → 10 → 10).
+    // Tracked per commit alongside slot_loop/batch_loop/fleet_loop.
+    let inputs: Vec<Vec<f64>> = (0..96)
+        .map(|i| {
+            (0..13)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..96)
+        .map(|i| (0..10).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let dbn = {
+        let mut cfg = helio_ann::DbnConfig::small(3);
+        cfg.bp_epochs = 50;
+        helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train")
+    };
+    let mut group = c.benchmark_group("decision_loop");
+    group.bench_function("predict_into_f64", |b| {
+        let mut scratch = helio_ann::PredictScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            dbn.predict_into(black_box(&inputs[0]), &mut scratch, &mut out)
+                .expect("predict");
+            out[0]
+        })
+    });
+    for (name, tier) in [
+        ("compiled_f32", helio_ann::CompiledTier::F32),
+        ("compiled_i8", helio_ann::CompiledTier::Int8),
+    ] {
+        let compiled = helio_ann::CompiledDbn::compile(&dbn, tier).expect("compiles");
+        let mut scratch = compiled.make_scratch();
+        let mut out = Vec::with_capacity(compiled.output_dim());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                compiled
+                    .forward_into(black_box(&inputs[0]), &mut scratch, &mut out)
+                    .expect("forward");
+                out[0]
+            })
+        });
+    }
     group.finish();
 }
 
@@ -623,6 +680,7 @@ criterion_group!(
     fig10a_mpc,
     fig10b_sizing,
     sec65_dbn,
+    decision_loop,
     train_loop
 );
 criterion_main!(benches);

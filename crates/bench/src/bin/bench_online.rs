@@ -7,9 +7,9 @@
 //!   archetype days, golden node) per fine-grained pattern, reported as
 //!   slots per second. This is the paper's simulation inner loop.
 //! * **Per-period decision cost** — `PeriodPlanner::plan` latency per
-//!   planner (the three fixed patterns, the optimal LUT replay, and
-//!   the trained DBN), the quantity the paper's Section 6.5 overhead
-//!   table models on the 93.5 kHz node.
+//!   planner (the three fixed patterns, the optimal LUT replay, the
+//!   trained DBN, and both compiled-DBN tiers), the quantity the
+//!   paper's Section 6.5 overhead table models on the 93.5 kHz node.
 //!
 //! With `HELIO_BENCH_BASELINE=1` the report is written to
 //! `results/BENCH_online_baseline.json` instead (done once on the
@@ -19,6 +19,7 @@
 
 use std::hint::black_box;
 
+use helio_ann::CompiledTier;
 use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
 use helio_bench::{
     effective_threads, fast_mode, timed, BenchOnlineReport, DecisionStat, SlotLoopStat,
@@ -86,7 +87,7 @@ fn main() {
     let dp = golden_dp();
     let optimal = OptimalPlanner::compute(&node, &graph, &trace, &dp, GOLDEN_DELTA)
         .expect("optimal plan for decision bench");
-    let dbn = golden_dbn(&optimal);
+    let dbn = std::sync::Arc::new(golden_dbn(&optimal));
     let mut planners: Vec<(&str, Box<dyn PeriodPlanner>)> = vec![
         ("asap", Box::new(FixedPlanner::new(Pattern::Asap, 0))),
         ("inter", Box::new(FixedPlanner::new(Pattern::Inter, 1))),
@@ -94,11 +95,35 @@ fn main() {
         ("optimal", Box::new(optimal)),
         (
             "proposed-dbn",
-            Box::new(ProposedPlanner::from_dbn(
-                dbn,
+            Box::new(ProposedPlanner::from_shared_dbn(
+                std::sync::Arc::clone(&dbn),
                 GOLDEN_DELTA,
                 SwitchRule::default(),
             )),
+        ),
+        (
+            "compiled-dbn",
+            Box::new(
+                ProposedPlanner::compile_dbn(
+                    &dbn,
+                    CompiledTier::F32,
+                    GOLDEN_DELTA,
+                    SwitchRule::default(),
+                )
+                .expect("golden DBN compiles"),
+            ),
+        ),
+        (
+            "compiled-dbn-i8",
+            Box::new(
+                ProposedPlanner::compile_dbn(
+                    &dbn,
+                    CompiledTier::Int8,
+                    GOLDEN_DELTA,
+                    SwitchRule::default(),
+                )
+                .expect("golden DBN compiles"),
+            ),
         ),
     ];
     let bank = CapacitorBank::new(&node.capacitors, &node.storage).expect("bench bank");

@@ -9,7 +9,7 @@
 //! serialises `f64` via shortest-round-trip formatting, so identical
 //! reports produce identical bytes.
 
-use helio_ann::{Dbn, DbnConfig};
+use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
@@ -129,6 +129,74 @@ pub fn golden_reports_with(
         engine
             .run_with_faults(&mut dbn_planner, harness)
             .expect("golden dbn run"),
+    ));
+    out
+}
+
+/// Per-scenario DMR epsilon of the compiled-planner regression gate:
+/// every case replayed through [`golden_compiled_reports`] must land
+/// within this of the f64 reference suite's DMR. The compiled path is
+/// tolerance-gated, not bit-identical — see `helio_ann::compiled` for
+/// the contract; `tests/golden_compiled.rs` enforces this bound on all
+/// 21 scenarios for both tiers.
+pub const GOLDEN_COMPILED_DMR_EPS: f64 = 0.01;
+
+/// The 21 golden cases with the DBN case running the compiled planner
+/// at `tier` instead of the f64 reference: 20 cases are untouched by
+/// compilation (fixed patterns, optimal, MPC) and anchor the harness;
+/// `ecg_dbn` becomes `compiled-dbn`/`compiled-dbn-i8`. The DMR-bound
+/// harness compares these against [`golden_reports`] per scenario.
+pub fn golden_compiled_reports(tier: CompiledTier) -> Vec<(String, SimReport)> {
+    let node = golden_node();
+    let trace = golden_trace();
+    let mut out = Vec::new();
+
+    for graph in benchmarks::all_six() {
+        let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+        for (pattern, cap) in [
+            (Pattern::Asap, 0usize),
+            (Pattern::Inter, 1),
+            (Pattern::Intra, 1),
+        ] {
+            let report = engine
+                .run(&mut FixedPlanner::new(pattern, cap))
+                .expect("golden fixed run");
+            out.push((format!("{}_{}", graph.name(), pattern), report));
+        }
+    }
+
+    let graph = benchmarks::ecg();
+    let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+    let dp = golden_dp();
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &dp, GOLDEN_DELTA).expect("golden optimal");
+    let dbn = golden_dbn(&optimal);
+    out.push((
+        "ecg_optimal".into(),
+        engine.run(&mut optimal).expect("golden optimal run"),
+    ));
+    let mut mpc = ProposedPlanner::mpc(
+        Box::new(NoisyOracle::perfect()),
+        24,
+        dp,
+        GOLDEN_DELTA,
+        SwitchRule::default(),
+    );
+    out.push((
+        "ecg_mpc".into(),
+        engine.run(&mut mpc).expect("golden mpc run"),
+    ));
+    let compiled = CompiledDbn::compile(&dbn, tier).expect("golden DBN compiles");
+    let mut compiled_planner = ProposedPlanner::from_compiled_dbn(
+        std::sync::Arc::new(compiled),
+        GOLDEN_DELTA,
+        SwitchRule::default(),
+    );
+    out.push((
+        "ecg_dbn".into(),
+        engine
+            .run(&mut compiled_planner)
+            .expect("golden compiled run"),
     ));
     out
 }

@@ -101,6 +101,26 @@ impl TaskSet {
         Self(self.0 | (1u32 << i))
     }
 
+    /// `{i}` when `cond`, the empty set otherwise — a branchless
+    /// building block for assembling a mask from data-dependent
+    /// predicates (a union of these compiles to straight-line bit
+    /// arithmetic, where a conditional `insert` is an unpredictable
+    /// branch per element).
+    #[inline]
+    #[must_use]
+    pub const fn mask_if(cond: bool, i: usize) -> Self {
+        Self((cond as u32) << i)
+    }
+
+    /// `self` when `cond`, the empty set otherwise — the whole-set
+    /// sibling of [`TaskSet::mask_if`], for branchless unions of
+    /// precomputed masks selected by data-dependent predicates.
+    #[inline]
+    #[must_use]
+    pub const fn select_if(self, cond: bool) -> Self {
+        Self(self.0 & (cond as u32).wrapping_neg())
+    }
+
     /// Set union.
     #[inline]
     #[must_use]
@@ -247,6 +267,15 @@ mod tests {
         assert_eq!(b.difference(a).bits(), 0b1000);
         assert_eq!(a.union(b).bits(), 0b1110);
         assert_eq!(a.intersection(b).bits(), 0b0110);
+    }
+
+    #[test]
+    fn branchless_selectors() {
+        assert_eq!(TaskSet::mask_if(true, 3).bits(), 0b1000);
+        assert_eq!(TaskSet::mask_if(false, 3), TaskSet::EMPTY);
+        let s = TaskSet::from_bits(0b1011);
+        assert_eq!(s.select_if(true), s);
+        assert_eq!(s.select_if(false), TaskSet::EMPTY);
     }
 
     #[test]

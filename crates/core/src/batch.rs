@@ -633,6 +633,58 @@ mod tests {
     }
 
     #[test]
+    fn batch_compiled_planners_match_sequential() {
+        // Compiled backends decline batch slots, so the engine routes
+        // them through the per-scenario fallback — batched output must
+        // stay byte-identical to sequential runs, resilient wrap
+        // included.
+        use helio_ann::{CompiledDbn, CompiledTier};
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let compiled = Arc::new(CompiledDbn::compile(&dbn, CompiledTier::F32).unwrap());
+        let compiled_i8 = Arc::new(CompiledDbn::compile(&dbn, CompiledTier::Int8).unwrap());
+        let traces: Vec<SolarTrace> = (0..3).map(|s| trace(23 + s)).collect();
+        let make = |i: usize| -> Box<dyn PeriodPlanner> {
+            match i {
+                0 => Box::new(ProposedPlanner::from_compiled_dbn(
+                    Arc::clone(&compiled),
+                    0.5,
+                    SwitchRule::default(),
+                )),
+                1 => Box::new(ResilientPlanner::new(Box::new(
+                    ProposedPlanner::from_compiled_dbn(
+                        Arc::clone(&compiled),
+                        0.5,
+                        SwitchRule::default(),
+                    ),
+                ))),
+                _ => Box::new(ProposedPlanner::from_compiled_dbn(
+                    Arc::clone(&compiled_i8),
+                    0.5,
+                    SwitchRule::default(),
+                )),
+            }
+        };
+
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        for (i, t) in traces.iter().enumerate() {
+            engine.push(BatchScenario::new(t, make(i))).unwrap();
+        }
+        let batched = engine.run().unwrap();
+
+        for (i, (t, b)) in traces.iter().zip(&batched).enumerate() {
+            let mut p = make(i);
+            let s = Engine::new(&node, &g, t).unwrap().run(p.as_mut()).unwrap();
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(&s).unwrap(),
+                "compiled scenario {i} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn batch_matches_sequential_under_faults() {
         let node = node();
         let g = benchmarks::ecg();

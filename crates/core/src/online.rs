@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use helio_ann::{Dbn, PredictScratch};
+use helio_ann::{CompiledDbn, CompiledScratch, CompiledTier, Dbn, PredictScratch};
 use helio_common::units::Joules;
 use helio_common::TaskSet;
 use helio_faults::DbnFaultMode;
@@ -75,6 +75,16 @@ enum Backend {
         scratch: PredictScratch,
         out_buf: Vec<f64>,
     },
+    Compiled {
+        /// The compiled artifact (packed f32/int8 weights with the
+        /// scaler affine baked in), behind an `Arc` so a fleet can
+        /// compile once per trained network and share it.
+        compiled: Arc<CompiledDbn>,
+        /// Ping-pong activation scratch + output buffer, reused
+        /// across periods.
+        scratch: CompiledScratch,
+        out_buf: Vec<f64>,
+    },
     Mpc {
         predictor: Box<dyn SolarPredictor + Send>,
         horizon_periods: usize,
@@ -113,6 +123,26 @@ pub struct ProposedPlanner {
     /// Shared cross-scenario precomputation, when driven by a
     /// [`BatchEngine`](crate::batch::BatchEngine).
     ctx: Option<Arc<PlanContext>>,
+    /// Run-constant tables for the per-period decision, computed on
+    /// first use. Like the MPC subset table, this relies on the graph
+    /// and trace never changing within a run — re-deriving the
+    /// dependency closure and period energies every period dominated
+    /// the decision latency.
+    decide_cache: Option<DbnDecideCache>,
+}
+
+/// Run-constant decision tables (see [`ProposedPlanner::decide_cache`]).
+struct DbnDecideCache {
+    /// Per-task ancestor closure: `{task} ∪ transitive predecessors`.
+    /// Unioning these over the admitted bits equals the reference
+    /// reverse-topological walk — each walk step only ever adds direct
+    /// predecessors of tasks already admitted, so the closed set is
+    /// exactly the union of the admitted tasks' ancestor cones.
+    closure: Vec<TaskSet>,
+    /// `trace.period_energy(p)` per flat period index.
+    harvest: Vec<Joules>,
+    /// `graph.total_energy()`.
+    full_load: Joules,
 }
 
 impl ProposedPlanner {
@@ -139,7 +169,50 @@ impl ProposedPlanner {
             injected: None,
             health: PlannerHealth::Healthy,
             ctx: None,
+            decide_cache: None,
         }
+    }
+
+    /// [`ProposedPlanner::from_shared_dbn`] on an already-compiled
+    /// network: the hot path runs the packed single-sample forward
+    /// instead of the f64 reference. Decisions are covered by the
+    /// compiled tolerance contract (see `helio_ann::compiled`), not
+    /// bit-identity with the `proposed-dbn` planner.
+    pub fn from_compiled_dbn(compiled: Arc<CompiledDbn>, delta: f64, switch: SwitchRule) -> Self {
+        Self {
+            backend: Backend::Compiled {
+                scratch: compiled.make_scratch(),
+                out_buf: Vec::with_capacity(compiled.output_dim()),
+                compiled,
+            },
+            switch,
+            delta,
+            complexity: 0,
+            input_buf: Vec::new(),
+            injected: None,
+            health: PlannerHealth::Healthy,
+            ctx: None,
+            decide_cache: None,
+        }
+    }
+
+    /// Compiles `dbn` at `tier` and builds the planner around the
+    /// artifact in one step (the sequential-engine convenience;
+    /// batches and fleets should compile once and use
+    /// [`ProposedPlanner::from_compiled_dbn`] to share the `Arc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error when the network holds non-finite
+    /// weights.
+    pub fn compile_dbn(
+        dbn: &Dbn,
+        tier: CompiledTier,
+        delta: f64,
+        switch: SwitchRule,
+    ) -> Result<Self, helio_ann::AnnError> {
+        let compiled = Arc::new(CompiledDbn::compile(dbn, tier)?);
+        Ok(Self::from_compiled_dbn(compiled, delta, switch))
     }
 
     /// Creates the MPC-backed planner: re-plan each day over
@@ -168,6 +241,7 @@ impl ProposedPlanner {
             injected: None,
             health: PlannerHealth::Healthy,
             ctx: None,
+            decide_cache: None,
         }
     }
 
@@ -198,7 +272,9 @@ impl ProposedPlanner {
                     solar_buf,
                     subsets,
                 ),
-                Backend::Dbn { .. } => unreachable!("plan_mpc called on DBN backend"),
+                Backend::Dbn { .. } | Backend::Compiled { .. } => {
+                    unreachable!("plan_mpc called on DBN backend")
+                }
             };
 
         let needs_replan = match cache {
@@ -278,21 +354,32 @@ impl ProposedPlanner {
     fn gather_dbn_input(obs: &PlannerObservation<'_>, input: &mut Vec<f64>) {
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
-        input.clear();
-        input.reserve(grid.slots_per_period() + obs.bank.len() + 1);
-        if flat == 0 {
-            input.extend(std::iter::repeat_n(0.0, grid.slots_per_period()));
-        } else {
-            // Stream slot powers straight from the trace: this runs
-            // every period, so it must not allocate a temporary Vec.
-            let prev = grid.period_at(flat - 1);
-            input.extend(
-                grid.slots_in(prev)
-                    .map(|s| obs.trace.slot_power(s).milliwatts()),
-            );
+        let spp = grid.slots_per_period();
+        let dim = spp + obs.bank.len() + 1;
+        // Size once, then write through slices: this runs every
+        // period, so steady state must be straight stores — no
+        // allocation, no per-element capacity checks or `Vec` length
+        // bookkeeping, no re-deriving each slot's flat index.
+        if input.len() != dim {
+            input.clear();
+            input.resize(dim, 0.0);
         }
-        input.extend(obs.bank.voltages_iter());
-        input.push(obs.accumulated_dmr);
+        let (powers, rest) = input.split_at_mut(spp);
+        if flat == 0 {
+            powers.fill(0.0);
+        } else {
+            // Slot powers straight from the trace's raw watt slice;
+            // the `* 1e3` matches `Watts::milliwatts` bit for bit.
+            let prev = grid.period_at(flat - 1);
+            for (d, &w) in powers.iter_mut().zip(obs.trace.period_powers_raw(prev)) {
+                *d = w * 1e3;
+            }
+        }
+        let (volts, dmr) = rest.split_at_mut(obs.bank.len());
+        for (d, v) in volts.iter_mut().zip(obs.bank.voltages_iter()) {
+            *d = v;
+        }
+        dmr[0] = obs.accumulated_dmr;
     }
 
     /// Turns the network output already sitting in `out_buf` into the
@@ -304,30 +391,75 @@ impl ProposedPlanner {
         if self.injected == Some(DbnFaultMode::Nan) {
             // Bit-flipped weights / numerical blow-up: the inference
             // completes but every output is garbage.
-            if let Backend::Dbn { out_buf, .. } = &mut self.backend {
+            if let Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } =
+                &mut self.backend
+            {
                 out_buf.iter_mut().for_each(|o| *o = f64::NAN);
             }
         }
+        // Run-constant decision tables, built once: each task's
+        // ancestor cone (so closing under dependencies is a mask union
+        // per admitted task, not a graph walk — the DBN's bits are
+        // independent sigmoids, and an admitted task drags in its
+        // predecessors), the per-period harvest, and the full task-set
+        // load. A batch-attached context supplies the topological
+        // order the first build consumes.
+        let ctx = self.ctx.as_deref();
+        let cache = self.decide_cache.get_or_insert_with(|| {
+            let owned;
+            let topo: &[TaskId] = if let Some(ctx) = ctx {
+                &ctx.topo
+            } else {
+                owned = obs
+                    .graph
+                    .topological_order()
+                    .expect("validated graphs are acyclic");
+                &owned
+            };
+            // Forward-topological pass: every predecessor's cone is
+            // finished before its successors union it in.
+            let mut closure = vec![TaskSet::EMPTY; obs.graph.len()];
+            for &id in topo {
+                let mut cone = TaskSet::EMPTY.with(id.index());
+                for p in obs.graph.predecessor_set(id).iter() {
+                    cone = cone.union(closure[p]);
+                }
+                closure[id.index()] = cone;
+            }
+            DbnDecideCache {
+                closure,
+                harvest: obs
+                    .grid
+                    .periods()
+                    .map(|p| obs.trace.period_energy(p))
+                    .collect(),
+                full_load: obs.graph.total_energy(),
+            }
+        });
         let heads = {
             let out: &[f64] = match &self.backend {
-                Backend::Dbn { out_buf, .. } => out_buf,
+                Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } => out_buf,
                 Backend::Mpc { .. } => unreachable!("decide_dbn called on MPC backend"),
             };
             let head_cap = out.first().copied().unwrap_or(f64::NAN);
             let head_alpha = out.get(1).copied().unwrap_or(f64::NAN);
             if head_cap.is_finite() && head_alpha.is_finite() {
+                // Branchless fused parse-and-close: the per-task
+                // comparisons are data-dependent coin flips (one
+                // mispredict costs more than this whole loop), and
+                // unioning each admitted task's ancestor cone directly
+                // closes the set in the same pass. Zipping against the
+                // cone table (len = graph.len()) also bounds the walk.
                 let mut allowed = TaskSet::EMPTY;
-                for i in 0..obs.graph.len() {
-                    if out.get(2 + i).is_some_and(|&b| b >= 0.5) {
-                        allowed.insert(i);
-                    }
+                for (&b, &cone) in out.iter().skip(2).zip(cache.closure.iter()) {
+                    allowed = allowed.union(cone.select_if(b >= 0.5));
                 }
                 Some((head_cap, head_alpha, allowed))
             } else {
                 None
             }
         };
-        let Some((head_cap, head_alpha, mut allowed)) = heads else {
+        let Some((head_cap, head_alpha, allowed)) = heads else {
             // Non-finite decision head — never act on it.
             self.health = PlannerHealth::NonFinite;
             return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
@@ -336,38 +468,16 @@ impl ProposedPlanner {
         let h_max = obs.bank.len().saturating_sub(1) as f64;
         let cap = head_cap.clamp(0.0, h_max).round() as usize;
         let alpha = head_alpha.clamp(0.0, 10.0);
-        // Close under dependencies: an admitted task drags in its
-        // predecessors (the DBN's bits are independent sigmoids). A
-        // batch-attached context supplies the topological order
-        // precomputed once per batch.
-        let computed;
-        let topo: &[TaskId] = match &self.ctx {
-            Some(ctx) => &ctx.topo,
-            None => {
-                computed = obs
-                    .graph
-                    .topological_order()
-                    .expect("validated graphs are acyclic");
-                &computed
-            }
-        };
-        for &id in topo.iter().rev() {
-            if allowed.contains(id.index()) {
-                allowed = allowed.union(obs.graph.predecessor_set(id));
-            }
-        }
         // Abundant-solar override (the Section 5.2 selection method's
         // "α too small" regime): when the most recent period's harvest
         // alone can power the whole task set through the direct
         // channel, committing to everything is dominant — it costs no
         // stored energy and completes every deadline.
-        let grid = obs.grid;
-        let flat = grid.period_index(obs.period);
+        let flat = obs.grid.period_index(obs.period);
         if flat > 0 {
-            let prev = grid.period_at(flat - 1);
-            let last_harvest = obs.trace.period_energy(prev);
+            let last_harvest = cache.harvest[flat - 1];
             let eta = obs.pmu.params().direct_efficiency;
-            let full_load = obs.graph.total_energy();
+            let full_load = cache.full_load;
             if last_harvest * eta * 0.85 >= full_load {
                 let alpha = full_load / (last_harvest * eta);
                 return (cap, alpha, obs.graph.all_tasks());
@@ -387,16 +497,20 @@ impl ProposedPlanner {
         Self::gather_dbn_input(obs, &mut self.input_buf);
         // One DBN inference ≈ one state expansion worth of work.
         self.complexity += 1;
-        let predict_failed = {
-            let (dbn, scratch, out_buf) = match &mut self.backend {
-                Backend::Dbn {
-                    dbn,
-                    scratch,
-                    out_buf,
-                } => (dbn, scratch, out_buf),
-                Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
-            };
-            dbn.predict_into(&self.input_buf, scratch, out_buf).is_err()
+        let predict_failed = match &mut self.backend {
+            Backend::Dbn {
+                dbn,
+                scratch,
+                out_buf,
+            } => dbn.predict_into(&self.input_buf, scratch, out_buf).is_err(),
+            Backend::Compiled {
+                compiled,
+                scratch,
+                out_buf,
+            } => compiled
+                .forward_into(&self.input_buf, scratch, out_buf)
+                .is_err(),
+            Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
         };
         if predict_failed {
             // Shape mismatch (e.g. trained on another node) — fall
@@ -410,8 +524,12 @@ impl ProposedPlanner {
 
 impl PeriodPlanner for ProposedPlanner {
     fn name(&self) -> &'static str {
-        match self.backend {
+        match &self.backend {
             Backend::Dbn { .. } => "proposed-dbn",
+            Backend::Compiled { compiled, .. } => match compiled.tier() {
+                CompiledTier::F32 => "compiled-dbn",
+                CompiledTier::Int8 => "compiled-dbn-i8",
+            },
             Backend::Mpc { .. } => "proposed-mpc",
         }
     }
@@ -434,7 +552,7 @@ impl PeriodPlanner for ProposedPlanner {
                     (cap, plan.alpha, plan.subset)
                 }
             }
-            Backend::Dbn { .. } => self.plan_dbn(obs),
+            Backend::Dbn { .. } | Backend::Compiled { .. } => self.plan_dbn(obs),
         };
         PlanDecision {
             capacitor: self.switch.decide(obs, suggested_cap),
@@ -460,6 +578,10 @@ impl PeriodPlanner for ProposedPlanner {
     }
 
     fn batch_input(&mut self, obs: &PlannerObservation<'_>, input: &mut Vec<f64>) -> bool {
+        // Compiled backends decline batch slots by design: their
+        // single-sample forward is the fast path, so the batch engine
+        // routes them through the per-scenario `plan()` fallback and
+        // batched stays identical to sequential for compiled runs.
         let Backend::Dbn { dbn, .. } = &self.backend else {
             return false;
         };
@@ -485,12 +607,13 @@ impl PeriodPlanner for ProposedPlanner {
     fn batch_dbn(&self) -> Option<Arc<Dbn>> {
         match &self.backend {
             Backend::Dbn { dbn, .. } => Some(Arc::clone(dbn)),
-            Backend::Mpc { .. } => None,
+            Backend::Compiled { .. } | Backend::Mpc { .. } => None,
         }
     }
 
     fn plan_with_output(&mut self, obs: &PlannerObservation<'_>, out: &[f64]) -> PlanDecision {
-        if let Backend::Dbn { out_buf, .. } = &mut self.backend {
+        if let Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } = &mut self.backend
+        {
             out_buf.clear();
             out_buf.extend_from_slice(out);
         }
@@ -709,6 +832,16 @@ mod tests {
         let node = node(1);
         let t = trace(1);
         let g = benchmarks::ecg();
+        let dbn = trained_dbn(&g);
+        let mut planner = ProposedPlanner::from_dbn(dbn, 0.5, SwitchRule::default());
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let report = engine.run(&mut planner).unwrap();
+        assert_eq!(report.planner, "proposed-dbn");
+        // The all-ones teaching signal should admit everything.
+        assert!(report.overall_dmr() < 1.0);
+    }
+
+    fn trained_dbn(g: &helio_tasks::TaskGraph) -> helio_ann::Dbn {
         let in_dim = 10 + 2 + 1;
         let inputs: Vec<Vec<f64>> = (0..40)
             .map(|i| {
@@ -724,13 +857,73 @@ mod tests {
                 v
             })
             .collect();
-        let dbn =
-            helio_ann::Dbn::train(&inputs, &targets, &helio_ann::DbnConfig::small(2)).unwrap();
-        let mut planner = ProposedPlanner::from_dbn(dbn, 0.5, SwitchRule::default());
+        helio_ann::Dbn::train(&inputs, &targets, &helio_ann::DbnConfig::small(2)).unwrap()
+    }
+
+    #[test]
+    fn compiled_backend_tracks_reference_dmr() {
+        // Both compiled tiers must land within the tolerance-contract
+        // neighbourhood of the f64 reference planner on a full run.
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let dbn = trained_dbn(&g);
         let engine = Engine::new(&node, &g, &t).unwrap();
-        let report = engine.run(&mut planner).unwrap();
-        assert_eq!(report.planner, "proposed-dbn");
-        // The all-ones teaching signal should admit everything.
-        assert!(report.overall_dmr() < 1.0);
+        let reference = engine
+            .run(&mut ProposedPlanner::from_shared_dbn(
+                Arc::new(dbn.clone()),
+                0.5,
+                SwitchRule::default(),
+            ))
+            .unwrap();
+        for (tier, name) in [
+            (CompiledTier::F32, "compiled-dbn"),
+            (CompiledTier::Int8, "compiled-dbn-i8"),
+        ] {
+            let mut planner =
+                ProposedPlanner::compile_dbn(&dbn, tier, 0.5, SwitchRule::default()).unwrap();
+            let report = engine.run(&mut planner).unwrap();
+            assert_eq!(report.planner, name);
+            assert!(
+                (report.overall_dmr() - reference.overall_dmr()).abs() < 0.05,
+                "{name}: compiled DMR {} vs reference {}",
+                report.overall_dmr(),
+                reference.overall_dmr()
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_backend_faults_degrade_conservatively() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let dbn = trained_dbn(&g);
+        let mut planner =
+            ProposedPlanner::compile_dbn(&dbn, CompiledTier::F32, 0.5, SwitchRule::default())
+                .unwrap();
+        let storage = &node.storage;
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        planner.inject_fault(Some(DbnFaultMode::Unavailable));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::DbnUnavailable);
+        assert_eq!(d.allowed, Some(g.all_tasks()));
+        planner.inject_fault(Some(DbnFaultMode::Nan));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::NonFinite);
+        assert_eq!(d.allowed, Some(g.all_tasks()));
+        planner.inject_fault(None);
+        let _ = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::Healthy);
     }
 }

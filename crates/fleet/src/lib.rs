@@ -32,7 +32,7 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use helio_ann::{Dbn, DbnConfig};
+use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_faults::{FaultHarness, FaultPlan};
@@ -191,8 +191,10 @@ pub struct ScenarioSpec {
     /// Day archetypes; cycled to the grid's day count when shorter,
     /// empty means the four standard archetypes.
     pub days: Vec<DayArchetype>,
-    /// Planner kind: `asap`, `inter`, `intra`, `dbn`, `mpc`,
-    /// `optimal`.
+    /// Planner kind: `asap`, `inter`, `intra`, `dbn`, `compiled-dbn`,
+    /// `compiled-dbn-i8`, `mpc`, `optimal`. The compiled kinds run the
+    /// shared DBN through the packed single-sample fast path
+    /// (tolerance-gated, not bit-identical to `dbn`).
     pub planner: String,
     /// Capacitor a fixed-pattern planner locks to; defaults to 0 for
     /// `asap`, the largest capacitor otherwise.
@@ -253,6 +255,11 @@ pub struct FleetService {
     graph: TaskGraph,
     ctx: Arc<PlanContext>,
     dbn: Option<Arc<Dbn>>,
+    /// Both compiled tiers of the shared DBN, built once at startup —
+    /// every `compiled-dbn`/`compiled-dbn-i8` scenario clones the
+    /// `Arc`, never the packed weights.
+    compiled_f32: Option<Arc<CompiledDbn>>,
+    compiled_i8: Option<Arc<CompiledDbn>>,
     delta: f64,
     dp: DpConfig,
     scratches: Vec<BatchScratch>,
@@ -301,6 +308,17 @@ impl FleetService {
             Some(spec) => Some(Arc::new(train_dbn(&node, &graph, cfg, spec)?)),
             None => None,
         };
+        let compile = |tier| -> Result<Option<Arc<CompiledDbn>>, FleetError> {
+            dbn.as_deref()
+                .map(|d| {
+                    CompiledDbn::compile(d, tier)
+                        .map(Arc::new)
+                        .map_err(|e| FleetError::Config(e.to_string()))
+                })
+                .transpose()
+        };
+        let compiled_f32 = compile(CompiledTier::F32)?;
+        let compiled_i8 = compile(CompiledTier::Int8)?;
         let workers = cfg
             .threads
             .unwrap_or_else(helio_par::configured_threads)
@@ -312,6 +330,8 @@ impl FleetService {
             graph,
             ctx,
             dbn,
+            compiled_f32,
+            compiled_i8,
             delta: cfg.delta,
             dp: cfg.dp,
             scratches,
@@ -374,14 +394,29 @@ impl FleetService {
             graph,
             ctx,
             dbn,
+            compiled_f32,
+            compiled_i8,
             delta,
             dp,
             scratches,
             ..
         } = self;
+        let compiled = CompiledHandles {
+            f32: compiled_f32.as_ref(),
+            i8: compiled_i8.as_ref(),
+        };
         let mut engine = BatchEngine::with_context(node, graph, Arc::clone(ctx))?;
         for (i, spec) in req.scenarios.iter().enumerate() {
-            let planner = make_planner(spec, node, graph, &traces[i], dbn.as_ref(), *delta, *dp)?;
+            let planner = make_planner(
+                spec,
+                node,
+                graph,
+                &traces[i],
+                dbn.as_ref(),
+                compiled,
+                *delta,
+                *dp,
+            )?;
             let mut scenario = BatchScenario::new(&traces[i], planner);
             if let Some(h) = &harnesses[i] {
                 scenario = scenario.with_harness(h);
@@ -427,12 +462,22 @@ fn train_dbn(
     Dbn::train_set(optimal.samples(), &dbn_cfg).map_err(|e| FleetError::Config(e.to_string()))
 }
 
+/// The startup-compiled artifacts `make_planner` hands out to
+/// `compiled-dbn`/`compiled-dbn-i8` scenarios.
+#[derive(Clone, Copy)]
+struct CompiledHandles<'a> {
+    f32: Option<&'a Arc<CompiledDbn>>,
+    i8: Option<&'a Arc<CompiledDbn>>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn make_planner(
     spec: &ScenarioSpec,
     node: &NodeConfig,
     graph: &TaskGraph,
     trace: &SolarTrace,
     dbn: Option<&Arc<Dbn>>,
+    compiled: CompiledHandles<'_>,
     delta: f64,
     dp: DpConfig,
 ) -> Result<Box<dyn PeriodPlanner + 'static>, FleetError> {
@@ -466,6 +511,22 @@ fn make_planner(
                 SwitchRule::default(),
             ))
         }
+        kind @ ("compiled-dbn" | "compiled-dbn-i8") => {
+            let artifact = match kind {
+                "compiled-dbn" => compiled.f32,
+                _ => compiled.i8,
+            };
+            let artifact = artifact.ok_or_else(|| {
+                FleetError::Protocol(format!(
+                    "scenario requests the {kind} planner but the fleet config trained no DBN"
+                ))
+            })?;
+            Box::new(ProposedPlanner::from_compiled_dbn(
+                Arc::clone(artifact),
+                delta,
+                SwitchRule::default(),
+            ))
+        }
         "mpc" => Box::new(ProposedPlanner::mpc(
             Box::new(NoisyOracle::perfect()),
             node.grid.periods_per_day(),
@@ -476,7 +537,8 @@ fn make_planner(
         "optimal" => Box::new(OptimalPlanner::compute(node, graph, trace, &dp, delta)?),
         other => {
             return Err(FleetError::Protocol(format!(
-                "unknown planner `{other}` (expected asap, inter, intra, dbn, mpc, optimal)"
+                "unknown planner `{other}` (expected asap, inter, intra, dbn, \
+                 compiled-dbn, compiled-dbn-i8, mpc, optimal)"
             )))
         }
     };

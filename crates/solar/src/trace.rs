@@ -72,6 +72,16 @@ impl SolarTrace {
             .collect()
     }
 
+    /// Per-slot powers of one period as a raw watt-value slice — the
+    /// allocation-free view the online gather loop streams from
+    /// instead of re-deriving each slot's flat index.
+    pub fn period_powers_raw(&self, period: PeriodRef) -> &[f64] {
+        let base = self
+            .grid
+            .slot_index(SlotRef::new(period.day, period.period, 0));
+        &self.powers[base..base + self.grid.slots_per_period()]
+    }
+
     /// Total harvested energy of one period.
     pub fn period_energy(&self, period: PeriodRef) -> Joules {
         self.grid
