@@ -1,0 +1,312 @@
+//! Service-level chaos harness for `helio-fleet`: drives in-process
+//! sessions through `serve_with` while injecting the faults described
+//! by `helio_faults::ServiceFaultPlan` and `LineCorruption`, and
+//! verifies the service's robustness contracts:
+//!
+//! * **kill/resume** — killing the service at a period boundary and
+//!   restarting against the same checkpoint directory loses and
+//!   duplicates zero response lines; the concatenated output is
+//!   byte-identical to an uninterrupted session.
+//! * **corrupted lines** — truncated/garbage/oversized/non-UTF8
+//!   request lines each answer exactly one inline error line and the
+//!   session keeps serving.
+//! * **panic quarantine** — a scenario whose planner panics degrades
+//!   to its own error line; the other scenarios of the batch answer
+//!   byte-identically.
+//! * **deadlines** — an expired request answers
+//!   `{"id":N,"error":"deadline"}` and the session moves on.
+//! * **slow client** — a writer stalling on every flush changes
+//!   nothing about the bytes produced.
+//!
+//! Writes `results/ROBUSTNESS_fleet.json` and exits nonzero if any
+//! check fails. `HELIO_FAST=1` shrinks the kill sweep to one point.
+
+use std::collections::HashMap;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use helio_bench::{fast_mode, timed, write_json, ChaosCheck, FleetChaosReport};
+use helio_faults::{corrupt_line, LineCorruption, ServiceFaultPlan, SlowWriter};
+use helio_fleet::{serve_with, ServeOptions, SessionOutcome};
+
+const REPORT_PATH: &str = "results/ROBUSTNESS_fleet.json";
+
+const CONFIG: &str =
+    r#"{"grid":{"days":1,"periods":24,"slots":10},"capacitors_farads":[2.0,15.0],"threads":2}"#;
+
+const REQUESTS: [&str; 3] = [
+    r#"{"id":1,"scenarios":[{"planner":"inter"},{"planner":"asap","seed":3},{"planner":"intra","seed":4}]}"#,
+    r#"{"id":2,"scenarios":[{"planner":"mpc","seed":5},{"planner":"inter","seed":6,"resilient":true}]}"#,
+    r#"{"id":3,"scenarios":[{"planner":"inter","seed":7,"faults":{"seed":7,"random_blackouts":{"per_period_probability":0.2,"min_periods":1,"max_periods":2}}}]}"#,
+];
+
+fn session(requests: &[&str]) -> Vec<u8> {
+    let mut bytes = CONFIG.as_bytes().to_vec();
+    bytes.push(b'\n');
+    for r in requests {
+        bytes.extend_from_slice(r.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helio-bench-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one in-process session, panicking on session-level failure
+/// (the checks below only tolerate *request*-level degradation).
+fn run(input: Vec<u8>, opts: &ServeOptions) -> (Vec<u8>, SessionOutcome) {
+    let mut out = Vec::new();
+    let summary = serve_with(Cursor::new(input), &mut out, opts).expect("chaos session serves");
+    (out, summary.outcome)
+}
+
+/// Multiset delta between the reference lines and the observed lines:
+/// `(lost, duplicated)`.
+fn line_delta(reference: &[u8], observed: &[u8]) -> (usize, usize) {
+    let count = |bytes: &[u8]| {
+        let mut m: HashMap<Vec<u8>, isize> = HashMap::new();
+        for line in bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+            *m.entry(line.to_vec()).or_default() += 1;
+        }
+        m
+    };
+    let mut delta = count(reference);
+    for (line, n) in count(observed) {
+        *delta.entry(line).or_default() -= n;
+    }
+    let lost = delta.values().filter(|&&d| d > 0).sum::<isize>().max(0) as usize;
+    let duplicated = (-delta.values().filter(|&&d| d < 0).sum::<isize>()).max(0) as usize;
+    (lost, duplicated)
+}
+
+fn main() {
+    let mut checks: Vec<ChaosCheck> = Vec::new();
+    let mut push = |name: &str, passed: bool, detail: String, wall_ms: f64| {
+        println!(
+            "  [{}] {name}: {detail} ({wall_ms:.0} ms)",
+            if passed { "ok" } else { "FAIL" }
+        );
+        checks.push(ChaosCheck {
+            name: name.into(),
+            passed,
+            detail,
+            wall_ms,
+        });
+    };
+
+    println!("bench_chaos: fleet service under injected faults");
+
+    // Reference: the uninterrupted session, run twice for determinism.
+    let ((reference, outcome), wall) = timed(|| run(session(&REQUESTS), &ServeOptions::default()));
+    let (second, _) = run(session(&REQUESTS), &ServeOptions::default());
+    push(
+        "baseline-determinism",
+        outcome == SessionOutcome::Eof && reference == second && !reference.is_empty(),
+        format!(
+            "two clean sessions, {} response lines, byte-identical={}",
+            reference
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count(),
+            reference == second
+        ),
+        wall,
+    );
+
+    // Kill/resume sweep: kill request 2 at several period boundaries,
+    // restart against the same checkpoint directory, and require the
+    // concatenation to be byte-identical to the reference.
+    let kill_points: Vec<usize> = if fast_mode() {
+        vec![12]
+    } else {
+        vec![0, 12, 24]
+    };
+    let mut lost_total = 0usize;
+    let mut dup_total = 0usize;
+    let mut recovery_ms = 0f64;
+    for &kill in &kill_points {
+        let dir = scratch_dir(&format!("kill{kill}"));
+        let opts = ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(6),
+            chaos: ServiceFaultPlan {
+                kill_request: Some(2),
+                kill_at_period: Some(kill),
+                ..ServiceFaultPlan::default()
+            },
+            ..ServeOptions::default()
+        };
+        let ((part1, outcome1), wall1) = timed(|| run(session(&REQUESTS), &opts));
+        let killed =
+            matches!(outcome1, SessionOutcome::ChaosKill { request: 2, period } if period == kill);
+        let opts = ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(6),
+            ..ServeOptions::default()
+        };
+        let ((part2, outcome2), wall2) = timed(|| run(session(&REQUESTS), &opts));
+        recovery_ms = recovery_ms.max(wall2);
+        let mut joined = part1.clone();
+        joined.extend_from_slice(&part2);
+        let (lost, duplicated) = line_delta(&reference, &joined);
+        lost_total += lost;
+        dup_total += duplicated;
+        push(
+            &format!("kill-resume@{kill}"),
+            killed && outcome2 == SessionOutcome::Eof && joined == reference,
+            format!(
+                "killed={killed}, lost={lost}, duplicated={duplicated}, \
+                 concat-identical={}, resume {wall2:.0} ms",
+                joined == reference
+            ),
+            wall1 + wall2,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Corrupted protocol lines: each corruption of a valid request
+    // line must answer exactly one inline error line, and a healthy
+    // follow-up request must still answer normally.
+    let (healthy_tail, _) = run(session(&REQUESTS[2..3]), &ServeOptions::default());
+    for kind in LineCorruption::ALL {
+        let ((ok, detail), wall) = timed(|| {
+            let mut input = CONFIG.as_bytes().to_vec();
+            input.push(b'\n');
+            input.extend(corrupt_line(REQUESTS[0], kind, 9));
+            input.push(b'\n');
+            input.extend_from_slice(REQUESTS[2].as_bytes());
+            input.push(b'\n');
+            let opts = ServeOptions {
+                max_line_bytes: Some(1 << 16),
+                ..ServeOptions::default()
+            };
+            let (out, outcome) = run(input, &opts);
+            let lines: Vec<&[u8]> = out
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .collect();
+            let error_first = lines
+                .first()
+                .is_some_and(|l| l.starts_with(b"{\"error\":") || l.starts_with(b"{\"id\":"));
+            let tail_ok = out.ends_with(&healthy_tail[..]) && !healthy_tail.is_empty();
+            let expected = 1 + healthy_tail
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count();
+            (
+                outcome == SessionOutcome::Eof && lines.len() == expected && error_first && tail_ok,
+                format!(
+                    "{} response lines (expected {expected}), inline error first={error_first}, \
+                     healthy request unaffected={tail_ok}",
+                    lines.len()
+                ),
+            )
+        });
+        push(&format!("corrupt-{kind:?}"), ok, detail, wall);
+    }
+
+    // Panic quarantine: a chaos-panic planner inside a batch degrades
+    // to one error line while its batch-mates answer byte-identically
+    // to running without it.
+    let ((ok, detail), wall) = timed(|| {
+        let (clean, _) = run(
+            session(&[r#"{"id":9,"scenarios":[{"planner":"inter"}]}"#]),
+            &ServeOptions::default(),
+        );
+        let (out, outcome) = run(
+            session(&[
+                r#"{"id":9,"scenarios":[{"planner":"inter"},{"planner":"chaos-panic:12","seed":2}]}"#,
+            ]),
+            &ServeOptions::default(),
+        );
+        let lines: Vec<&[u8]> = out
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        let clean_line = clean
+            .split(|&b| b == b'\n')
+            .find(|l| !l.is_empty())
+            .unwrap_or(b"");
+        let healthy_identical = lines.first().copied() == Some(clean_line);
+        let quarantined = lines
+            .get(1)
+            .is_some_and(|l| l.starts_with(b"{\"id\":9,\"index\":1,\"error\":"));
+        (
+            outcome == SessionOutcome::Eof && lines.len() == 2 && healthy_identical && quarantined,
+            format!(
+                "{} lines, healthy report identical={healthy_identical}, \
+                 panicking scenario quarantined={quarantined}",
+                lines.len()
+            ),
+        )
+    });
+    push("panic-quarantine", ok, detail, wall);
+
+    // Deadlines: with a zero deadline every request answers a single
+    // deadline error and the session survives.
+    let ((ok, detail), wall) = timed(|| {
+        let opts = ServeOptions {
+            deadline_ms: Some(0),
+            ..ServeOptions::default()
+        };
+        let (out, outcome) = run(session(&REQUESTS), &opts);
+        let lines: Vec<&[u8]> = out
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        let all_deadline = lines
+            .iter()
+            .all(|l| l.ends_with(b"\"error\":\"deadline\"}"));
+        (
+            outcome == SessionOutcome::Eof && lines.len() == REQUESTS.len() && all_deadline,
+            format!(
+                "{} deadline errors for {} requests",
+                lines.len(),
+                REQUESTS.len()
+            ),
+        )
+    });
+    push("deadline-expiry", ok, detail, wall);
+
+    // Slow client: a writer that stalls on every flush must not change
+    // the bytes the service produces.
+    let ((ok, detail), wall) = timed(|| {
+        let stall_ms = if fast_mode() { 0 } else { 1 };
+        let mut writer = SlowWriter::new(Vec::new(), stall_ms);
+        let summary = serve_with(
+            Cursor::new(session(&REQUESTS)),
+            &mut writer,
+            &ServeOptions::default(),
+        )
+        .expect("slow-writer session serves");
+        let flushes = writer.flushes;
+        let out = writer.into_inner();
+        (
+            summary.outcome == SessionOutcome::Eof && out == reference && flushes > 0,
+            format!("byte-identical under {flushes} stalled flushes ({stall_ms} ms each)"),
+        )
+    });
+    push("slow-writer", ok, detail, wall);
+
+    let all_passed = checks.iter().all(|c| c.passed);
+    let report = FleetChaosReport {
+        grid: "1d x 24 x 10x60s".into(),
+        requests: REQUESTS.len(),
+        kill_points,
+        recovery_ms,
+        lost_lines: lost_total,
+        duplicated_lines: dup_total,
+        checks,
+        all_passed,
+    };
+    write_json(REPORT_PATH, &report);
+    if !all_passed {
+        eprintln!("bench_chaos: FAILURE — at least one chaos check failed");
+        std::process::exit(1);
+    }
+    println!("bench_chaos: SUCCESS — all checks passed");
+}

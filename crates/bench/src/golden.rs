@@ -15,8 +15,8 @@ use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
 use helio_tasks::benchmarks;
 use heliosched::{
-    BatchEngine, BatchScenario, DpConfig, Engine, FixedPlanner, NodeConfig, OptimalPlanner,
-    Pattern, ProposedPlanner, SimReport, SwitchRule,
+    BatchCheckpoint, BatchEngine, BatchScenario, BatchScratch, DpConfig, Engine, FixedPlanner,
+    NodeConfig, OptimalPlanner, Pattern, ProposedPlanner, SimReport, SwitchRule,
 };
 
 /// Seed of the golden trace (matches the online planner unit tests).
@@ -218,6 +218,25 @@ pub fn golden_batch_reports() -> Vec<(String, SimReport)> {
 /// count (CI-gated by `tests/golden_online.rs`).
 pub fn golden_sharded_reports(shards: usize) -> Vec<(String, SimReport)> {
     golden_batch_reports_via(&move |engine| engine.run_sharded(shards).expect("golden sharded run"))
+}
+
+/// The same 21 cases as [`golden_batch_reports`], each batch killed at
+/// flat period `kill`, its checkpoint JSON-round-tripped (exactly what
+/// the fleet service's on-disk resume does) and finished with `shards`
+/// scratches. The checkpoint contract — interrupt anywhere, resume
+/// byte-identically — means these reports must render to exactly the
+/// committed golden files (CI-gated by `tests/golden_online.rs`).
+pub fn golden_checkpoint_reports(kill: usize, shards: usize) -> Vec<(String, SimReport)> {
+    golden_batch_reports_via(&move |mut engine| {
+        let ckpt = engine.run_until(kill).expect("golden checkpoint");
+        let json = serde_json::to_string(&ckpt).expect("checkpoint serialises");
+        let ckpt: BatchCheckpoint = serde_json::from_str(&json).expect("checkpoint round-trips");
+        let mut scratches: Vec<BatchScratch> = Vec::new();
+        scratches.resize_with(shards, BatchScratch::default);
+        engine
+            .run_from_checkpoint_sharded_with(&ckpt, &mut scratches)
+            .expect("golden checkpoint resume")
+    })
 }
 
 fn golden_batch_reports_via(

@@ -487,6 +487,46 @@ pub struct BenchFleetReport {
     pub points: Vec<FleetSweepPoint>,
 }
 
+/// One check of the `bench_chaos` service-level chaos sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCheck {
+    /// Check label, e.g. `"kill-resume@12"`.
+    pub name: String,
+    /// Whether the service behaved as contracted.
+    pub passed: bool,
+    /// What was observed (line counts, divergence, error text).
+    pub detail: String,
+    /// Wall-clock of the check, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Machine-readable result of the `bench_chaos` binary
+/// (`results/ROBUSTNESS_fleet.json`): the fleet *service* under chaos
+/// — kill/resume, corrupted protocol lines, worker panics, deadlines
+/// and a stalling client — complementing `ROBUSTNESS.json`, which
+/// perturbs the simulated node instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetChaosReport {
+    /// Grid description (days × periods × slots).
+    pub grid: String,
+    /// Request lines in the chaos session.
+    pub requests: usize,
+    /// Flat periods the kill/resume checks killed the service at.
+    pub kill_points: Vec<usize>,
+    /// Wall-clock of the slowest resumed session (recovery latency),
+    /// milliseconds.
+    pub recovery_ms: f64,
+    /// Response lines lost across every kill/resume check (must be 0).
+    pub lost_lines: usize,
+    /// Response lines duplicated across every kill/resume check (must
+    /// be 0).
+    pub duplicated_lines: usize,
+    /// Every individual check.
+    pub checks: Vec<ChaosCheck>,
+    /// Whether every check passed (the binary exits nonzero otherwise).
+    pub all_passed: bool,
+}
+
 /// Convenience: run the static optimal planner.
 ///
 /// # Errors

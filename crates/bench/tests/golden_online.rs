@@ -11,8 +11,8 @@
 use std::path::PathBuf;
 
 use helio_bench::golden::{
-    golden_batch_reports, golden_reports, golden_reports_with, golden_sharded_reports, render,
-    GOLDEN_DIR,
+    golden_batch_reports, golden_checkpoint_reports, golden_reports, golden_reports_with,
+    golden_sharded_reports, render, GOLDEN_DIR,
 };
 
 fn golden_dir() -> PathBuf {
@@ -90,6 +90,33 @@ fn sharded_engine_reproduces_goldens_bytewise() {
                 "`{name}` diverged when run through BatchEngine::run_sharded \
                  with {shards} shards — the sharded path must be byte-identical \
                  to the sequential engine"
+            );
+        }
+    }
+}
+
+/// The checkpoint gate: every golden case killed at a period boundary,
+/// its `BatchCheckpoint` JSON-round-tripped (the fleet service's
+/// on-disk resume) and finished under a different shard count must
+/// reproduce the committed bytes exactly — at the very first boundary,
+/// mid-horizon and on the last period of the 96-period grid. This is
+/// the crash-safe resume contract over all 21 golden seeds.
+#[test]
+fn checkpoint_resumed_engine_reproduces_goldens_bytewise() {
+    let dir = golden_dir();
+    for (kill, shards) in [(1usize, 1usize), (48, 3), (95, 3)] {
+        let reports = golden_checkpoint_reports(kill, shards);
+        assert_eq!(reports.len(), 21);
+        for (name, report) in &reports {
+            let path = dir.join(format!("{name}.json"));
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+            assert_eq!(
+                render(report),
+                committed,
+                "`{name}` diverged after a kill at period {kill} resumed \
+                 with {shards} shards — checkpoint/resume must be \
+                 byte-identical to the uninterrupted run"
             );
         }
     }

@@ -46,6 +46,7 @@ use helio_faults::FaultHarness;
 use helio_solar::{SolarPredictor, SolarTrace, WcmaPredictor};
 use helio_tasks::{TaskGraph, TaskId};
 
+use crate::checkpoint::{BatchCheckpoint, PlannerCheckpoint, ScenarioCheckpoint};
 use crate::config::NodeConfig;
 use crate::engine::{ScenarioEnv, ScenarioState};
 use crate::error::CoreError;
@@ -140,24 +141,53 @@ pub struct BatchScratch {
     predict: BatchPredictScratch,
 }
 
-/// Runs one shard — a contiguous slice of scenarios — over the whole
-/// horizon in lockstep, reusing `scratch` across periods. This is the
-/// body both the single-threaded [`BatchEngine::run`] and every
-/// sharded worker execute; scenarios are independent, so a shard's
-/// reports are byte-identical to the same scenarios' slice of a
-/// whole-batch run.
+/// The contiguous period range one [`shard_loop`] invocation executes:
+/// `start..stop` in flat period indices. `stop: None` runs to the end
+/// of the horizon and produces reports; `stop: Some(_)` pauses at that
+/// boundary and produces checkpoints.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: usize,
+    stop: Option<usize>,
+}
+
+/// What one shard hands back: finished reports, or (when the span
+/// stops early) per-scenario checkpoints in shard order.
+enum ShardOutcome {
+    Done(Vec<SimReport>),
+    Paused(Vec<ScenarioCheckpoint>, Vec<PlannerCheckpoint>),
+}
+
+/// Runs one shard — a contiguous slice of scenarios — over `span` in
+/// lockstep, reusing `scratch` across periods. This is the body both
+/// the single-threaded [`BatchEngine::run`] and every sharded worker
+/// execute; scenarios are independent, so a shard's reports are
+/// byte-identical to the same scenarios' slice of a whole-batch run,
+/// and a paused-then-resumed span is byte-identical to an
+/// uninterrupted one.
 fn shard_loop(
     node: &NodeConfig,
     graph: &TaskGraph,
     ctx: &Arc<PlanContext>,
     scenarios: &mut [BatchScenario<'_>],
+    resume: Option<&[ScenarioCheckpoint]>,
+    span: Span,
     scratch: &mut BatchScratch,
-) -> Result<Vec<SimReport>, CoreError> {
+) -> Result<ShardOutcome, CoreError> {
     let grid = &node.grid;
     let b = scenarios.len();
     let mut states = Vec::with_capacity(b);
-    for _ in 0..b {
-        states.push(ScenarioState::new(node, graph)?);
+    match resume {
+        Some(ckpts) => {
+            for ckpt in ckpts {
+                states.push(ScenarioState::restore(node, graph, ckpt)?);
+            }
+        }
+        None => {
+            for _ in 0..b {
+                states.push(ScenarioState::new(node, graph)?);
+            }
+        }
     }
     // Mirror `run_with_faults`: an empty harness is no harness.
     let harnesses: Vec<Option<&FaultHarness>> = scenarios
@@ -183,8 +213,12 @@ fn shard_loop(
         predict,
     } = scratch;
 
-    for period in grid.periods() {
-        let flat = grid.period_index(period);
+    let stop = span
+        .stop
+        .unwrap_or(grid.total_periods())
+        .min(grid.total_periods());
+    for flat in span.start..stop {
+        let period = grid.period_at(flat);
 
         // Gather phase: per-period harness effects, then either a
         // batch feature row or (for decliners) the full sequential
@@ -272,11 +306,34 @@ fn shard_loop(
         }
     }
 
+    if span.stop.is_some() {
+        // Freeze at the boundary instead of assembling reports; the
+        // planner snapshot comes after the scenario snapshot so both
+        // describe the exact same instant.
+        let scenario_ckpts = states.iter().map(ScenarioState::checkpoint).collect();
+        let planner_ckpts = scenarios
+            .iter()
+            .map(|sc| sc.planner.save_checkpoint())
+            .collect();
+        return Ok(ShardOutcome::Paused(scenario_ckpts, planner_ckpts));
+    }
+
     let mut reports = Vec::with_capacity(b);
     for ((state, sc), harness) in states.into_iter().zip(scenarios.iter_mut()).zip(harnesses) {
         reports.push(state.into_report(sc.planner.as_mut(), harness));
     }
-    Ok(reports)
+    Ok(ShardOutcome::Done(reports))
+}
+
+/// Outcome of [`BatchEngine::run_span_with`]: the batch either ran to
+/// the end of the horizon (reports, in push order) or paused at the
+/// requested period boundary (a resumable [`BatchCheckpoint`]).
+#[derive(Debug)]
+pub enum BatchRunState {
+    /// Every scenario finished; one report per scenario in push order.
+    Done(Vec<SimReport>),
+    /// The batch froze at a period boundary.
+    Paused(BatchCheckpoint),
 }
 
 /// Advances B independent scenarios in lockstep, batching DBN
@@ -391,13 +448,12 @@ impl<'a> BatchEngine<'a> {
         mut self,
         scratch: &mut BatchScratch,
     ) -> Result<Vec<SimReport>, CoreError> {
-        shard_loop(
-            self.node,
-            self.graph,
-            &self.ctx,
-            &mut self.scenarios,
-            scratch,
-        )
+        match self.run_span_with(None, None, std::slice::from_mut(scratch))? {
+            BatchRunState::Done(reports) => Ok(reports),
+            BatchRunState::Paused(_) => Err(CoreError::Config(
+                "full run paused without a stop period".into(),
+            )),
+        }
     }
 
     /// Partitions the batch into at most `shards` contiguous shards and
@@ -429,9 +485,80 @@ impl<'a> BatchEngine<'a> {
         mut self,
         scratches: &mut [BatchScratch],
     ) -> Result<Vec<SimReport>, CoreError> {
+        match self.run_span_with(None, None, scratches)? {
+            BatchRunState::Done(reports) => Ok(reports),
+            BatchRunState::Paused(_) => Err(CoreError::Config(
+                "full run paused without a stop period".into(),
+            )),
+        }
+    }
+
+    /// Runs a contiguous span of periods — the one primitive behind
+    /// every run/pause/resume combination. `resume: None` starts fresh
+    /// at period 0; `Some(ckpt)` restores every scenario and planner
+    /// from the checkpoint and continues at `ckpt.next_period`.
+    /// `stop: None` runs to the end of the horizon and yields
+    /// [`BatchRunState::Done`]; `Some(p)` freezes the batch at flat
+    /// period `min(p, total)` and yields [`BatchRunState::Paused`]
+    /// (a stop at or before the resume point captures the state
+    /// unchanged). Scenarios are sharded across `scratches` exactly as
+    /// in [`BatchEngine::run_sharded_with`], and any
+    /// pause/resume/shard combination is byte-identical to one
+    /// uninterrupted [`BatchEngine::run`].
+    ///
+    /// Worker panics are quarantined: a panicking planner surfaces as
+    /// [`CoreError::WorkerPanic`] instead of unwinding through the
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] when `scratches` is empty and the
+    /// batch is not, or when `resume` does not match the batch (wrong
+    /// scenario count, planner/checkpoint shape mismatch, period past
+    /// the horizon); [`CoreError::WorkerPanic`] when a worker
+    /// panicked; otherwise the first [`CoreError`] any shard produces.
+    pub fn run_span_with(
+        &mut self,
+        resume: Option<&BatchCheckpoint>,
+        stop: Option<usize>,
+        scratches: &mut [BatchScratch],
+    ) -> Result<BatchRunState, CoreError> {
         let b = self.scenarios.len();
+        let total = self.node.grid.total_periods();
+        let start = match resume {
+            Some(ckpt) => {
+                if ckpt.scenarios.len() != b || ckpt.planners.len() != b {
+                    return Err(CoreError::Config(format!(
+                        "checkpoint holds {} scenarios / {} planners but the batch has {b}",
+                        ckpt.scenarios.len(),
+                        ckpt.planners.len(),
+                    )));
+                }
+                if ckpt.next_period > total {
+                    return Err(CoreError::Config(format!(
+                        "checkpoint resumes at period {} but the horizon has {total}",
+                        ckpt.next_period
+                    )));
+                }
+                for (sc, pc) in self.scenarios.iter_mut().zip(&ckpt.planners) {
+                    sc.planner
+                        .restore_checkpoint(pc)
+                        .map_err(CoreError::Config)?;
+                }
+                ckpt.next_period
+            }
+            None => 0,
+        };
+        let stop = stop.map(|p| p.min(total));
         if b == 0 {
-            return Ok(Vec::new());
+            return Ok(match stop {
+                Some(p) => BatchRunState::Paused(BatchCheckpoint {
+                    next_period: p.max(start),
+                    scenarios: Vec::new(),
+                    planners: Vec::new(),
+                }),
+                None => BatchRunState::Done(Vec::new()),
+            });
         }
         if scratches.is_empty() {
             return Err(CoreError::Config(
@@ -441,19 +568,129 @@ impl<'a> BatchEngine<'a> {
         // Never split below one scenario per shard: chunk boundaries
         // stay deterministic and idle workers are skipped entirely.
         let shards = scratches.len().min(b);
+        let chunk = b.div_ceil(shards).max(1);
+        let span = Span { start, stop };
         let node = self.node;
         let graph = self.graph;
         let ctx = &self.ctx;
-        let shard_reports = helio_par::par_zip_chunks_mut(
+        let resume_states = resume.map(|c| c.scenarios.as_slice());
+        let outcomes = helio_par::par_zip_chunks_mut_quarantine(
             &mut self.scenarios,
             &mut scratches[..shards],
-            |_, shard, scratch| shard_loop(node, graph, ctx, shard, scratch),
+            |ci, shard, scratch| {
+                // Sub-slice the checkpoint with the same deterministic
+                // partition the pool applied to the scenarios.
+                let lo = ci * chunk;
+                let sub = resume_states.map(|r| &r[lo..lo + shard.len()]);
+                shard_loop(node, graph, ctx, shard, sub, span, scratch)
+            },
         );
-        let mut all = Vec::with_capacity(b);
-        for reports in shard_reports {
-            all.extend(reports?);
+        let mut reports = Vec::new();
+        let mut scenario_ckpts = Vec::new();
+        let mut planner_ckpts = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(Ok(ShardOutcome::Done(r))) => reports.extend(r),
+                Ok(Ok(ShardOutcome::Paused(s, p))) => {
+                    scenario_ckpts.extend(s);
+                    planner_ckpts.extend(p);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(CoreError::WorkerPanic(
+                        helio_par::panic_message(&payload).to_string(),
+                    ))
+                }
+            }
         }
-        Ok(all)
+        match stop {
+            Some(p) => Ok(BatchRunState::Paused(BatchCheckpoint {
+                next_period: p.max(start),
+                scenarios: scenario_ckpts,
+                planners: planner_ckpts,
+            })),
+            None => Ok(BatchRunState::Done(reports)),
+        }
+    }
+
+    /// Runs periods `0..stop` and freezes the batch there, returning a
+    /// serializable [`BatchCheckpoint`]. `stop` at or past the end of
+    /// the horizon runs the whole simulation loop and freezes just
+    /// before report assembly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::run_span_with`].
+    pub fn run_until(&mut self, stop: usize) -> Result<BatchCheckpoint, CoreError> {
+        let mut scratch = BatchScratch::default();
+        match self.run_span_with(None, Some(stop), std::slice::from_mut(&mut scratch))? {
+            BatchRunState::Paused(ckpt) => Ok(ckpt),
+            BatchRunState::Done(_) => Err(CoreError::Config(
+                "bounded run completed without pausing".into(),
+            )),
+        }
+    }
+
+    /// Continues a frozen batch up to (not including) period `stop`,
+    /// returning the new checkpoint. Restoring is idempotent: resuming
+    /// from a just-taken checkpoint and stopping immediately hands the
+    /// same state back.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::run_span_with`].
+    pub fn resume_until(
+        &mut self,
+        ckpt: &BatchCheckpoint,
+        stop: usize,
+    ) -> Result<BatchCheckpoint, CoreError> {
+        let mut scratch = BatchScratch::default();
+        match self.run_span_with(Some(ckpt), Some(stop), std::slice::from_mut(&mut scratch))? {
+            BatchRunState::Paused(next) => Ok(next),
+            BatchRunState::Done(_) => Err(CoreError::Config(
+                "bounded run completed without pausing".into(),
+            )),
+        }
+    }
+
+    /// Restores every scenario from `ckpt` and runs the rest of the
+    /// horizon to completion — byte-identical to the reports an
+    /// uninterrupted [`BatchEngine::run`] would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::run_span_with`].
+    pub fn run_from_checkpoint(
+        mut self,
+        ckpt: &BatchCheckpoint,
+    ) -> Result<Vec<SimReport>, CoreError> {
+        let mut scratch = BatchScratch::default();
+        match self.run_span_with(Some(ckpt), None, std::slice::from_mut(&mut scratch))? {
+            BatchRunState::Done(reports) => Ok(reports),
+            BatchRunState::Paused(_) => Err(CoreError::Config(
+                "full run paused without a stop period".into(),
+            )),
+        }
+    }
+
+    /// [`BatchEngine::run_from_checkpoint`] sharded across caller-owned
+    /// scratches, one shard per scratch (the fleet service resumes with
+    /// its long-lived worker scratches).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchEngine::run_span_with`].
+    pub fn run_from_checkpoint_sharded_with(
+        mut self,
+        ckpt: &BatchCheckpoint,
+        scratches: &mut [BatchScratch],
+    ) -> Result<Vec<SimReport>, CoreError> {
+        match self.run_span_with(Some(ckpt), None, scratches)? {
+            BatchRunState::Done(reports) => Ok(reports),
+            BatchRunState::Paused(_) => Err(CoreError::Config(
+                "full run paused without a stop period".into(),
+            )),
+        }
     }
 
     /// [`BatchEngine::run_sharded`] across every configured worker
@@ -506,7 +743,7 @@ mod tests {
     use crate::config::NodeConfig;
     use crate::engine::Engine;
     use crate::online::{ProposedPlanner, SwitchRule};
-    use crate::planner::{FixedPlanner, Pattern};
+    use crate::planner::{FixedPlanner, Pattern, PlannerObservation};
     use crate::resilient::ResilientPlanner;
     use helio_common::time::TimeGrid;
     use helio_common::units::{Farads, Seconds};
@@ -829,6 +1066,174 @@ mod tests {
         }
         let err = build().run_sharded_with(&mut []);
         assert!(matches!(err, Err(CoreError::Config(_))));
+    }
+
+    fn mixed_engine<'a>(
+        node: &'a NodeConfig,
+        g: &'a TaskGraph,
+        dbn: &Arc<Dbn>,
+        traces: &'a [SolarTrace],
+        harness: &'a helio_faults::FaultHarness,
+    ) -> BatchEngine<'a> {
+        let mut engine = BatchEngine::new(node, g).unwrap();
+        for (i, t) in traces.iter().enumerate() {
+            let planner: Box<dyn PeriodPlanner> = match i % 4 {
+                0 => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
+                1 => Box::new(dbn_planner(dbn)),
+                2 => Box::new(ResilientPlanner::new(Box::new(dbn_planner(dbn))).with_probation(3)),
+                _ => Box::new(ProposedPlanner::mpc(
+                    Box::new(NoisyOracle::perfect()),
+                    24,
+                    crate::longterm::DpConfig {
+                        voltage_buckets: 4,
+                        keep_per_level: 1,
+                    },
+                    0.5,
+                    SwitchRule::default(),
+                )),
+            };
+            let mut sc = BatchScenario::new(t, planner);
+            if i % 2 == 1 {
+                sc = sc.with_harness(harness);
+            }
+            engine.push(sc).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_at_any_kill_period() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..4).map(|s| trace(51 + s)).collect();
+        let plan = helio_faults::FaultPlan {
+            seed: 9,
+            dbn: vec![helio_faults::DbnFault {
+                window: helio_faults::PeriodWindow::new(10, 14),
+                mode: helio_faults::DbnFaultMode::Nan,
+            }],
+            ..helio_faults::FaultPlan::default()
+        };
+        let harness = helio_faults::FaultHarness::new(&plan, 48, 24);
+        let whole = mixed_engine(&node, &g, &dbn, &traces, &harness)
+            .run()
+            .unwrap();
+        let total = node.grid.total_periods();
+        for kill in [0, 1, 17, total - 1, total] {
+            // Interrupt at the boundary, round-trip the checkpoint
+            // through JSON (as the fleet's on-disk resume does), then
+            // finish on a fresh engine with a different shard count.
+            let mut engine = mixed_engine(&node, &g, &dbn, &traces, &harness);
+            let ckpt = engine.run_until(kill).unwrap();
+            assert_eq!(ckpt.next_period, kill);
+            let json = serde_json::to_string(&ckpt).unwrap();
+            let restored: crate::checkpoint::BatchCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(restored, ckpt);
+            let mut scratches = [BatchScratch::default(), BatchScratch::default()];
+            let resumed = mixed_engine(&node, &g, &dbn, &traces, &harness)
+                .run_from_checkpoint_sharded_with(&restored, &mut scratches)
+                .unwrap();
+            for (i, (a, b)) in resumed.iter().zip(&whole).enumerate() {
+                assert_eq!(
+                    serde_json::to_string(a).unwrap(),
+                    serde_json::to_string(b).unwrap(),
+                    "scenario {i} diverged after kill at period {kill}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_resume_matches_uninterrupted_run() {
+        // Re-freezing every few periods (the fleet's periodic
+        // checkpointing) must also be exact, including resuming a
+        // checkpoint into the same engine that produced it.
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..3).map(|s| trace(91 + s)).collect();
+        let harness = helio_faults::FaultHarness::empty();
+        let whole = mixed_engine(&node, &g, &dbn, &traces, &harness)
+            .run()
+            .unwrap();
+        let total = node.grid.total_periods();
+        let mut engine = mixed_engine(&node, &g, &dbn, &traces, &harness);
+        let mut ckpt = engine.run_until(7).unwrap();
+        let mut at = 7;
+        while at < total {
+            at = (at + 13).min(total);
+            ckpt = engine.resume_until(&ckpt, at).unwrap();
+            assert_eq!(ckpt.next_period, at);
+        }
+        let resumed = engine
+            .run_span_with(Some(&ckpt), None, &mut [BatchScratch::default()])
+            .unwrap();
+        let BatchRunState::Done(resumed) = resumed else {
+            panic!("expected completion");
+        };
+        assert_eq!(resumed, whole);
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_batches() {
+        let node = node();
+        let g = benchmarks::ecg();
+        let dbn = tiny_dbn(&g);
+        let traces: Vec<SolarTrace> = (0..3).map(|s| trace(71 + s)).collect();
+        let harness = helio_faults::FaultHarness::empty();
+        let mut engine = mixed_engine(&node, &g, &dbn, &traces, &harness);
+        let mut ckpt = engine.run_until(5).unwrap();
+
+        // Wrong scenario count.
+        let mut short = ckpt.clone();
+        short.scenarios.pop();
+        short.planners.pop();
+        let err = mixed_engine(&node, &g, &dbn, &traces, &harness).run_from_checkpoint(&short);
+        assert!(matches!(err, Err(CoreError::Config(_))));
+
+        // Planner shape mismatch: rotate the planner checkpoints so a
+        // fixed planner receives a proposed snapshot.
+        let mut rotated = ckpt.clone();
+        rotated.planners.rotate_left(1);
+        let err = mixed_engine(&node, &g, &dbn, &traces, &harness).run_from_checkpoint(&rotated);
+        assert!(matches!(err, Err(CoreError::Config(_))));
+
+        // Period past the horizon.
+        ckpt.next_period = node.grid.total_periods() + 1;
+        let err = mixed_engine(&node, &g, &dbn, &traces, &harness).run_from_checkpoint(&ckpt);
+        assert!(matches!(err, Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn worker_panic_is_quarantined_into_an_error() {
+        struct BombPlanner;
+        impl PeriodPlanner for BombPlanner {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+                assert!(
+                    obs.grid.period_index(obs.period) < 3,
+                    "planner exploded at period 3"
+                );
+                PlanDecision::everything(Pattern::Asap)
+            }
+        }
+        let node = node();
+        let g = benchmarks::ecg();
+        let t = trace(5);
+        let mut engine = BatchEngine::new(&node, &g).unwrap();
+        engine
+            .push(BatchScenario::new(&t, Box::new(BombPlanner)))
+            .unwrap();
+        let err = engine.run();
+        match err {
+            Err(CoreError::WorkerPanic(msg)) => {
+                assert!(msg.contains("planner exploded"), "message was {msg}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

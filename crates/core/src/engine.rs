@@ -23,6 +23,7 @@ use helio_tasks::TaskGraph;
 use helio_tasks::TaskId;
 
 use crate::batch::PlanContext;
+use crate::checkpoint::ScenarioCheckpoint;
 use crate::config::NodeConfig;
 use crate::error::CoreError;
 use crate::metrics::{PeriodRecord, SimReport};
@@ -202,6 +203,57 @@ impl ScenarioState {
             leak_scale: 1.0,
             scaled_leak: None,
         })
+    }
+
+    /// Snapshots the cross-period state at a period boundary. The bank
+    /// is captured wholesale — aging multiplies capacitances in place
+    /// and `f64` products are non-associative, so re-deriving it from
+    /// the cumulative factor would drift bitwise. Schedulers and the
+    /// executor are deliberately absent: both are rebuilt at every
+    /// `begin_period`/`reset`, so a boundary snapshot never needs them.
+    pub(crate) fn checkpoint(&self) -> ScenarioCheckpoint {
+        ScenarioCheckpoint {
+            bank: self.bank.clone(),
+            fleet: self.fleet.clone(),
+            periods: self.periods.clone(),
+            acc_misses: self.acc_misses,
+            acc_tasks: self.acc_tasks,
+            degraded: self.degraded,
+            applied_cap_factor: self.applied_cap_factor,
+            leak_scale: self.leak_scale,
+            leak_scaled: self.scaled_leak.is_some(),
+        }
+    }
+
+    /// Rebuilds a scenario state from a boundary snapshot: fresh
+    /// schedulers/executor plus the captured cross-period state. The
+    /// scaled leakage parameter set is re-derived from `leak_scale`
+    /// (a pure function of the calibration and the factor).
+    pub(crate) fn restore(
+        node: &NodeConfig,
+        graph: &TaskGraph,
+        ckpt: &ScenarioCheckpoint,
+    ) -> Result<Self, CoreError> {
+        let mut state = Self::new(node, graph)?;
+        if ckpt.bank.len() != state.bank.len() {
+            return Err(CoreError::Config(format!(
+                "checkpoint bank has {} capacitors, node has {}",
+                ckpt.bank.len(),
+                state.bank.len()
+            )));
+        }
+        state.bank = ckpt.bank.clone();
+        state.fleet = ckpt.fleet.clone();
+        state.periods = ckpt.periods.clone();
+        state.acc_misses = ckpt.acc_misses;
+        state.acc_tasks = ckpt.acc_tasks;
+        state.degraded = ckpt.degraded;
+        state.applied_cap_factor = ckpt.applied_cap_factor;
+        state.leak_scale = ckpt.leak_scale;
+        state.scaled_leak = ckpt
+            .leak_scaled
+            .then(|| node.storage.clone().with_leakage_scale(ckpt.leak_scale));
+        Ok(state)
     }
 
     fn accumulated_dmr(&self) -> f64 {
@@ -415,6 +467,12 @@ impl ScenarioState {
         let mut faults: Vec<FaultEvent> = harness.map(|h| h.events().to_vec()).unwrap_or_default();
         faults.extend(planner.degraded_events());
         faults.sort_by_key(|e| (e.period, e.periods));
+        // Bound the merged log the same way the resilient planner
+        // bounds its internal one: first/last K survive, the middle is
+        // tallied. Committed fixtures sit far below the cap, so clean
+        // and moderately-faulted reports are unaffected bytewise.
+        self.degraded.dropped_events += planner.dropped_events()
+            + helio_faults::cap_event_log(&mut faults, helio_faults::EVENT_LOG_KEEP);
 
         SimReport {
             planner: planner.name().to_string(),

@@ -22,6 +22,11 @@ pub enum CoreError {
     /// A scheduler broke an engine invariant (e.g. assigned one task's
     /// NVP to two slots at once).
     SchedulerContract(String),
+    /// A batch worker panicked; the panic was quarantined instead of
+    /// unwinding through the pool. Carries the panic message. Callers
+    /// that need per-scenario isolation (the fleet service) re-run the
+    /// affected scenarios individually on this error.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::TraceMismatch(m) => write!(f, "trace/grid mismatch: {m}"),
             CoreError::Training(m) => write!(f, "training failed: {m}"),
             CoreError::SchedulerContract(m) => write!(f, "scheduler contract violation: {m}"),
+            CoreError::WorkerPanic(m) => write!(f, "batch worker panicked: {m}"),
         }
     }
 }

@@ -54,6 +54,7 @@
 
 pub mod analysis;
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -70,7 +71,11 @@ pub mod subsets;
 pub use analysis::{
     capacitor_usage, day_night_split, dmr_improvement, DayNightSplit, TradeoffPoint,
 };
-pub use batch::{BatchEngine, BatchScenario, BatchScratch, PlanContext};
+pub use batch::{BatchEngine, BatchRunState, BatchScenario, BatchScratch, PlanContext};
+pub use checkpoint::{
+    BatchCheckpoint, MpcCacheState, PlannerCheckpoint, ProposedCheckpoint, ResilientCheckpoint,
+    ScenarioCheckpoint,
+};
 pub use config::NodeConfig;
 pub use engine::Engine;
 pub use error::CoreError;
@@ -91,7 +96,8 @@ pub use subsets::{closed_subsets, dmr_level_subsets};
 
 /// Convenient re-exports for examples and downstream users.
 pub mod prelude {
-    pub use crate::batch::{BatchEngine, BatchScenario, BatchScratch, PlanContext};
+    pub use crate::batch::{BatchEngine, BatchRunState, BatchScenario, BatchScratch, PlanContext};
+    pub use crate::checkpoint::{BatchCheckpoint, PlannerCheckpoint, ScenarioCheckpoint};
     pub use crate::config::NodeConfig;
     pub use crate::engine::Engine;
     pub use crate::error::CoreError;

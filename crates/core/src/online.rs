@@ -26,6 +26,7 @@ use helio_tasks::TaskId;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::PlanContext;
+use crate::checkpoint::{MpcCacheState, PlannerCheckpoint, ProposedCheckpoint};
 use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
 use crate::optimal::OptimalPlanner;
 use crate::planner::{PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
@@ -575,6 +576,57 @@ impl PeriodPlanner for ProposedPlanner {
 
     fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
         self.ctx = Some(Arc::clone(ctx));
+    }
+
+    fn save_checkpoint(&self) -> PlannerCheckpoint {
+        let mpc = match &self.backend {
+            Backend::Mpc { cache: Some(c), .. } => Some(MpcCacheState {
+                day: c.day,
+                capacitor: c.capacitor,
+                base_flat: c.base_flat,
+                plans: c.plans.clone(),
+            }),
+            Backend::Mpc { cache: None, .. } | Backend::Dbn { .. } | Backend::Compiled { .. } => {
+                None
+            }
+        };
+        PlannerCheckpoint::Proposed(ProposedCheckpoint {
+            complexity: self.complexity,
+            health: self.health,
+            injected: self.injected,
+            mpc,
+        })
+    }
+
+    fn restore_checkpoint(&mut self, ckpt: &PlannerCheckpoint) -> Result<(), String> {
+        let PlannerCheckpoint::Proposed(c) = ckpt else {
+            return Err(format!(
+                "planner `{}` expects a proposed checkpoint, got {ckpt:?}",
+                self.name()
+            ));
+        };
+        self.complexity = c.complexity;
+        self.health = c.health;
+        self.injected = c.injected;
+        match &mut self.backend {
+            Backend::Mpc { cache, .. } => {
+                *cache = c.mpc.as_ref().map(|m| MpcCache {
+                    day: m.day,
+                    capacitor: m.capacitor,
+                    base_flat: m.base_flat,
+                    plans: m.plans.clone(),
+                });
+            }
+            Backend::Dbn { .. } | Backend::Compiled { .. } => {
+                if c.mpc.is_some() {
+                    return Err(format!(
+                        "planner `{}` has no MPC cache but the checkpoint carries one",
+                        self.name()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn batch_input(&mut self, obs: &PlannerObservation<'_>, input: &mut Vec<f64>) -> bool {

@@ -22,6 +22,7 @@ use helio_tasks::TaskGraph;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::PlanContext;
+use crate::checkpoint::PlannerCheckpoint;
 
 /// The fine-grained scheduling pattern for one period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +155,39 @@ pub trait PeriodPlanner: Send {
     /// health transitions), for the report's fault log.
     fn degraded_events(&self) -> Vec<FaultEvent> {
         Vec::new()
+    }
+
+    /// Events elided from this planner's bounded internal log (see
+    /// `helio_faults::cap_event_log`); surfaces in the report's
+    /// `degraded.dropped_events` counter.
+    fn dropped_events(&self) -> usize {
+        0
+    }
+
+    /// Snapshots this planner's cross-period state at a period
+    /// boundary. Stateless planners (the default) report
+    /// [`PlannerCheckpoint::Stateless`].
+    fn save_checkpoint(&self) -> PlannerCheckpoint {
+        PlannerCheckpoint::Stateless
+    }
+
+    /// Restores state captured by [`PeriodPlanner::save_checkpoint`]
+    /// into a planner built from the same configuration. Restoring a
+    /// planner from its own just-saved checkpoint is a no-op, so
+    /// resuming can always replay the latest checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the checkpoint's shape does not match
+    /// this planner.
+    fn restore_checkpoint(&mut self, ckpt: &PlannerCheckpoint) -> Result<(), String> {
+        match ckpt {
+            PlannerCheckpoint::Stateless => Ok(()),
+            other => Err(format!(
+                "planner `{}` is stateless but the checkpoint is {other:?}",
+                self.name()
+            )),
+        }
     }
 
     /// Attaches shared cross-scenario precomputation (slot costs,

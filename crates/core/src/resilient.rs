@@ -9,16 +9,18 @@
 //! acts on it; an unhealthy or invalid decision is replaced by the
 //! conservative inter-task (LSA) baseline decision for that period, and
 //! every engagement is recorded in the report's fault log. Repeated
-//! scheduler-contract violations demote the inner planner permanently —
-//! a planner that keeps emitting contradictory slot assignments cannot
-//! be trusted again within the run.
+//! scheduler-contract violations demote the inner planner — by default
+//! permanently, or (with [`ResilientPlanner::with_probation`]) until it
+//! has produced N consecutive healthy decisions while demoted, at which
+//! point it is re-promoted and trusted again.
 
 use std::sync::Arc;
 
 use helio_ann::Dbn;
-use helio_faults::{DbnFaultMode, FaultEvent, FaultKind};
+use helio_faults::{cap_event_log, DbnFaultMode, FaultEvent, FaultKind, EVENT_LOG_KEEP};
 
 use crate::batch::PlanContext;
+use crate::checkpoint::{PlannerCheckpoint, ResilientCheckpoint};
 use crate::planner::{Pattern, PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
 
 /// Contract violations tolerated before the inner planner is demoted
@@ -32,7 +34,17 @@ pub struct ResilientPlanner<'a> {
     contract_violations: usize,
     demoted: bool,
     fallback_periods: usize,
+    /// `Some(n)`: a demoted inner planner is re-promoted after `n`
+    /// consecutive healthy shadow decisions. `None`: demotion is
+    /// permanent (the historical behaviour, and the default).
+    probation: Option<usize>,
+    /// Consecutive healthy shadow decisions observed while demoted.
+    healthy_streak: usize,
+    /// Times the inner planner has been re-promoted.
+    repromotions: usize,
     events: Vec<FaultEvent>,
+    /// Events elided from the bounded `events` log.
+    dropped: usize,
 }
 
 impl<'a> ResilientPlanner<'a> {
@@ -45,7 +57,11 @@ impl<'a> ResilientPlanner<'a> {
             contract_violations: 0,
             demoted: false,
             fallback_periods: 0,
+            probation: None,
+            healthy_streak: 0,
+            repromotions: 0,
             events: Vec::new(),
+            dropped: 0,
         }
     }
 
@@ -56,14 +72,41 @@ impl<'a> ResilientPlanner<'a> {
         self
     }
 
+    /// Enables probation-based re-promotion: while demoted, the inner
+    /// planner keeps planning in the shadow of the fallback, and after
+    /// `periods` consecutive healthy, valid decisions it is re-promoted
+    /// (violation count reset, a [`FaultKind::PlannerRepromoted`] event
+    /// logged). `periods` is clamped to at least 1. Without this knob
+    /// demotion is permanent.
+    #[must_use]
+    pub fn with_probation(mut self, periods: usize) -> Self {
+        self.probation = Some(periods.max(1));
+        self
+    }
+
     /// Periods served from the fallback baseline so far.
     pub fn fallbacks(&self) -> usize {
         self.fallback_periods
     }
 
-    /// Whether the inner planner has been permanently demoted.
+    /// Whether the inner planner is currently demoted.
     pub fn is_demoted(&self) -> bool {
         self.demoted
+    }
+
+    /// Times the inner planner has been re-promoted after probation.
+    pub fn repromotions(&self) -> usize {
+        self.repromotions
+    }
+
+    /// Appends to the bounded event log: the first and last
+    /// [`EVENT_LOG_KEEP`] events survive, the middle is counted into
+    /// [`PeriodPlanner::dropped_events`]. Capping after every push
+    /// keeps exactly first-K/last-K of the whole stream, so a
+    /// checkpoint-resumed run retains the identical log.
+    fn log_event(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.dropped += cap_event_log(&mut self.events, EVENT_LOG_KEEP);
     }
 
     /// The fallback decision: keep the current capacitor, admit every
@@ -74,8 +117,7 @@ impl<'a> ResilientPlanner<'a> {
 
     fn engage_fallback(&mut self, flat: usize, reason: String) -> PlanDecision {
         self.fallback_periods += 1;
-        self.events
-            .push(FaultEvent::at(flat, FaultKind::PlannerFallback, reason));
+        self.log_event(FaultEvent::at(flat, FaultKind::PlannerFallback, reason));
         self.fallback_decision()
     }
 
@@ -121,6 +163,35 @@ impl PeriodPlanner for ResilientPlanner<'_> {
     fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
         let flat = obs.grid.period_index(obs.period);
         if self.demoted {
+            let Some(required) = self.probation else {
+                // Permanent demotion: serve the fallback without
+                // consulting the inner planner at all.
+                self.fallback_periods += 1;
+                return self.fallback_decision();
+            };
+            // Probation: the inner planner plans in the shadow of the
+            // fallback; a clean streak earns re-promotion.
+            let decision = self.inner.plan(obs);
+            match self.rejection_reason(obs, &decision) {
+                Some(_) => self.healthy_streak = 0,
+                None => {
+                    self.healthy_streak += 1;
+                    if self.healthy_streak >= required {
+                        self.demoted = false;
+                        self.contract_violations = 0;
+                        self.healthy_streak = 0;
+                        self.repromotions += 1;
+                        self.log_event(FaultEvent::at(
+                            flat,
+                            FaultKind::PlannerRepromoted,
+                            format!("inner planner re-promoted after {required} healthy probation periods"),
+                        ));
+                        // The streak-completing decision is already
+                        // validated — act on it immediately.
+                        return decision;
+                    }
+                }
+            }
             self.fallback_periods += 1;
             return self.fallback_decision();
         }
@@ -148,7 +219,8 @@ impl PeriodPlanner for ResilientPlanner<'_> {
         self.contract_violations += 1;
         if self.contract_violations >= MAX_CONTRACT_VIOLATIONS && !self.demoted {
             self.demoted = true;
-            self.events.push(FaultEvent::at(
+            self.healthy_streak = 0;
+            self.log_event(FaultEvent::at(
                 0,
                 FaultKind::ContractViolation,
                 format!(
@@ -165,6 +237,37 @@ impl PeriodPlanner for ResilientPlanner<'_> {
 
     fn degraded_events(&self) -> Vec<FaultEvent> {
         self.events.clone()
+    }
+
+    fn dropped_events(&self) -> usize {
+        self.dropped + self.inner.dropped_events()
+    }
+
+    fn save_checkpoint(&self) -> PlannerCheckpoint {
+        PlannerCheckpoint::Resilient(ResilientCheckpoint {
+            contract_violations: self.contract_violations,
+            demoted: self.demoted,
+            fallback_periods: self.fallback_periods,
+            healthy_streak: self.healthy_streak,
+            repromotions: self.repromotions,
+            dropped_events: self.dropped,
+            events: self.events.clone(),
+            inner: Box::new(self.inner.save_checkpoint()),
+        })
+    }
+
+    fn restore_checkpoint(&mut self, ckpt: &PlannerCheckpoint) -> Result<(), String> {
+        let PlannerCheckpoint::Resilient(c) = ckpt else {
+            return Err(format!("resilient planner cannot restore from {ckpt:?}"));
+        };
+        self.contract_violations = c.contract_violations;
+        self.demoted = c.demoted;
+        self.fallback_periods = c.fallback_periods;
+        self.healthy_streak = c.healthy_streak;
+        self.repromotions = c.repromotions;
+        self.dropped = c.dropped_events;
+        self.events = c.events.clone();
+        self.inner.restore_checkpoint(&c.inner)
     }
 
     fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
@@ -286,5 +389,181 @@ mod tests {
             .degraded_events()
             .iter()
             .any(|e| e.kind == FaultKind::ContractViolation));
+    }
+
+    /// Builds a standalone observation for direct `plan()` calls.
+    struct ObsParts {
+        node: NodeConfig,
+        graph: helio_tasks::TaskGraph,
+        trace: SolarTrace,
+        bank: helio_storage::CapacitorBank,
+    }
+
+    fn obs_parts() -> ObsParts {
+        let node = node();
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, &node.storage).unwrap();
+        ObsParts {
+            node,
+            graph: benchmarks::ecg(),
+            trace: trace(),
+            bank,
+        }
+    }
+
+    fn obs(parts: &ObsParts) -> PlannerObservation<'_> {
+        PlannerObservation {
+            grid: &parts.node.grid,
+            period: parts.node.grid.period_at(0),
+            graph: &parts.graph,
+            trace: &parts.trace,
+            bank: &parts.bank,
+            accumulated_dmr: 0.0,
+            storage: &parts.node.storage,
+            pmu: &parts.node.pmu,
+        }
+    }
+
+    fn demote(planner: &mut ResilientPlanner<'_>) {
+        for _ in 0..MAX_CONTRACT_VIOLATIONS {
+            planner.on_contract_violation();
+        }
+        assert!(planner.is_demoted());
+    }
+
+    #[test]
+    fn probation_repromotes_after_clean_streak() {
+        let parts = obs_parts();
+        let mut planner =
+            ResilientPlanner::new(Box::new(FixedPlanner::new(Pattern::Intra, 0))).with_probation(3);
+        demote(&mut planner);
+        // Two probation periods still serve the fallback.
+        for _ in 0..2 {
+            let d = planner.plan(&obs(&parts));
+            assert_eq!(d, PlanDecision::everything(Pattern::Inter));
+            assert!(planner.is_demoted());
+        }
+        // The third healthy decision completes the streak and is acted
+        // on immediately.
+        let d = planner.plan(&obs(&parts));
+        assert_eq!(d.capacitor, Some(0));
+        assert_eq!(d.pattern, Pattern::Intra);
+        assert!(!planner.is_demoted());
+        assert_eq!(planner.repromotions(), 1);
+        assert_eq!(planner.fallbacks(), 2);
+        assert!(planner
+            .degraded_events()
+            .iter()
+            .any(|e| e.kind == FaultKind::PlannerRepromoted));
+        // Trust is reset, not borrowed: a fresh demotion needs the full
+        // violation budget again.
+        demote(&mut planner);
+    }
+
+    /// Invalid until `healthy_after` calls have happened, then clean.
+    struct FlipPlanner {
+        healthy_after: usize,
+        calls: usize,
+    }
+    impl PeriodPlanner for FlipPlanner {
+        fn name(&self) -> &'static str {
+            "flip"
+        }
+        fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+            self.calls += 1;
+            if self.calls <= self.healthy_after {
+                PlanDecision {
+                    capacitor: Some(obs.bank.len() + 3),
+                    allowed: None,
+                    pattern: Pattern::Asap,
+                }
+            } else {
+                PlanDecision::everything(Pattern::Intra)
+            }
+        }
+    }
+
+    #[test]
+    fn unhealthy_shadow_decision_resets_the_streak() {
+        let parts = obs_parts();
+        let mut planner = ResilientPlanner::new(Box::new(FlipPlanner {
+            healthy_after: 1,
+            calls: 0,
+        }))
+        .with_probation(2);
+        demote(&mut planner);
+        // Call 1: invalid shadow decision — streak resets, fallback.
+        assert_eq!(
+            planner.plan(&obs(&parts)),
+            PlanDecision::everything(Pattern::Inter)
+        );
+        // Call 2: healthy (streak 1 of 2) — still fallback.
+        assert_eq!(
+            planner.plan(&obs(&parts)),
+            PlanDecision::everything(Pattern::Inter)
+        );
+        assert!(planner.is_demoted());
+        // Call 3: healthy (streak 2 of 2) — re-promoted.
+        let d = planner.plan(&obs(&parts));
+        assert_eq!(d.pattern, Pattern::Intra);
+        assert!(!planner.is_demoted());
+        assert_eq!(planner.fallbacks(), 2);
+    }
+
+    #[test]
+    fn without_probation_demotion_never_lifts() {
+        let parts = obs_parts();
+        let mut planner = ResilientPlanner::new(Box::new(FixedPlanner::new(Pattern::Intra, 0)));
+        demote(&mut planner);
+        for _ in 0..50 {
+            let d = planner.plan(&obs(&parts));
+            assert_eq!(d, PlanDecision::everything(Pattern::Inter));
+        }
+        assert!(planner.is_demoted());
+        assert_eq!(planner.repromotions(), 0);
+    }
+
+    #[test]
+    fn event_log_is_bounded_first_last_k() {
+        let parts = obs_parts();
+        let mut planner = ResilientPlanner::new(Box::new(EvilPlanner));
+        for _ in 0..(2 * EVENT_LOG_KEEP + 6) {
+            planner.plan(&obs(&parts));
+        }
+        assert_eq!(planner.degraded_events().len(), 2 * EVENT_LOG_KEEP);
+        assert_eq!(planner.dropped_events(), 6);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_a_fresh_planner() {
+        let parts = obs_parts();
+        let mut planner = ResilientPlanner::new(Box::new(FlipPlanner {
+            healthy_after: 2,
+            calls: 0,
+        }))
+        .with_probation(4);
+        demote(&mut planner);
+        planner.plan(&obs(&parts));
+        planner.plan(&obs(&parts));
+        planner.plan(&obs(&parts));
+        let saved = planner.save_checkpoint();
+        // Note the FlipPlanner call counter is NOT part of the
+        // checkpoint (it is a test double, stateless as far as the
+        // trait knows) — restore only the resilient layer.
+        let mut fresh =
+            ResilientPlanner::new(Box::new(FixedPlanner::new(Pattern::Intra, 0))).with_probation(4);
+        fresh.restore_checkpoint(&saved).unwrap();
+        assert!(fresh.is_demoted());
+        assert_eq!(fresh.fallbacks(), planner.fallbacks());
+        match (&saved, &fresh.save_checkpoint()) {
+            (PlannerCheckpoint::Resilient(a), PlannerCheckpoint::Resilient(b)) => {
+                assert_eq!(a.healthy_streak, b.healthy_streak);
+                assert_eq!(a.events, b.events);
+            }
+            other => panic!("unexpected checkpoint shapes {other:?}"),
+        }
+        // A stateless checkpoint cannot restore a resilient planner.
+        assert!(fresh
+            .restore_checkpoint(&PlannerCheckpoint::Stateless)
+            .is_err());
     }
 }

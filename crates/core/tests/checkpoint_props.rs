@@ -1,0 +1,218 @@
+//! Property test: interrupting a [`BatchEngine`] run at an arbitrary
+//! period boundary, JSON-round-tripping the checkpoint (as the fleet's
+//! on-disk resume does) and finishing on a fresh engine with an
+//! arbitrary shard count is byte-identical to the uninterrupted run —
+//! for arbitrary scenario mixes (planner backends × fault plans ×
+//! probation settings).
+
+use std::sync::{Arc, OnceLock};
+
+use helio_ann::{Dbn, DbnConfig};
+use helio_common::time::TimeGrid;
+use helio_common::units::{Farads, Seconds};
+use helio_faults::{
+    AgingFault, DbnFault, DbnFaultMode, FaultHarness, FaultPlan, PeriodWindow, RandomBlackouts,
+};
+use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
+use helio_tasks::{benchmarks, TaskGraph};
+use heliosched::longterm::DpConfig;
+use heliosched::online::{ProposedPlanner, SwitchRule};
+use heliosched::{
+    BatchCheckpoint, BatchEngine, BatchScenario, BatchScratch, FixedPlanner, NodeConfig, Pattern,
+    PeriodPlanner, ResilientPlanner,
+};
+use proptest::prelude::*;
+
+const DAYS: usize = 1;
+const PERIODS: usize = 12;
+const SLOTS: usize = 10;
+
+fn grid() -> TimeGrid {
+    TimeGrid::new(DAYS, PERIODS, SLOTS, Seconds::new(60.0)).unwrap()
+}
+
+fn node() -> NodeConfig {
+    NodeConfig::builder(grid())
+        .capacitors(&[Farads::new(2.0), Farads::new(15.0)])
+        .build()
+        .unwrap()
+}
+
+fn trace(seed: u64) -> SolarTrace {
+    let archetypes = [
+        DayArchetype::Clear,
+        DayArchetype::BrokenClouds,
+        DayArchetype::Overcast,
+        DayArchetype::Storm,
+    ];
+    TraceBuilder::new(grid(), SolarPanel::paper_panel())
+        .seed(seed)
+        .days(&[archetypes[(seed % 4) as usize]])
+        .build()
+}
+
+/// One DBN trained once and shared by every proptest case.
+fn shared_dbn(graph: &TaskGraph) -> Arc<Dbn> {
+    static DBN: OnceLock<Arc<Dbn>> = OnceLock::new();
+    DBN.get_or_init(|| {
+        let in_dim = SLOTS + 2 + 1;
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let mut v = vec![(i % 7) as f64 * 10.0; in_dim];
+                v[in_dim - 1] = 0.3;
+                v
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let mut v = vec![(i % 2) as f64, 1.0];
+                v.extend(vec![1.0; graph.len()]);
+                v
+            })
+            .collect();
+        let mut cfg = DbnConfig::small(3);
+        cfg.bp_epochs = 100;
+        Arc::new(Dbn::train(&inputs, &targets, &cfg).unwrap())
+    })
+    .clone()
+}
+
+fn make_planner<'a>(kind: u8, dbn: &Arc<Dbn>) -> Box<dyn PeriodPlanner + 'a> {
+    match kind % 5 {
+        0 => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
+        1 => Box::new(ProposedPlanner::from_shared_dbn(
+            Arc::clone(dbn),
+            0.5,
+            SwitchRule::default(),
+        )),
+        2 => Box::new(ResilientPlanner::new(Box::new(
+            ProposedPlanner::from_shared_dbn(Arc::clone(dbn), 0.5, SwitchRule::default()),
+        ))),
+        3 => Box::new(
+            ResilientPlanner::new(Box::new(ProposedPlanner::from_shared_dbn(
+                Arc::clone(dbn),
+                0.5,
+                SwitchRule::default(),
+            )))
+            .with_probation(2),
+        ),
+        _ => Box::new(ProposedPlanner::mpc(
+            Box::new(NoisyOracle::perfect()),
+            PERIODS,
+            DpConfig {
+                voltage_buckets: 4,
+                keep_per_level: 1,
+            },
+            0.5,
+            SwitchRule::default(),
+        )),
+    }
+}
+
+fn make_plan(kind: u8, seed: u64) -> FaultPlan {
+    let total = DAYS * PERIODS;
+    match kind % 4 {
+        0 => FaultPlan::default(),
+        1 => FaultPlan {
+            seed,
+            random_blackouts: Some(RandomBlackouts {
+                per_period_probability: 0.25,
+                min_periods: 1,
+                max_periods: 2,
+            }),
+            ..FaultPlan::default()
+        },
+        2 => FaultPlan {
+            dbn: vec![DbnFault {
+                window: PeriodWindow::new((seed % 6) as usize, 4),
+                mode: if seed.is_multiple_of(2) {
+                    DbnFaultMode::Nan
+                } else {
+                    DbnFaultMode::Unavailable
+                },
+            }],
+            ..FaultPlan::default()
+        },
+        _ => FaultPlan {
+            aging: Some(AgingFault {
+                capacitance_fade_per_day: 0.9,
+                leakage_growth_per_day: 1.3,
+            }),
+            dbn: vec![DbnFault {
+                window: PeriodWindow::new(0, total),
+                mode: DbnFaultMode::Nan,
+            }],
+            ..FaultPlan::default()
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn interrupted_runs_resume_byte_identically(
+        raw in prop::collection::vec(any::<u64>(), 1..7),
+    ) {
+        // The vendored proptest has no tuple strategies; decompose one
+        // u64 per scenario into (planner kind, fault-plan kind, seed),
+        // and take the kill period and the resume shard count from the
+        // first element's high bits so every case also picks an
+        // arbitrary interruption point and partition.
+        let scenarios: Vec<(u8, u8, u64)> = raw
+            .iter()
+            .map(|&v| ((v % 5) as u8, ((v / 5) % 4) as u8, (v / 20) % 32))
+            .collect();
+        let total = DAYS * PERIODS;
+        let kill = ((raw[0] >> 24) % (total as u64 + 1)) as usize;
+        let shards = 1 + ((raw[0] >> 40) % 4) as usize;
+        let node = node();
+        let graph = benchmarks::ecg();
+        let dbn = shared_dbn(&graph);
+
+        let traces: Vec<SolarTrace> =
+            scenarios.iter().map(|&(_, _, seed)| trace(seed)).collect();
+        let harnesses: Vec<FaultHarness> = scenarios
+            .iter()
+            .map(|&(_, plan_kind, seed)| {
+                FaultHarness::new(&make_plan(plan_kind, seed), total, PERIODS)
+            })
+            .collect();
+        let build = || {
+            let mut engine = BatchEngine::new(&node, &graph).unwrap();
+            for (i, &(planner_kind, _, _)) in scenarios.iter().enumerate() {
+                engine
+                    .push(
+                        BatchScenario::new(&traces[i], make_planner(planner_kind, &dbn))
+                            .with_harness(&harnesses[i]),
+                    )
+                    .unwrap();
+            }
+            engine
+        };
+
+        let whole = build().run().unwrap();
+
+        // Kill at the boundary, persist the checkpoint as JSON, resume
+        // on a fresh engine with an arbitrary shard count.
+        let ckpt = build().run_until(kill).unwrap();
+        prop_assert_eq!(ckpt.next_period, kill);
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let restored: BatchCheckpoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&restored, &ckpt);
+        let mut scratches: Vec<BatchScratch> = Vec::new();
+        scratches.resize_with(shards, BatchScratch::default);
+        let resumed = build()
+            .run_from_checkpoint_sharded_with(&restored, &mut scratches)
+            .unwrap();
+
+        prop_assert_eq!(resumed.len(), whole.len());
+        for (i, (a, b)) in resumed.iter().zip(&whole).enumerate() {
+            prop_assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "scenario {} diverged after kill at period {} ({} shards)", i, kill, shards
+            );
+        }
+    }
+}

@@ -28,10 +28,12 @@
 pub mod harness;
 pub mod plan;
 pub mod report;
+pub mod service;
 
 pub use harness::FaultHarness;
 pub use plan::{
     AgingFault, DbnFault, DbnFaultMode, FaultPlan, ForecastFault, ForecastMode, PeriodWindow,
     PmuStuckFault, RandomBlackouts, SolarFault,
 };
-pub use report::{DegradedCounters, FaultEvent, FaultKind};
+pub use report::{cap_event_log, DegradedCounters, FaultEvent, FaultKind, EVENT_LOG_KEEP};
+pub use service::{corrupt_line, LineCorruption, ServiceFaultPlan, SlowWriter};

@@ -30,20 +30,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
-use helio_faults::{FaultHarness, FaultPlan};
+use helio_faults::{FaultHarness, FaultPlan, ServiceFaultPlan};
 use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
 use helio_tasks::{benchmarks, TaskGraph};
 use heliosched::{
-    BatchEngine, BatchScenario, BatchScratch, CoreError, DpConfig, FixedPlanner, NodeConfig,
-    OptimalPlanner, Pattern, PeriodPlanner, PlanContext, ProposedPlanner, ResilientPlanner,
-    SimReport, SwitchRule,
+    BatchCheckpoint, BatchEngine, BatchRunState, BatchScenario, BatchScratch, CoreError, DpConfig,
+    FixedPlanner, NodeConfig, OptimalPlanner, Pattern, PeriodPlanner, PlanContext, PlanDecision,
+    PlannerObservation, ProposedPlanner, ResilientPlanner, SimReport, SwitchRule,
 };
-use serde::{Deserialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Anything that can go wrong while configuring or serving the fleet.
 #[derive(Debug)]
@@ -80,6 +83,219 @@ impl From<CoreError> for FleetError {
 impl From<std::io::Error> for FleetError {
     fn from(e: std::io::Error) -> Self {
         FleetError::Io(e.to_string())
+    }
+}
+
+/// Service-level knobs for [`serve_with`]: request caps, wall-clock
+/// deadlines, crash-safe checkpointing, graceful shutdown and the
+/// chaos harness. The default is exactly the legacy [`serve`]
+/// behaviour.
+#[derive(Debug, Default)]
+pub struct ServeOptions {
+    /// Reject (with an inline `{"id":N,"error":…}` line) any request
+    /// carrying more scenarios than this.
+    pub max_batch: Option<usize>,
+    /// Reject (with an inline error line) any protocol line longer
+    /// than this many bytes; the oversized remainder is drained so the
+    /// session keeps its line framing.
+    pub max_line_bytes: Option<usize>,
+    /// Per-request wall-clock deadline. An expired request answers
+    /// with a single `{"id":N,"error":"deadline"}` line instead of its
+    /// reports and the session moves on.
+    pub deadline_ms: Option<u64>,
+    /// Persist session progress here (`session.json` + mid-request
+    /// `inflight.json`). A restarted service pointed at the same
+    /// directory skips already-answered lines and resumes the
+    /// interrupted request from its last period-boundary checkpoint.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Periods between mid-request checkpoints / deadline checks;
+    /// defaults to one day's worth of periods when any of the
+    /// segmenting features (checkpointing, deadlines, chaos kill,
+    /// shutdown flag) is active.
+    pub checkpoint_every: Option<usize>,
+    /// Chaos injection: [`serve_with`] honours the plan's
+    /// [`kill_point`](ServiceFaultPlan::kill_point) by checkpointing
+    /// and returning [`SessionOutcome::ChaosKill`] at that period
+    /// boundary, as if the process had lost power. The other fields
+    /// drive `bench_chaos` (writer stalls, line corruption).
+    pub chaos: ServiceFaultPlan,
+    /// Cooperative shutdown flag, typically raised by a SIGTERM/SIGINT
+    /// handler: the service finishes the segment in flight, persists a
+    /// final checkpoint and returns [`SessionOutcome::Shutdown`].
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+/// Why [`serve_with`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The peer closed the stream; every request was answered.
+    Eof,
+    /// The shutdown flag was raised; progress is checkpointed.
+    Shutdown,
+    /// The chaos plan killed the service mid-request, after its
+    /// checkpoint was persisted — a restart with the same checkpoint
+    /// directory resumes from `period`.
+    ChaosKill {
+        /// 1-based ordinal of the request line being simulated.
+        request: u64,
+        /// First period the resumed run will execute.
+        period: usize,
+    },
+}
+
+/// What [`serve_with`] hands back: the service (for its telemetry
+/// counters) plus why the session ended.
+pub struct SessionSummary {
+    /// The service, with its telemetry counters.
+    pub service: FleetService,
+    /// Why the session ended.
+    pub outcome: SessionOutcome,
+}
+
+/// Result of [`read_raw_line`].
+enum RawLine {
+    /// Stream ended with no pending bytes.
+    Eof,
+    /// The line exceeded the byte cap; its remainder was drained.
+    TooLong,
+    /// A complete line (terminator stripped) is in the buffer.
+    Line,
+}
+
+/// Reads one `\n`-terminated line as raw bytes — no UTF-8 requirement,
+/// so a client splicing garbage into the stream degrades one request
+/// instead of killing the session. Caps the buffered length at `max`
+/// while still consuming the oversized remainder, keeping the line
+/// framing intact for the next read. Strips a trailing `\r`.
+fn read_raw_line<R: BufRead>(
+    input: &mut R,
+    max: Option<usize>,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<RawLine> {
+    buf.clear();
+    let mut overflowed = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if overflowed {
+                RawLine::TooLong
+            } else if buf.is_empty() {
+                RawLine::Eof
+            } else {
+                strip_cr(buf);
+                RawLine::Line
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflowed {
+            buf.extend_from_slice(&chunk[..take]);
+            if let Some(cap) = max {
+                if buf.len() > cap {
+                    buf.truncate(cap);
+                    overflowed = true;
+                }
+            }
+        }
+        let consumed = newline.map_or(take, |n| n + 1);
+        input.consume(consumed);
+        if newline.is_some() {
+            return Ok(if overflowed {
+                RawLine::TooLong
+            } else {
+                strip_cr(buf);
+                RawLine::Line
+            });
+        }
+    }
+}
+
+fn strip_cr(buf: &mut Vec<u8>) {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+}
+
+/// The request the service was simulating when it last checkpointed:
+/// enough to resume without replaying the finished periods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct InflightRecord {
+    /// 1-based ordinal of the request line within the session.
+    ordinal: u64,
+    /// The raw request line, echoed to detect a drifted session.
+    line: String,
+    /// The mid-request engine checkpoint.
+    checkpoint: BatchCheckpoint,
+}
+
+/// Crash-safe session persistence: `session.json` records how many
+/// request lines are fully answered, `inflight.json` the mid-request
+/// checkpoint. Both go through a temp file + rename so a crash
+/// mid-write never corrupts the previous state.
+struct SessionStore {
+    dir: PathBuf,
+}
+
+impl SessionStore {
+    fn new(dir: &Path) -> Result<Self, FleetError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| FleetError::Config(format!("checkpoint dir {}: {e}", dir.display())))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn session_path(&self) -> PathBuf {
+        self.dir.join("session.json")
+    }
+
+    fn inflight_path(&self) -> PathBuf {
+        self.dir.join("inflight.json")
+    }
+
+    fn write_atomic(&self, path: &Path, contents: &str) -> Result<(), FleetError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, contents)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Count of fully answered request lines; zero when the state is
+    /// absent or unreadable (a torn write loses at most one line of
+    /// progress, never the session).
+    fn load_completed(&self) -> u64 {
+        let Ok(text) = std::fs::read_to_string(self.session_path()) else {
+            return 0;
+        };
+        serde_json::parse_value(&text)
+            .ok()
+            .and_then(|v| v.field("completed").ok().map(u64::deserialize_json))
+            .and_then(Result::ok)
+            .unwrap_or(0)
+    }
+
+    fn save_completed(&self, completed: u64) -> Result<(), FleetError> {
+        self.write_atomic(
+            &self.session_path(),
+            &format!("{{\"completed\":{completed}}}"),
+        )
+    }
+
+    fn load_inflight(&self) -> Option<InflightRecord> {
+        let text = std::fs::read_to_string(self.inflight_path()).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn save_inflight(&self, rec: &InflightRecord) -> Result<(), FleetError> {
+        let json = serde_json::to_string(rec)
+            .map_err(|e| FleetError::Engine(format!("checkpoint serialisation failed: {e}")))?;
+        self.write_atomic(&self.inflight_path(), &json)
+    }
+
+    fn clear_inflight(&self) {
+        let _ = std::fs::remove_file(self.inflight_path());
     }
 }
 
@@ -357,13 +573,50 @@ impl FleetService {
 
     /// Simulates one request as a sharded lockstep batch, reusing the
     /// plan context and per-worker scratches; reports come back in
-    /// scenario order, byte-identical to sequential engine runs.
+    /// scenario order, byte-identical to sequential engine runs. A
+    /// scenario whose worker panics is quarantined and surfaces as an
+    /// [`FleetError::Engine`]; [`serve_with`] instead degrades it to a
+    /// per-scenario error line.
     ///
     /// # Errors
     ///
     /// Returns [`FleetError::Protocol`] for an invalid scenario spec
     /// and [`FleetError::Engine`] when the engine rejects one.
     pub fn handle(&mut self, req: &FleetRequest) -> Result<Vec<SimReport>, FleetError> {
+        match self.handle_with(req, None, None, None, None, None, &mut |_| Ok(()))? {
+            RequestDisposition::Answered(results) => results
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(FleetError::Engine),
+            // Unreachable without a deadline/kill/shutdown input.
+            _ => Err(FleetError::Engine(
+                "request paused without a pause input".into(),
+            )),
+        }
+    }
+
+    /// The robust request path behind [`serve_with`]: runs the batch
+    /// in period-boundary segments so the service can checkpoint,
+    /// honour a wall-clock deadline, die on cue for the chaos harness
+    /// or drain for shutdown — and quarantines a panicking scenario by
+    /// re-running the batch one scenario at a time from the last good
+    /// checkpoint.
+    ///
+    /// `segment == None` runs the whole request as one span (the
+    /// legacy byte-identical fast path, modulo a `resume` checkpoint).
+    /// `on_checkpoint` fires at every pause *before* the pause is
+    /// acted on, so a kill never outruns its persisted state.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_with(
+        &mut self,
+        req: &FleetRequest,
+        resume: Option<BatchCheckpoint>,
+        segment: Option<usize>,
+        deadline: Option<Instant>,
+        kill_period: Option<usize>,
+        shutdown: Option<&AtomicBool>,
+        on_checkpoint: &mut dyn FnMut(&BatchCheckpoint) -> Result<(), FleetError>,
+    ) -> Result<RequestDisposition, FleetError> {
         let total = self.node.grid.total_periods();
         let periods_per_day = self.node.grid.periods_per_day();
         let days = self.node.grid.days();
@@ -399,35 +652,206 @@ impl FleetService {
             delta,
             dp,
             scratches,
-            ..
+            requests_served,
+            scenarios_served,
         } = self;
         let compiled = CompiledHandles {
             f32: compiled_f32.as_ref(),
             i8: compiled_i8.as_ref(),
         };
-        let mut engine = BatchEngine::with_context(node, graph, Arc::clone(ctx))?;
-        for (i, spec) in req.scenarios.iter().enumerate() {
-            let planner = make_planner(
-                spec,
+        let seg = segment.unwrap_or(total).max(1);
+        let mut ckpt = resume;
+        loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(RequestDisposition::Deadline);
+            }
+            let at = ckpt.as_ref().map_or(0, |c| c.next_period);
+            let seg_end = (at + seg).min(total);
+            let kill_now = kill_period
+                .map(|k| k.min(total))
+                .filter(|&k| at <= k && k <= seg_end);
+            let stop = match kill_now {
+                Some(k) => Some(k),
+                None if seg_end >= total => None,
+                None => Some(seg_end),
+            };
+            let mut engine = build_engine(
                 node,
                 graph,
-                &traces[i],
+                ctx,
                 dbn.as_ref(),
                 compiled,
                 *delta,
                 *dp,
+                req,
+                &traces,
+                &harnesses,
+                None,
             )?;
-            let mut scenario = BatchScenario::new(&traces[i], planner);
-            if let Some(h) = &harnesses[i] {
-                scenario = scenario.with_harness(h);
+            let state = match engine.run_span_with(ckpt.as_ref(), stop, scratches) {
+                Ok(state) => state,
+                Err(CoreError::WorkerPanic(_)) => {
+                    // One scenario poisoned its shard. Re-run the batch
+                    // one scenario at a time from the last good
+                    // checkpoint: healthy scenarios finish normally,
+                    // the poisoned one degrades to a per-scenario
+                    // error. Isolation runs to completion — a chaos
+                    // kill or deadline no longer interrupts it.
+                    drop(engine);
+                    let results = run_isolated(
+                        node,
+                        graph,
+                        ctx,
+                        dbn.as_ref(),
+                        compiled,
+                        *delta,
+                        *dp,
+                        req,
+                        &traces,
+                        &harnesses,
+                        ckpt.as_ref(),
+                    )?;
+                    *requests_served += 1;
+                    *scenarios_served += results.len() as u64;
+                    return Ok(RequestDisposition::Answered(results));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match state {
+                BatchRunState::Done(reports) => {
+                    *requests_served += 1;
+                    *scenarios_served += reports.len() as u64;
+                    return Ok(RequestDisposition::Answered(
+                        reports.into_iter().map(Ok).collect(),
+                    ));
+                }
+                BatchRunState::Paused(c) => {
+                    on_checkpoint(&c)?;
+                    let period = c.next_period;
+                    if kill_now.is_some() {
+                        return Ok(RequestDisposition::Killed(period));
+                    }
+                    if shutdown.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                        return Ok(RequestDisposition::ShutdownMidRequest);
+                    }
+                    ckpt = Some(c);
+                }
             }
-            engine.push(scenario)?;
         }
-        let reports = engine.run_sharded_with(scratches)?;
-        self.requests_served += 1;
-        self.scenarios_served += reports.len() as u64;
-        Ok(reports)
     }
+}
+
+/// How [`FleetService::handle_with`] left a request.
+enum RequestDisposition {
+    /// Per-scenario results, in scenario order; a quarantined panic
+    /// becomes that scenario's error message.
+    Answered(Vec<Result<SimReport, String>>),
+    /// The wall-clock deadline expired before the request finished.
+    Deadline,
+    /// The chaos plan killed the service at this period boundary
+    /// (checkpoint already persisted via the callback).
+    Killed(usize),
+    /// The shutdown flag was raised at a period boundary; the
+    /// checkpoint callback has already persisted the frozen state.
+    ShutdownMidRequest,
+}
+
+/// Builds a fresh engine over `req`'s scenarios (or just scenario
+/// `only`), reusing the shared plan context; the planners are rebuilt
+/// from the specs and restored from a checkpoint by the caller's
+/// `run_span_with`.
+#[allow(clippy::too_many_arguments)]
+fn build_engine<'a>(
+    node: &'a NodeConfig,
+    graph: &'a TaskGraph,
+    ctx: &Arc<PlanContext>,
+    dbn: Option<&Arc<Dbn>>,
+    compiled: CompiledHandles<'_>,
+    delta: f64,
+    dp: DpConfig,
+    req: &FleetRequest,
+    traces: &'a [SolarTrace],
+    harnesses: &'a [Option<FaultHarness>],
+    only: Option<usize>,
+) -> Result<BatchEngine<'a>, FleetError> {
+    let mut engine = BatchEngine::with_context(node, graph, Arc::clone(ctx))?;
+    let indices: Vec<usize> = match only {
+        Some(i) => vec![i],
+        None => (0..req.scenarios.len()).collect(),
+    };
+    for i in indices {
+        let planner = make_planner(
+            &req.scenarios[i],
+            node,
+            graph,
+            &traces[i],
+            dbn,
+            compiled,
+            delta,
+            dp,
+        )?;
+        let mut scenario = BatchScenario::new(&traces[i], planner);
+        if let Some(h) = &harnesses[i] {
+            scenario = scenario.with_harness(h);
+        }
+        engine.push(scenario)?;
+    }
+    Ok(engine)
+}
+
+/// Panic quarantine fallback: runs each scenario of `req` alone from
+/// the (optional) last good batch checkpoint. Healthy scenarios
+/// produce their normal report — byte-identical to the lockstep batch
+/// — while the panicking one is caught by the worker-pool quarantine
+/// again and degrades to its own error string.
+#[allow(clippy::too_many_arguments)]
+fn run_isolated<'a>(
+    node: &'a NodeConfig,
+    graph: &'a TaskGraph,
+    ctx: &Arc<PlanContext>,
+    dbn: Option<&Arc<Dbn>>,
+    compiled: CompiledHandles<'_>,
+    delta: f64,
+    dp: DpConfig,
+    req: &FleetRequest,
+    traces: &'a [SolarTrace],
+    harnesses: &'a [Option<FaultHarness>],
+    resume: Option<&BatchCheckpoint>,
+) -> Result<Vec<Result<SimReport, String>>, FleetError> {
+    let mut results = Vec::with_capacity(req.scenarios.len());
+    for i in 0..req.scenarios.len() {
+        let sub = resume.map(|c| BatchCheckpoint {
+            next_period: c.next_period,
+            scenarios: vec![c.scenarios[i].clone()],
+            planners: vec![c.planners[i].clone()],
+        });
+        let one = || -> Result<SimReport, FleetError> {
+            let mut engine = build_engine(
+                node,
+                graph,
+                ctx,
+                dbn,
+                compiled,
+                delta,
+                dp,
+                req,
+                traces,
+                harnesses,
+                Some(i),
+            )?;
+            let mut scratch = BatchScratch::default();
+            match engine.run_span_with(sub.as_ref(), None, std::slice::from_mut(&mut scratch))? {
+                BatchRunState::Done(mut reports) => reports
+                    .pop()
+                    .ok_or_else(|| FleetError::Engine("isolated run produced no report".into())),
+                BatchRunState::Paused(_) => Err(FleetError::Engine(
+                    "isolated run paused unexpectedly".into(),
+                )),
+            }
+        };
+        results.push(one().map_err(|e| e.to_string()));
+    }
+    Ok(results)
 }
 
 fn benchmark_by_name(name: &str) -> Result<TaskGraph, FleetError> {
@@ -535,10 +959,21 @@ fn make_planner(
             SwitchRule::default(),
         )),
         "optimal" => Box::new(OptimalPlanner::compute(node, graph, trace, &dp, delta)?),
+        kind if kind.starts_with("chaos-panic:") => {
+            let at: usize = kind["chaos-panic:".len()..].parse().map_err(|_| {
+                FleetError::Protocol(format!(
+                    "bad chaos-panic planner `{kind}` (expected chaos-panic:<period>)"
+                ))
+            })?;
+            Box::new(ChaosPanicPlanner {
+                inner: FixedPlanner::new(Pattern::Inter, cap_for(Pattern::Inter)?),
+                at,
+            })
+        }
         other => {
             return Err(FleetError::Protocol(format!(
                 "unknown planner `{other}` (expected asap, inter, intra, dbn, \
-                 compiled-dbn, compiled-dbn-i8, mpc, optimal)"
+                 compiled-dbn, compiled-dbn-i8, mpc, optimal, chaos-panic:<period>)"
             )))
         }
     };
@@ -547,6 +982,29 @@ fn make_planner(
     } else {
         inner
     })
+}
+
+/// Chaos-harness planner (`chaos-panic:K`): plans like the inter-task
+/// fixed planner until flat period `K`, then panics inside its worker
+/// — exercising the shard quarantine and the service's per-scenario
+/// isolation fallback.
+struct ChaosPanicPlanner {
+    inner: FixedPlanner,
+    at: usize,
+}
+
+impl PeriodPlanner for ChaosPanicPlanner {
+    fn name(&self) -> &'static str {
+        "chaos-panic"
+    }
+
+    #[allow(clippy::panic)]
+    fn plan(&mut self, obs: &PlannerObservation<'_>) -> PlanDecision {
+        if obs.grid.period_index(obs.period) == self.at {
+            panic!("chaos: injected planner panic at period {}", self.at);
+        }
+        self.inner.plan(obs)
+    }
 }
 
 /// Writes one response line per report: `{"id":N,"index":I,"report":…}`.
@@ -568,6 +1026,32 @@ pub fn write_reports<W: Write>(
     Ok(())
 }
 
+/// Writes one line per scenario result: a report line, or — when that
+/// scenario's worker panicked — `{"id":N,"index":I,"error":"…"}` so
+/// the other scenarios of the batch still answer normally.
+fn write_results<W: Write>(
+    out: &mut W,
+    id: u64,
+    results: &[Result<SimReport, String>],
+) -> Result<(), FleetError> {
+    for (index, result) in results.iter().enumerate() {
+        match result {
+            Ok(report) => {
+                let json = serde_json::to_string(report)
+                    .map_err(|e| FleetError::Engine(format!("report serialisation failed: {e}")))?;
+                writeln!(out, "{{\"id\":{id},\"index\":{index},\"report\":{json}}}")?;
+            }
+            Err(msg) => {
+                let msg = serde_json::to_string(msg.as_str())
+                    .map_err(|e| FleetError::Engine(format!("error serialisation failed: {e}")))?;
+                writeln!(out, "{{\"id\":{id},\"index\":{index},\"error\":{msg}}}")?;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
 fn write_error<W: Write>(out: &mut W, id: Option<u64>, msg: &str) -> Result<(), FleetError> {
     let msg = serde_json::to_string(msg)
         .map_err(|e| FleetError::Engine(format!("error serialisation failed: {e}")))?;
@@ -579,10 +1063,11 @@ fn write_error<W: Write>(out: &mut W, id: Option<u64>, msg: &str) -> Result<(), 
     Ok(())
 }
 
-/// Serves one session: reads the config line, then answers request
-/// lines until EOF. Per-request failures (bad JSON, unknown planner)
-/// produce an error line and the session continues; only transport
-/// failures and an unusable config abort.
+/// Serves one session with the default [`ServeOptions`]: reads the
+/// config line, then answers request lines until EOF. Per-request
+/// failures (bad JSON, unknown planner) produce an error line and the
+/// session continues; only transport failures and an unusable config
+/// abort.
 ///
 /// Returns the service (with its telemetry counters) once the peer
 /// closes the stream.
@@ -592,44 +1077,189 @@ fn write_error<W: Write>(out: &mut W, id: Option<u64>, msg: &str) -> Result<(), 
 /// Returns [`FleetError::Config`]/[`FleetError::Protocol`] when the
 /// first line is unusable and [`FleetError::Io`] when the transport
 /// fails.
-pub fn serve<R: BufRead, W: Write>(input: R, mut out: W) -> Result<FleetService, FleetError> {
-    let mut lines = input.lines();
-    let config_line = loop {
-        match lines.next() {
-            Some(line) => {
-                let line = line?;
-                if !line.trim().is_empty() {
-                    break line;
-                }
-            }
-            None => {
+pub fn serve<R: BufRead, W: Write>(input: R, out: W) -> Result<FleetService, FleetError> {
+    serve_with(input, out, &ServeOptions::default()).map(|summary| summary.service)
+}
+
+/// Marks a request line fully answered: advances the durable progress
+/// counter and discards the now-stale mid-request checkpoint.
+fn finish_line(store: Option<&SessionStore>, ordinal: u64) -> Result<(), FleetError> {
+    if let Some(s) = store {
+        s.save_completed(ordinal)?;
+        s.clear_inflight();
+    }
+    Ok(())
+}
+
+/// Serves one session with service-level robustness: byte caps,
+/// request-size caps, per-request wall-clock deadlines, crash-safe
+/// checkpoint/resume, graceful shutdown and the chaos kill hook — see
+/// [`ServeOptions`]. With the default options this is byte-identical
+/// to [`serve`].
+///
+/// Request lines are counted by a 1-based ordinal (blank lines don't
+/// count). When resuming from a checkpoint directory, lines whose
+/// ordinal is already recorded as answered are skipped without
+/// re-emitting their responses, so `cat` of the pre-crash and
+/// post-restart outputs equals an uninterrupted session's output.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Config`]/[`FleetError::Protocol`] when the
+/// first line is unusable and [`FleetError::Io`] when the transport
+/// fails; everything else degrades to inline error lines.
+pub fn serve_with<R: BufRead, W: Write>(
+    mut input: R,
+    mut out: W,
+    opts: &ServeOptions,
+) -> Result<SessionSummary, FleetError> {
+    let store = match &opts.checkpoint_dir {
+        Some(dir) => Some(SessionStore::new(dir)?),
+        None => None,
+    };
+    let completed = store.as_ref().map_or(0, SessionStore::load_completed);
+    let inflight = store.as_ref().and_then(SessionStore::load_inflight);
+    let shutdown = opts.shutdown.as_deref();
+    let kill = opts.chaos.kill_point();
+
+    let mut buf = Vec::new();
+    let config_text = loop {
+        match read_raw_line(&mut input, opts.max_line_bytes, &mut buf)? {
+            RawLine::Eof => {
                 return Err(FleetError::Protocol(
                     "stream ended before a fleet config line".into(),
                 ))
             }
+            RawLine::TooLong => {
+                return Err(FleetError::Protocol(
+                    "fleet config line exceeds the byte cap".into(),
+                ))
+            }
+            RawLine::Line => {
+                let text = std::str::from_utf8(&buf).map_err(|_| {
+                    FleetError::Protocol("fleet config line is not valid UTF-8".into())
+                })?;
+                if !text.trim().is_empty() {
+                    break text.to_string();
+                }
+            }
         }
     };
-    let cfg: FleetConfig = serde_json::from_str(&config_line)
+    let cfg: FleetConfig = serde_json::from_str(&config_text)
         .map_err(|e| FleetError::Protocol(format!("bad fleet config: {e}")))?;
     let mut service = FleetService::new(&cfg)?;
 
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    // Segment the simulation loop only when something needs the pause
+    // points; otherwise each request runs as one span, exactly like
+    // the legacy service.
+    let segment = opts.checkpoint_every.or_else(|| {
+        (store.is_some() || opts.deadline_ms.is_some() || kill.is_some() || shutdown.is_some())
+            .then_some(service.node.grid.periods_per_day())
+    });
+
+    let mut ordinal: u64 = 0;
+    let outcome = loop {
+        if shutdown.is_some_and(|s| s.load(Ordering::SeqCst)) {
+            break SessionOutcome::Shutdown;
         }
-        let req: FleetRequest = match serde_json::from_str(&line) {
-            Ok(req) => req,
-            Err(e) => {
-                write_error(&mut out, None, &format!("bad request: {e}"))?;
-                continue;
+        match read_raw_line(&mut input, opts.max_line_bytes, &mut buf)? {
+            RawLine::Eof => break SessionOutcome::Eof,
+            RawLine::TooLong => {
+                ordinal += 1;
+                if ordinal <= completed {
+                    continue;
+                }
+                write_error(&mut out, None, "request line exceeds the byte cap")?;
+                finish_line(store.as_ref(), ordinal)?;
             }
-        };
-        match service.handle(&req) {
-            Ok(reports) => write_reports(&mut out, req.id, &reports)?,
-            Err(FleetError::Io(e)) => return Err(FleetError::Io(e)),
-            Err(e) => write_error(&mut out, Some(req.id), &e.to_string())?,
+            RawLine::Line => {
+                if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue;
+                }
+                ordinal += 1;
+                if ordinal <= completed {
+                    continue; // answered before the restart
+                }
+                let Ok(text) = std::str::from_utf8(&buf) else {
+                    write_error(&mut out, None, "request line is not valid UTF-8")?;
+                    finish_line(store.as_ref(), ordinal)?;
+                    continue;
+                };
+                let text = text.to_string();
+                let req: FleetRequest = match serde_json::from_str(&text) {
+                    Ok(req) => req,
+                    Err(e) => {
+                        write_error(&mut out, None, &format!("bad request: {e}"))?;
+                        finish_line(store.as_ref(), ordinal)?;
+                        continue;
+                    }
+                };
+                if let Some(cap) = opts.max_batch {
+                    if req.scenarios.len() > cap {
+                        write_error(
+                            &mut out,
+                            Some(req.id),
+                            &format!(
+                                "request has {} scenarios, exceeding the cap of {cap}",
+                                req.scenarios.len()
+                            ),
+                        )?;
+                        finish_line(store.as_ref(), ordinal)?;
+                        continue;
+                    }
+                }
+                let resume = match &inflight {
+                    Some(rec) if rec.ordinal == ordinal && rec.line == text => {
+                        Some(rec.checkpoint.clone())
+                    }
+                    _ => None,
+                };
+                let deadline = opts
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                let kill_this = kill.filter(|&(r, _)| r == ordinal).map(|(_, p)| p);
+                let mut on_checkpoint = |c: &BatchCheckpoint| -> Result<(), FleetError> {
+                    if let Some(s) = &store {
+                        s.save_inflight(&InflightRecord {
+                            ordinal,
+                            line: text.clone(),
+                            checkpoint: c.clone(),
+                        })?;
+                    }
+                    Ok(())
+                };
+                match service.handle_with(
+                    &req,
+                    resume,
+                    segment,
+                    deadline,
+                    kill_this,
+                    shutdown,
+                    &mut on_checkpoint,
+                ) {
+                    Ok(RequestDisposition::Answered(results)) => {
+                        write_results(&mut out, req.id, &results)?;
+                        finish_line(store.as_ref(), ordinal)?;
+                    }
+                    Ok(RequestDisposition::Deadline) => {
+                        write_error(&mut out, Some(req.id), "deadline")?;
+                        finish_line(store.as_ref(), ordinal)?;
+                    }
+                    Ok(RequestDisposition::Killed(period)) => {
+                        break SessionOutcome::ChaosKill {
+                            request: ordinal,
+                            period,
+                        };
+                    }
+                    Ok(RequestDisposition::ShutdownMidRequest) => break SessionOutcome::Shutdown,
+                    Err(FleetError::Io(e)) => return Err(FleetError::Io(e)),
+                    Err(e) => {
+                        write_error(&mut out, Some(req.id), &e.to_string())?;
+                        finish_line(store.as_ref(), ordinal)?;
+                    }
+                }
+            }
         }
-    }
-    Ok(service)
+    };
+    Ok(SessionSummary { service, outcome })
 }

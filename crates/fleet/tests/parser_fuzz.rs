@@ -1,0 +1,114 @@
+//! Fuzzes the fleet service's line-protocol parser: arbitrary bytes on
+//! the request stream must never panic or abort the session, and every
+//! malformed non-blank line must answer with exactly one inline error
+//! line while the session keeps serving.
+
+use std::io::Cursor;
+
+use helio_fleet::{serve_with, FleetRequest, ServeOptions, SessionOutcome};
+use proptest::prelude::*;
+
+/// A tiny config (no DBN training) so each case runs in microseconds.
+const CONFIG: &str =
+    r#"{"grid":{"days":1,"periods":4,"slots":10},"capacitors_farads":[2.0],"threads":1}"#;
+
+/// Mirrors the service's per-line accounting for lines that cannot be
+/// a valid request: `None` for skipped blank lines, `Some(1)` for the
+/// single inline error line, and `Unknown` when the line parses as a
+/// request (its response line count depends on scenario validation).
+enum Expected {
+    Skipped,
+    ErrorLine,
+    Unknown,
+}
+
+fn classify(line: &[u8]) -> Expected {
+    if line.iter().all(|b| b.is_ascii_whitespace()) {
+        return Expected::Skipped;
+    }
+    let Ok(text) = std::str::from_utf8(line) else {
+        return Expected::ErrorLine;
+    };
+    match serde_json::from_str::<FleetRequest>(text) {
+        Err(_) => Expected::ErrorLine,
+        Ok(_) => Expected::Unknown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_kill_the_session(
+        lines in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..120), 0..8),
+    ) {
+        let mut session = CONFIG.as_bytes().to_vec();
+        session.push(b'\n');
+        let mut expected_errors = 0usize;
+        let mut all_classified = true;
+        for line in &lines {
+            // Keep the line framing: the generator's newlines would
+            // split one fuzz line into several protocol lines.
+            let mut line: Vec<u8> = line.iter().map(|&b| if b == b'\n' { b' ' } else { b }).collect();
+            match classify(&line) {
+                Expected::Skipped => {}
+                Expected::ErrorLine => expected_errors += 1,
+                Expected::Unknown => all_classified = false,
+            }
+            session.append(&mut line);
+            session.push(b'\n');
+        }
+
+        let mut out = Vec::new();
+        let summary = serve_with(Cursor::new(session), &mut out, &ServeOptions::default())
+            .expect("garbage request lines must not abort the session");
+        prop_assert_eq!(summary.outcome, SessionOutcome::Eof);
+
+        let out = String::from_utf8(out).expect("protocol output is UTF-8");
+        let responses: Vec<&str> = out.lines().collect();
+        for line in &responses {
+            let v = serde_json::parse_value(line).expect("every response line is valid JSON");
+            let is_error = v.field("error").is_ok();
+            let is_report = v.field("report").is_ok();
+            prop_assert!(is_error || is_report, "unexpected response line: {line}");
+        }
+        if all_classified {
+            // No fuzz line parsed as a real request, so the output is
+            // exactly one error line per malformed line.
+            prop_assert_eq!(responses.len(), expected_errors);
+            prop_assert!(responses.iter().all(|l| l.starts_with("{\"error\":")
+                || l.contains("\"error\":")));
+        } else {
+            prop_assert!(responses.len() >= expected_errors);
+        }
+    }
+
+    #[test]
+    fn byte_capped_lines_each_answer_one_error(
+        lens in prop::collection::vec(1usize..4096, 1..6),
+    ) {
+        let mut session = CONFIG.as_bytes().to_vec();
+        session.push(b'\n');
+        let cap = 256;
+        let expected: usize = lens.iter().filter(|&&l| l > 0).count();
+        for (i, &len) in lens.iter().enumerate() {
+            // Oversized or not, every non-blank line gets an answer.
+            let fill = if len > cap { b'x' } else { b'!' + (i as u8 % 16) };
+            session.extend(std::iter::repeat_n(fill, len));
+            session.push(b'\n');
+        }
+        let mut out = Vec::new();
+        serve_with(
+            Cursor::new(session),
+            &mut out,
+            &ServeOptions {
+                max_line_bytes: Some(cap),
+                ..ServeOptions::default()
+            },
+        )
+        .expect("oversized lines must not abort the session");
+        let out = String::from_utf8(out).expect("protocol output is UTF-8");
+        prop_assert_eq!(out.lines().count(), expected);
+        prop_assert!(out.lines().all(|l| l.contains("\"error\":")));
+    }
+}

@@ -1,0 +1,254 @@
+//! Service-level robustness: deadlines, request caps, chaos
+//! kill/resume with zero lost or duplicated lines, panic quarantine
+//! and graceful shutdown — all in-process through [`serve_with`].
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use helio_fleet::{serve, serve_with, ServeOptions, SessionOutcome};
+
+const CONFIG: &str =
+    r#"{"grid":{"days":1,"periods":8,"slots":10},"capacitors_farads":[2.0,15.0],"threads":2}"#;
+
+fn session(requests: &[&str]) -> Vec<u8> {
+    let mut bytes = CONFIG.as_bytes().to_vec();
+    bytes.push(b'\n');
+    for r in requests {
+        bytes.extend_from_slice(r.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+/// A scratch directory unique per test, wiped on entry so reruns
+/// start clean.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helio-fleet-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn deadline_zero_answers_deadline_errors() {
+    let input = session(&[
+        r#"{"id":7,"scenarios":[{"planner":"inter"},{"planner":"asap"}]}"#,
+        r#"{"id":8,"scenarios":[{"planner":"intra"}]}"#,
+    ]);
+    let mut out = Vec::new();
+    let summary = serve_with(
+        Cursor::new(input),
+        &mut out,
+        &ServeOptions {
+            deadline_ms: Some(0),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("session serves");
+    assert_eq!(summary.outcome, SessionOutcome::Eof);
+    let out = String::from_utf8(out).expect("utf-8 output");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            r#"{"id":7,"error":"deadline"}"#,
+            r#"{"id":8,"error":"deadline"}"#
+        ]
+    );
+    // An expired request is not counted as served.
+    assert_eq!(summary.service.requests_served(), 0);
+}
+
+#[test]
+fn max_batch_rejects_oversized_requests_inline() {
+    let input = session(&[
+        r#"{"id":1,"scenarios":[{"planner":"inter"},{"planner":"asap"},{"planner":"intra"}]}"#,
+        r#"{"id":2,"scenarios":[{"planner":"inter"}]}"#,
+    ]);
+    let mut out = Vec::new();
+    serve_with(
+        Cursor::new(input),
+        &mut out,
+        &ServeOptions {
+            max_batch: Some(2),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("session serves");
+    let out = String::from_utf8(out).expect("utf-8 output");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "one rejection + one report: {out}");
+    assert!(lines[0].starts_with(r#"{"id":1,"error":"#), "{}", lines[0]);
+    assert!(lines[0].contains("exceeding the cap of 2"), "{}", lines[0]);
+    assert!(lines[1].starts_with(r#"{"id":2,"index":0,"report":"#));
+}
+
+#[test]
+fn chaos_kill_then_resume_loses_and_duplicates_nothing() {
+    let requests = [
+        r#"{"id":1,"scenarios":[{"planner":"inter"},{"planner":"asap","seed":3}]}"#,
+        r#"{"id":2,"scenarios":[{"planner":"intra","seed":5}]}"#,
+        r#"{"id":3,"scenarios":[{"planner":"inter","seed":9,"resilient":true}]}"#,
+    ];
+    let input = session(&requests);
+
+    // The uninterrupted session is the reference output.
+    let mut reference = Vec::new();
+    serve(Cursor::new(input.clone()), &mut reference).expect("reference session");
+
+    for kill_period in [0, 3, 8] {
+        let dir = scratch_dir(&format!("killresume{kill_period}"));
+        let opts = ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(2),
+            chaos: helio_faults::ServiceFaultPlan {
+                kill_request: Some(2),
+                kill_at_period: Some(kill_period),
+                ..Default::default()
+            },
+            ..ServeOptions::default()
+        };
+        let mut part1 = Vec::new();
+        let summary =
+            serve_with(Cursor::new(input.clone()), &mut part1, &opts).expect("killed session");
+        assert_eq!(
+            summary.outcome,
+            SessionOutcome::ChaosKill {
+                request: 2,
+                period: kill_period
+            }
+        );
+
+        // Restart against the same directory, no chaos: the service
+        // must skip request 1, resume request 2 mid-simulation and
+        // finish request 3.
+        let opts = ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(2),
+            ..ServeOptions::default()
+        };
+        let mut part2 = Vec::new();
+        let summary =
+            serve_with(Cursor::new(input.clone()), &mut part2, &opts).expect("resumed session");
+        assert_eq!(summary.outcome, SessionOutcome::Eof);
+
+        let mut joined = part1.clone();
+        joined.extend_from_slice(&part2);
+        assert_eq!(
+            String::from_utf8(joined).expect("utf-8"),
+            String::from_utf8(reference.clone()).expect("utf-8"),
+            "kill at period {kill_period}: concatenated output diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn panicking_scenario_is_quarantined_not_fatal() {
+    let input = session(&[
+        r#"{"id":4,"scenarios":[{"planner":"inter"},{"planner":"chaos-panic:2","seed":1},{"planner":"asap"}]}"#,
+        r#"{"id":5,"scenarios":[{"planner":"inter"}]}"#,
+    ]);
+    // Reference reports for the healthy scenarios, simulated alone.
+    let mut reference = Vec::new();
+    serve(
+        Cursor::new(session(&[
+            r#"{"id":4,"scenarios":[{"planner":"inter"}]}"#,
+            r#"{"id":5,"scenarios":[{"planner":"inter"}]}"#,
+        ])),
+        &mut reference,
+    )
+    .expect("reference session");
+    let reference = String::from_utf8(reference).expect("utf-8");
+    let healthy_report = reference
+        .lines()
+        .next()
+        .and_then(|l| l.split_once(r#""report":"#))
+        .map(|(_, r)| r)
+        .expect("reference report");
+
+    let mut out = Vec::new();
+    let summary = serve_with(Cursor::new(input), &mut out, &ServeOptions::default())
+        .expect("panicking scenario must not abort the session");
+    assert_eq!(summary.outcome, SessionOutcome::Eof);
+    let out = String::from_utf8(out).expect("utf-8");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "3 scenario lines + 1 follow-up: {out}");
+    // Healthy scenarios answer byte-identically to running alone.
+    assert!(
+        lines[0].ends_with(healthy_report),
+        "quarantine changed a healthy report"
+    );
+    assert!(
+        lines[1].starts_with(r#"{"id":4,"index":1,"error":"#),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("panic"), "{}", lines[1]);
+    assert!(lines[2].starts_with(r#"{"id":4,"index":2,"report":"#));
+    // The session keeps serving after the quarantine.
+    assert!(lines[3].starts_with(r#"{"id":5,"index":0,"report":"#));
+}
+
+#[test]
+fn shutdown_flag_drains_and_checkpoints() {
+    let dir = scratch_dir("shutdown");
+    let flag = Arc::new(AtomicBool::new(true)); // already raised: drain immediately
+    let input = session(&[r#"{"id":1,"scenarios":[{"planner":"inter"}]}"#]);
+    let mut out = Vec::new();
+    let summary = serve_with(
+        Cursor::new(input.clone()),
+        &mut out,
+        &ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            shutdown: Some(Arc::clone(&flag)),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("shutdown session");
+    assert_eq!(summary.outcome, SessionOutcome::Shutdown);
+    assert!(out.is_empty(), "drained before answering anything");
+
+    // A restart with the flag lowered finishes the session; output
+    // matches a run that never shut down.
+    flag.store(false, Ordering::SeqCst);
+    let mut rest = Vec::new();
+    let summary = serve_with(
+        Cursor::new(input.clone()),
+        &mut rest,
+        &ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("restarted session");
+    assert_eq!(summary.outcome, SessionOutcome::Eof);
+    let mut reference = Vec::new();
+    serve(Cursor::new(input), &mut reference).expect("reference session");
+    assert_eq!(rest, reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_state_degrades_to_a_fresh_session() {
+    let dir = scratch_dir("corrupt");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("session.json"), b"{torn write").expect("write");
+    std::fs::write(dir.join("inflight.json"), b"\x00garbage").expect("write");
+    let input = session(&[r#"{"id":1,"scenarios":[{"planner":"inter"}]}"#]);
+    let mut out = Vec::new();
+    let mut reference = Vec::new();
+    serve(Cursor::new(input.clone()), &mut reference).expect("reference session");
+    serve_with(
+        Cursor::new(input),
+        &mut out,
+        &ServeOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("corrupt state must not abort the session");
+    assert_eq!(out, reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

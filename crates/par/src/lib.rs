@@ -12,9 +12,29 @@
 //! 2. `HELIO_THREADS=<n>` — explicit worker count;
 //! 3. `std::thread::available_parallelism()`.
 
+use std::any::Any;
 use std::env;
 use std::num::NonZeroUsize;
 use std::panic;
+
+/// A worker panic captured by [`par_zip_chunks_mut_quarantine`]: the
+/// payload `std::thread::JoinHandle::join` (or `catch_unwind`) hands
+/// back.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Best-effort human-readable text of a captured panic payload
+/// (`panic!` with a string literal or formatted message; anything else
+/// collapses to `"panic"`).
+#[must_use]
+pub fn panic_message(payload: &PanicPayload) -> &str {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else {
+        "panic"
+    }
+}
 
 /// Number of worker threads parallel maps will use.
 #[must_use]
@@ -124,6 +144,32 @@ where
     R: Send,
     F: Fn(usize, &mut [T], &mut S) -> R + Sync,
 {
+    par_zip_chunks_mut_quarantine(items, states, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic::resume_unwind(e)))
+        .collect()
+}
+
+/// [`par_zip_chunks_mut`] that *quarantines* worker panics instead of
+/// re-raising them: each chunk's result is `Ok(r)` or `Err(payload)`,
+/// so one poisoned chunk cannot take down the siblings (or the
+/// caller). The service layer uses this to turn a panicking scenario
+/// into a per-request error line instead of a dead worker pool.
+///
+/// The chunk whose worker panicked leaves its `items`/`state` in
+/// whatever state the unwind found them — callers must treat them as
+/// garbage.
+pub fn par_zip_chunks_mut_quarantine<T, S, R, F>(
+    items: &mut [T],
+    states: &mut [S],
+    f: F,
+) -> Vec<Result<R, PanicPayload>>
+where
+    T: Send,
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut [T], &mut S) -> R + Sync,
+{
     let chunks = states.len();
     if chunks == 0 {
         return Vec::new();
@@ -138,11 +184,11 @@ where
                 let take = chunk.min(rest.len());
                 let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
                 rest = tail;
-                f(c, head, state)
+                panic::catch_unwind(panic::AssertUnwindSafe(|| f(c, head, state)))
             })
             .collect();
     }
-    let mut results: Vec<R> = Vec::with_capacity(chunks);
+    let mut results: Vec<Result<R, PanicPayload>> = Vec::with_capacity(chunks);
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(chunks);
         let mut rest_items = items;
@@ -160,7 +206,7 @@ where
             handles.push(s.spawn(move || f(c, head, state)));
         }
         for handle in handles {
-            results.push(handle.join().unwrap_or_else(|e| panic::resume_unwind(e)));
+            results.push(handle.join());
         }
     });
     results
@@ -267,6 +313,26 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn zip_chunks_quarantine_isolates_panicked_chunk() {
+        let mut items: Vec<usize> = (0..8).collect();
+        let mut states = vec![(); 4];
+        let results = par_zip_chunks_mut_quarantine(&mut items, &mut states, |c, chunk, _| {
+            assert!(c != 2, "chunk blew up");
+            chunk.to_vec()
+        });
+        assert_eq!(results.len(), 4);
+        for (c, r) in results.iter().enumerate() {
+            if c == 2 {
+                let payload = r.as_ref().expect_err("chunk 2 panicked");
+                assert!(panic_message(payload).contains("chunk blew up"));
+            } else {
+                let v = r.as_ref().expect("healthy chunk survives");
+                assert_eq!(v, &vec![2 * c, 2 * c + 1]);
+            }
+        }
     }
 
     #[test]

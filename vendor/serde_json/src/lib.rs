@@ -106,13 +106,18 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
 pub fn parse_value(s: &str) -> Result<Value, Error> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
-    let v = parse_at(bytes, &mut pos)?;
+    let v = parse_at(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(Error(format!("trailing input at byte {pos}")));
     }
     Ok(v)
 }
+
+/// Maximum container nesting depth the parser accepts. The descent is
+/// recursive, so unbounded `[[[[…` input would overflow the stack
+/// (an abort, not a catchable panic); honest data never comes close.
+const MAX_DEPTH: usize = 128;
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
@@ -133,7 +138,13 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
     }
 }
 
-fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+fn parse_at(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error(format!(
+            "nesting deeper than {MAX_DEPTH} at byte {pos}",
+            pos = *pos
+        )));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err(Error("unexpected end of input".into())),
@@ -150,7 +161,7 @@ fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 return Ok(Value::Arr(items));
             }
             loop {
-                items.push(parse_at(b, pos)?);
+                items.push(parse_at(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -180,7 +191,7 @@ fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                let val = parse_at(b, pos)?;
+                let val = parse_at(b, pos, depth + 1)?;
                 pairs.push((key, val));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -316,6 +327,17 @@ mod tests {
             use serde::Deserialize;
             Ok(u64::deserialize_json(v.field(field)?.index(idx)?)?)
         }
+    }
+
+    #[test]
+    fn rejects_deep_nesting_without_overflowing() {
+        let deep = "[".repeat(100_000);
+        assert!(parse_value(&deep).is_err());
+        let deep_obj = "{\"a\":".repeat(100_000);
+        assert!(parse_value(&deep_obj).is_err());
+        // At or under the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse_value(&ok).is_ok());
     }
 
     #[test]
