@@ -288,9 +288,11 @@ impl Dbn {
         self.final_loss
     }
 
-    /// The fitted input scaler (compile-time affine folding reads it;
-    /// see `crate::compiled`).
-    pub(crate) fn input_scaler(&self) -> &MinMaxScaler {
+    /// The fitted input scaler: compile-time affine folding reads it
+    /// (see `crate::compiled`) and distillation callers use its range
+    /// to build trajectory samples inside the trained region (see
+    /// `crate::distill`).
+    pub fn input_scaler(&self) -> &MinMaxScaler {
         &self.input_scaler
     }
 
@@ -335,6 +337,7 @@ impl Dbn {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests exercise the allocating wrapper itself
 mod tests {
     use super::*;
 

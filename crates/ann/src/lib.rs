@@ -36,6 +36,7 @@
 
 pub mod compiled;
 pub mod dbn;
+pub mod distill;
 pub mod error;
 pub mod matrix;
 pub mod mlp;
@@ -43,8 +44,9 @@ pub mod rbm;
 pub mod scaler;
 pub mod train;
 
-pub use compiled::{CompiledDbn, CompiledScratch, CompiledTier};
+pub use compiled::{CompiledDbn, CompiledScratch, CompiledTier, Layer0Fold};
 pub use dbn::{BatchPredictScratch, Dbn, DbnConfig, PredictScratch};
+pub use distill::{decisions_match, DistillConfig, DistilledPolicy};
 pub use error::AnnError;
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpTrainScratch};

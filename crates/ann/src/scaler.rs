@@ -76,14 +76,15 @@ impl MinMaxScaler {
         self.mins.len()
     }
 
-    /// Fitted per-feature minima (compile-time affine folding reads
-    /// these; see `crate::compiled`).
-    pub(crate) fn mins(&self) -> &[f64] {
+    /// Fitted per-feature minima (compile-time affine folding and
+    /// distillation samplers read these; see `crate::compiled` and
+    /// `crate::distill`).
+    pub fn mins(&self) -> &[f64] {
         &self.mins
     }
 
     /// Fitted per-feature maxima.
-    pub(crate) fn maxs(&self) -> &[f64] {
+    pub fn maxs(&self) -> &[f64] {
         &self.maxs
     }
 

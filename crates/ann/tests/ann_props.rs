@@ -1,5 +1,6 @@
 //! Property tests of the ANN substrate.
 
+#![allow(clippy::disallowed_methods)] // property tests exercise the allocating wrapper
 use helio_ann::{AnnError, Dbn, DbnConfig, Matrix, MinMaxScaler, Mlp, Rbm, TrainingSet};
 use helio_common::rng::seeded;
 use proptest::prelude::*;

@@ -593,6 +593,70 @@ fn decision_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn distill_loop(c: &mut Criterion) {
+    // The distilled branch-free artifact against the paths it
+    // outranks, plus its own setup stages: `prewalk`/`fold` run once
+    // per period (constant-prefix work), `predict_folded` is the
+    // per-decision hot path the BENCH_online `distilled` row times
+    // end-to-end through the planner.
+    let inputs: Vec<Vec<f64>> = (0..96)
+        .map(|i| {
+            (0..13)
+                .map(|k| ((i * 7 + k * 13) % 50) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<f64>> = (0..96)
+        .map(|i| (0..10).map(|k| ((i + k) % 2) as f64).collect())
+        .collect();
+    let dbn = {
+        let mut cfg = helio_ann::DbnConfig::small(3);
+        cfg.bp_epochs = 50;
+        helio_ann::Dbn::train(&inputs, &targets, &cfg).expect("train")
+    };
+    let policy = {
+        let cfg = helio_ann::DistillConfig {
+            samples: 8192,
+            holdout: 1024,
+            ..helio_ann::DistillConfig::small(3)
+        };
+        helio_ann::DistilledPolicy::distill(&dbn, 10, &[], &cfg).expect("distils")
+    };
+    let mut group = c.benchmark_group("distill_loop");
+    group.bench_function("predict_flat", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            policy
+                .predict_into(black_box(&inputs[0]), &mut out)
+                .expect("predict");
+            out[0]
+        })
+    });
+    group.bench_function("prewalk_fold_once_per_period", |b| {
+        let mut folded = Vec::new();
+        b.iter(|| {
+            let cursor = policy.prewalk(black_box(&inputs[0])).expect("prewalk");
+            policy
+                .fold(cursor, black_box(&inputs[0]), &mut folded)
+                .expect("fold");
+            cursor
+        })
+    });
+    group.bench_function("predict_folded", |b| {
+        let mut folded = Vec::new();
+        let mut out = Vec::new();
+        let cursor = policy.prewalk(&inputs[0]).expect("prewalk");
+        policy.fold(cursor, &inputs[0], &mut folded).expect("fold");
+        b.iter(|| {
+            policy
+                .predict_folded(cursor, &folded, black_box(&inputs[1]), &mut out)
+                .expect("predict");
+            out[0]
+        })
+    });
+    group.finish();
+}
+
 fn train_loop(c: &mut Criterion) {
     // The training hot loops behind `bench_train`'s stage timings:
     // scratch-based CD-1 and back-propagation epochs on packed sample
@@ -681,6 +745,7 @@ criterion_group!(
     fig10b_sizing,
     sec65_dbn,
     decision_loop,
+    distill_loop,
     train_loop
 );
 criterion_main!(benches);

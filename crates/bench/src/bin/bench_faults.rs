@@ -8,13 +8,18 @@
 //!   8 periods (`HELIO_FAST=1` drops the 8-period point).
 //! * **Capacitor aging** — none, moderate (3 %/day fade, 1.3×/day
 //!   leakage growth) or severe (10 %/day fade, 2×/day growth).
-//! * **Planner backend** — the inter-task baseline, the DBN planner and
-//!   the MPC planner, each wrapped in [`ResilientPlanner`].
+//! * **Planner backend** — the inter-task baseline, the DBN planner,
+//!   the MPC planner and the distilled branch-free artifact, each
+//!   wrapped in [`ResilientPlanner`].
 //!
 //! Every faulted cell additionally injects a DBN-unavailability window
 //! (flat periods 24..28), so the resilient wrapper around the
 //! inference-driven backends must engage its fallback at least once per
-//! cell — the engagement count is part of the report. Per cell the
+//! cell — the engagement count is part of the report. The distilled
+//! backend exercises the full tier chain: the artifact steps down to
+//! its compiled fallback inside the outage window (counted in the same
+//! `fallbacks` column) and the resilient wrapper's inter-task baseline
+//! remains behind both. Per cell the
 //! sweep records the DMR, its degradation against the same backend's
 //! clean run, the degraded-mode counters, and how many periods after
 //! the blackout window the per-period miss count first returned to the
@@ -22,8 +27,10 @@
 
 use std::sync::Arc;
 
-use helio_ann::Dbn;
-use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
+use helio_ann::{CompiledDbn, CompiledTier, Dbn, DistilledPolicy};
+use helio_bench::golden::{
+    golden_dbn, golden_distilled_policy, golden_dp, golden_node, golden_trace, GOLDEN_DELTA,
+};
 use helio_bench::{
     effective_threads, fast_mode, pct, write_json, RobustnessPoint, RobustnessReport,
 };
@@ -48,9 +55,18 @@ const DBN_OUTAGE: PeriodWindow = PeriodWindow {
     periods: 4,
 };
 
-const BACKENDS: [&str; 3] = ["inter", "dbn", "mpc"];
+const BACKENDS: [&str; 4] = ["inter", "dbn", "mpc", "distilled"];
 
-fn make_planner<'a>(backend: &str, dbn: &Arc<Dbn>) -> ResilientPlanner<'a> {
+/// The shared inference assets every cell's planner is built from: the
+/// trained teacher, its compiled form and the distilled artifact.
+struct Assets {
+    dbn: Arc<Dbn>,
+    compiled: Arc<CompiledDbn>,
+    distilled: Arc<DistilledPolicy>,
+}
+
+fn make_planner<'a>(backend: &str, assets: &Assets) -> ResilientPlanner<'a> {
+    let dbn = &assets.dbn;
     let inner: Box<dyn PeriodPlanner> = match backend {
         "inter" => Box::new(FixedPlanner::new(Pattern::Inter, 1)),
         "dbn" => Box::new(ProposedPlanner::from_shared_dbn(
@@ -62,6 +78,12 @@ fn make_planner<'a>(backend: &str, dbn: &Arc<Dbn>) -> ResilientPlanner<'a> {
             Box::new(NoisyOracle::perfect()),
             24,
             golden_dp(),
+            GOLDEN_DELTA,
+            SwitchRule::default(),
+        )),
+        "distilled" => Box::new(ProposedPlanner::from_distilled(
+            Arc::clone(&assets.distilled),
+            Arc::clone(&assets.compiled),
             GOLDEN_DELTA,
             SwitchRule::default(),
         )),
@@ -120,6 +142,11 @@ fn main() {
         heliosched::OptimalPlanner::compute(&node, &graph, &trace, &golden_dp(), GOLDEN_DELTA)
             .expect("optimal for DBN training");
     let dbn = Arc::new(golden_dbn(&optimal));
+    let assets = Assets {
+        compiled: Arc::new(CompiledDbn::compile(&dbn, CompiledTier::F32).expect("DBN compiles")),
+        distilled: Arc::new(golden_distilled_policy(&dbn)),
+        dbn,
+    };
 
     println!(
         "# robustness sweep (threads = {threads}, {} backends x {} blackouts x {} agings)",
@@ -138,7 +165,7 @@ fn main() {
             engine
                 .push(BatchScenario::new(
                     &trace,
-                    Box::new(make_planner(backend, &dbn)),
+                    Box::new(make_planner(backend, &assets)),
                 ))
                 .expect("clean scenario");
         }
@@ -187,7 +214,7 @@ fn main() {
         for (&(b, _, _), harness) in cells.iter().zip(&harnesses) {
             engine
                 .push(
-                    BatchScenario::new(&trace, Box::new(make_planner(BACKENDS[b], &dbn)))
+                    BatchScenario::new(&trace, Box::new(make_planner(BACKENDS[b], &assets)))
                         .with_harness(harness),
                 )
                 .expect("faulted scenario");

@@ -8,7 +8,8 @@
 //!   slots per second. This is the paper's simulation inner loop.
 //! * **Per-period decision cost** — `PeriodPlanner::plan` latency per
 //!   planner (the three fixed patterns, the optimal LUT replay, the
-//!   trained DBN, and both compiled-DBN tiers), the quantity the
+//!   trained DBN, both compiled-DBN tiers, and the distilled
+//!   branch-free artifact), the quantity the
 //!   paper's Section 6.5 overhead table models on the 93.5 kHz node.
 //!
 //! With `HELIO_BENCH_BASELINE=1` the report is written to
@@ -19,8 +20,10 @@
 
 use std::hint::black_box;
 
-use helio_ann::CompiledTier;
-use helio_bench::golden::{golden_dbn, golden_dp, golden_node, golden_trace, GOLDEN_DELTA};
+use helio_ann::{CompiledDbn, CompiledTier};
+use helio_bench::golden::{
+    golden_dbn, golden_distilled_policy, golden_dp, golden_node, golden_trace, GOLDEN_DELTA,
+};
 use helio_bench::{
     effective_threads, fast_mode, timed, BenchOnlineReport, DecisionStat, SlotLoopStat,
 };
@@ -124,6 +127,17 @@ fn main() {
                 )
                 .expect("golden DBN compiles"),
             ),
+        ),
+        (
+            "distilled",
+            Box::new(ProposedPlanner::from_distilled(
+                std::sync::Arc::new(golden_distilled_policy(&dbn)),
+                std::sync::Arc::new(
+                    CompiledDbn::compile(&dbn, CompiledTier::F32).expect("golden DBN compiles"),
+                ),
+                GOLDEN_DELTA,
+                SwitchRule::default(),
+            )),
         ),
     ];
     let bank = CapacitorBank::new(&node.capacitors, &node.storage).expect("bench bank");

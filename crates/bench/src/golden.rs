@@ -9,7 +9,7 @@
 //! serialises `f64` via shortest-round-trip formatting, so identical
 //! reports produce identical bytes.
 
-use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig};
+use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig, DistillConfig, DistilledPolicy};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_solar::{DayArchetype, NoisyOracle, SolarPanel, SolarTrace, TraceBuilder};
@@ -197,6 +197,161 @@ pub fn golden_compiled_reports(tier: CompiledTier) -> Vec<(String, SimReport)> {
         engine
             .run(&mut compiled_planner)
             .expect("golden compiled run"),
+    ));
+    out
+}
+
+/// Per-scenario DMR epsilon of the distilled-artifact regression gate:
+/// every case replayed through [`golden_distilled_reports`] must land
+/// within this of the f64 reference suite's DMR. The artifact is
+/// agreement-gated against its teacher, not bit-identical —
+/// `tests/golden_distilled.rs` enforces this bound on all 21
+/// scenarios.
+pub const GOLDEN_DISTILLED_DMR_EPS: f64 = 0.01;
+
+/// Distillation hyper-parameters of the golden artifact.
+pub fn golden_distill_config() -> DistillConfig {
+    let mut cfg = DistillConfig::small(GOLDEN_SEED);
+    // The recorded trajectory is ~100 vectors against 32k box
+    // samples: weight it so the states the scheduler actually visits
+    // carry comparable mass in the split selection and leaf fits.
+    cfg.extra_weight = 128;
+    // 3+3 rather than the default 5+5: the golden decision surface is
+    // captured just as well (a depth sweep holds ~0.97 holdout
+    // agreement all the way down to 3+3 and only collapses below
+    // that), and the 64-leaf model table is ~33 KB — cache-resident on
+    // the hot path — while the walk drops to six dependent-load
+    // levels.
+    cfg.depth_const = 3;
+    cfg.depth_vary = 3;
+    cfg
+}
+
+/// Delegates every decision to a wrapped planner while recording the
+/// exact raw feature vector the DBN consumes each period (the same
+/// construction as the online planner's `gather_dbn_input`) — the
+/// trajectory distribution the distillation pass must cover.
+struct RecordingPlanner<'a> {
+    inner: ProposedPlanner,
+    samples: &'a mut Vec<Vec<f64>>,
+}
+
+impl heliosched::PeriodPlanner for RecordingPlanner<'_> {
+    fn name(&self) -> &'static str {
+        "recording-dbn"
+    }
+
+    fn plan(&mut self, obs: &heliosched::PlannerObservation<'_>) -> heliosched::PlanDecision {
+        let grid = obs.grid;
+        let spp = grid.slots_per_period();
+        let flat = grid.period_index(obs.period);
+        let mut input = vec![0.0; spp + obs.bank.len() + 1];
+        if flat > 0 {
+            let prev = grid.period_at(flat - 1);
+            for (d, &w) in input[..spp]
+                .iter_mut()
+                .zip(obs.trace.period_powers_raw(prev))
+            {
+                *d = w * 1e3;
+            }
+        }
+        let rest = &mut input[spp..];
+        let (volts, dmr) = rest.split_at_mut(obs.bank.len());
+        for (d, v) in volts.iter_mut().zip(obs.bank.voltages_iter()) {
+            *d = v;
+        }
+        dmr[0] = obs.accumulated_dmr;
+        self.samples.push(input);
+        self.inner.plan(obs)
+    }
+}
+
+/// Trajectory samples for the golden distillation pass: replays the
+/// golden `ecg_dbn` scenario with the f64 reference planner and
+/// records the feature vector it feeds the network every period.
+pub fn golden_distill_samples(dbn: &Dbn) -> Vec<Vec<f64>> {
+    let node = golden_node();
+    let trace = golden_trace();
+    let graph = benchmarks::ecg();
+    let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+    let mut samples = Vec::new();
+    let mut recorder = RecordingPlanner {
+        inner: ProposedPlanner::from_dbn(dbn.clone(), GOLDEN_DELTA, SwitchRule::default()),
+        samples: &mut samples,
+    };
+    engine.run(&mut recorder).expect("golden recording run");
+    samples
+}
+
+/// Distils the golden DBN into the branch-free decision artifact: the
+/// run-constant feature prefix (the previous period's slot powers) is
+/// the constant tree section, and the golden trajectory's recorded
+/// feature vectors are weighted into the fit.
+pub fn golden_distilled_policy(dbn: &Dbn) -> DistilledPolicy {
+    let spp = golden_grid().slots_per_period().min(dbn.input_dim());
+    let samples = golden_distill_samples(dbn);
+    DistilledPolicy::distill(dbn, spp, &samples, &golden_distill_config())
+        .expect("golden DBN distils")
+}
+
+/// The 21 golden cases with the DBN case running the distilled
+/// artifact (compiled `f32` as its fallback tier): 20 cases are
+/// untouched by distillation and anchor the harness; `ecg_dbn` becomes
+/// `distilled`. The DMR-bound harness compares these against
+/// [`golden_reports`] per scenario.
+pub fn golden_distilled_reports() -> Vec<(String, SimReport)> {
+    let node = golden_node();
+    let trace = golden_trace();
+    let mut out = Vec::new();
+
+    for graph in benchmarks::all_six() {
+        let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+        for (pattern, cap) in [
+            (Pattern::Asap, 0usize),
+            (Pattern::Inter, 1),
+            (Pattern::Intra, 1),
+        ] {
+            let report = engine
+                .run(&mut FixedPlanner::new(pattern, cap))
+                .expect("golden fixed run");
+            out.push((format!("{}_{}", graph.name(), pattern), report));
+        }
+    }
+
+    let graph = benchmarks::ecg();
+    let engine = Engine::new(&node, &graph, &trace).expect("golden engine");
+    let dp = golden_dp();
+    let mut optimal =
+        OptimalPlanner::compute(&node, &graph, &trace, &dp, GOLDEN_DELTA).expect("golden optimal");
+    let dbn = golden_dbn(&optimal);
+    out.push((
+        "ecg_optimal".into(),
+        engine.run(&mut optimal).expect("golden optimal run"),
+    ));
+    let mut mpc = ProposedPlanner::mpc(
+        Box::new(NoisyOracle::perfect()),
+        24,
+        dp,
+        GOLDEN_DELTA,
+        SwitchRule::default(),
+    );
+    out.push((
+        "ecg_mpc".into(),
+        engine.run(&mut mpc).expect("golden mpc run"),
+    ));
+    let policy = golden_distilled_policy(&dbn);
+    let compiled = CompiledDbn::compile(&dbn, CompiledTier::F32).expect("golden DBN compiles");
+    let mut distilled_planner = ProposedPlanner::from_distilled(
+        std::sync::Arc::new(policy),
+        std::sync::Arc::new(compiled),
+        GOLDEN_DELTA,
+        SwitchRule::default(),
+    );
+    out.push((
+        "ecg_dbn".into(),
+        engine
+            .run(&mut distilled_planner)
+            .expect("golden distilled run"),
     ));
     out
 }

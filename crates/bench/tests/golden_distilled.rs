@@ -1,0 +1,70 @@
+//! The distilled-artifact DMR regression gate: replays the 21 golden
+//! scenarios with the DBN case running the branch-free distilled
+//! artifact and asserts every scenario's overall DMR lands within
+//! `GOLDEN_DISTILLED_DMR_EPS` of the f64 reference suite.
+//!
+//! The reference side is `golden_reports()` — `tests/golden_online.rs`
+//! already pins those reports byte-for-byte to the committed
+//! `results/golden_online/*.json` files, so comparing in-process is
+//! equivalent to comparing against the committed fixtures. The
+//! distilled side is deliberately *not* byte-gated: the artifact is a
+//! linear model tree covered by its recorded teacher-agreement rate,
+//! and this harness bounds what student/teacher disagreements do to
+//! the metric the paper reports — the deadline miss rate.
+
+use helio_bench::golden::{
+    golden_dbn, golden_distilled_policy, golden_distilled_reports, golden_dp, golden_grid,
+    golden_node, golden_reports, golden_trace, GOLDEN_DELTA, GOLDEN_DISTILLED_DMR_EPS,
+};
+use heliosched::OptimalPlanner;
+
+#[test]
+fn distilled_dmr_within_epsilon_on_all_golden_scenarios() {
+    let reference = golden_reports();
+    let distilled = golden_distilled_reports();
+    assert_eq!(reference.len(), 21, "golden suite is 21 scenarios");
+    assert_eq!(distilled.len(), reference.len());
+    for ((name, want), (distilled_name, got)) in reference.iter().zip(&distilled) {
+        assert_eq!(name, distilled_name, "scenario order diverged");
+        let delta = (got.overall_dmr() - want.overall_dmr()).abs();
+        assert!(
+            delta <= GOLDEN_DISTILLED_DMR_EPS,
+            "{name}: distilled DMR {} vs reference {} — |Δ| {delta} \
+             exceeds epsilon {GOLDEN_DISTILLED_DMR_EPS}",
+            got.overall_dmr(),
+            want.overall_dmr()
+        );
+        if name != "ecg_dbn" {
+            // Everything except the DBN case never touches the
+            // distilled path — those reports must not drift at all.
+            assert_eq!(
+                serde_json::to_string(got).expect("report serialises"),
+                serde_json::to_string(want).expect("report serialises"),
+                "{name} diverged but does not use the distilled planner"
+            );
+        }
+    }
+    let (name, dbn_report) = &distilled[20];
+    assert_eq!(name, "ecg_dbn");
+    assert_eq!(dbn_report.planner, "distilled");
+}
+
+#[test]
+fn golden_artifact_agrees_with_its_teacher() {
+    // The recorded holdout agreement is the artifact's coverage
+    // contract; a distillation regression shows up here before it
+    // shows up as DMR drift.
+    let node = golden_node();
+    let trace = golden_trace();
+    let graph = helio_tasks::benchmarks::ecg();
+    let optimal = OptimalPlanner::compute(&node, &graph, &trace, &golden_dp(), GOLDEN_DELTA)
+        .expect("golden optimal");
+    let dbn = golden_dbn(&optimal);
+    let policy = golden_distilled_policy(&dbn);
+    assert!(
+        policy.agreement() >= 0.9,
+        "holdout agreement {} below the 0.9 floor",
+        policy.agreement()
+    );
+    assert_eq!(policy.const_prefix(), golden_grid().slots_per_period());
+}

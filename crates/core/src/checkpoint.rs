@@ -80,6 +80,21 @@ pub struct ProposedCheckpoint {
     /// MPC day-plan cache; `None` for DBN backends or before the
     /// first MPC plan.
     pub mpc: Option<MpcCacheState>,
+    /// Distilled-tier demotion state; `None` for other backends.
+    pub distilled: Option<DistilledState>,
+}
+
+/// The distilled backend's cross-period degradation state. The
+/// per-period prewalk/fold caches are rebuilt on resume (run
+/// constants), but the demotion latch and the fallback-tier counter
+/// must survive a crash or a resumed run would silently re-trust a
+/// demoted artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistilledState {
+    /// Whether the artifact has been demoted to its compiled fallback.
+    pub demoted: bool,
+    /// Periods served by the compiled fallback tier.
+    pub tier_fallbacks: u64,
 }
 
 /// [`ResilientPlanner`](crate::resilient::ResilientPlanner) state:
@@ -243,6 +258,10 @@ mod tests {
                 health: PlannerHealth::DbnUnavailable,
                 injected: Some(DbnFaultMode::Nan),
                 mpc: None,
+                distilled: Some(DistilledState {
+                    demoted: true,
+                    tier_fallbacks: 5,
+                }),
             })),
         });
         let json = serde_json::to_string(&ckpt).expect("serialises");

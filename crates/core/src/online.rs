@@ -16,7 +16,10 @@
 
 use std::sync::Arc;
 
-use helio_ann::{CompiledDbn, CompiledScratch, CompiledTier, Dbn, PredictScratch};
+use helio_ann::{
+    AnnError, CompiledDbn, CompiledScratch, CompiledTier, Dbn, DistilledPolicy, Layer0Fold,
+    PredictScratch,
+};
 use helio_common::units::Joules;
 use helio_common::TaskSet;
 use helio_faults::DbnFaultMode;
@@ -26,7 +29,7 @@ use helio_tasks::TaskId;
 use serde::{Deserialize, Serialize};
 
 use crate::batch::PlanContext;
-use crate::checkpoint::{MpcCacheState, PlannerCheckpoint, ProposedCheckpoint};
+use crate::checkpoint::{DistilledState, MpcCacheState, PlannerCheckpoint, ProposedCheckpoint};
 use crate::longterm::{optimize_horizon, DpConfig, PeriodPlan};
 use crate::optimal::OptimalPlanner;
 use crate::planner::{PeriodPlanner, PlanDecision, PlannerHealth, PlannerObservation};
@@ -51,6 +54,7 @@ impl Default for SwitchRule {
 
 impl SwitchRule {
     /// Applies Eq. 22: returns the capacitor the PMU should activate.
+    #[inline]
     pub fn decide(&self, obs: &PlannerObservation<'_>, suggested: usize) -> Option<usize> {
         let active = obs.bank.active_index();
         if suggested == active {
@@ -85,6 +89,45 @@ enum Backend {
         /// across periods.
         scratch: CompiledScratch,
         out_buf: Vec<f64>,
+        /// Per-period layer-0 partial sums over the run-constant
+        /// prefix (previous-period slot powers), keyed by flat period
+        /// index. Built lazily on the *second* forward of a period:
+        /// the common once-per-period plan takes the fused full
+        /// forward (folding would duplicate the prefix work), while
+        /// re-planned decisions within one period (crash-resume
+        /// replays, recovery re-decisions) skip the constant half of
+        /// layer 0. Boxed — the fold's partial accumulators would
+        /// otherwise dominate every backend variant's footprint.
+        fold: Option<(usize, Option<Box<Layer0Fold>>)>,
+    },
+    Distilled {
+        /// The distilled branch-free decision artifact, behind an
+        /// `Arc` so a fleet loads it once and shares it.
+        policy: Arc<DistilledPolicy>,
+        /// The compiled network the artifact was distilled from — the
+        /// next tier of the decision chain, serving whenever the
+        /// artifact is unavailable or violates its contract
+        /// (distilled → compiled → the resilient wrapper's inter-task
+        /// baseline).
+        fallback: Arc<CompiledDbn>,
+        /// Fallback forward scratch + shared output buffer.
+        scratch: CompiledScratch,
+        out_buf: Vec<f64>,
+        /// Per-period distilled state, indexed by flat period index:
+        /// the constant-level tree cursor and the folded per-leaf
+        /// partial sums. Entries persist for the whole run — the
+        /// constant feature prefix is the previous period's trace
+        /// powers, run constants by the same contract the decide
+        /// cache's harvest table relies on — so any revisited period
+        /// (re-decisions, crash-resume replays, repeated sweeps)
+        /// resumes from its warm fold.
+        folds: Vec<PeriodFoldState>,
+        /// Latched when the artifact errors or the engine reports a
+        /// contract violation: the compiled fallback serves for the
+        /// rest of the run.
+        demoted: bool,
+        /// Periods served by the compiled fallback tier.
+        tier_fallbacks: u64,
     },
     Mpc {
         predictor: Box<dyn SolarPredictor + Send>,
@@ -107,6 +150,63 @@ struct MpcCache {
     capacitor: usize,
     base_flat: usize,
     plans: Vec<PeriodPlan>,
+}
+
+/// Per-period state of the distilled backend (see
+/// [`Backend::Distilled`]): the prewalk cursor over the constant tree
+/// levels and the fold buffer of per-leaf partial sums, both
+/// functions of the run-constant feature prefix only. A period's
+/// first decision leaves a [`PeriodFoldState::SeenOnce`] marker — the
+/// once-per-period common case never pays for a fold it would use
+/// exactly once — and the second decision builds the fold that every
+/// later visit resumes from.
+#[derive(Default, Clone)]
+enum PeriodFoldState {
+    #[default]
+    Unseen,
+    SeenOnce,
+    Ready { cursor: u32, folded: Box<[f32]> },
+}
+
+/// Runs the distilled per-decision fast path. The first decision of a
+/// period takes the flat `predict_into` walk (bit-identical to the
+/// split path, and strictly cheaper when the period sees exactly one
+/// decision); a second decision under the same flat index builds the
+/// prewalk + fold state once and every further decision — however
+/// much later in the run — resumes from it. Free function so the
+/// backend match arm can borrow the planner's input buffer alongside
+/// the backend fields.
+fn distilled_forward(
+    policy: &DistilledPolicy,
+    folds: &mut Vec<PeriodFoldState>,
+    flat: usize,
+    input: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<(), AnnError> {
+    if folds.len() <= flat {
+        folds.resize(flat + 1, PeriodFoldState::Unseen);
+    }
+    let state = &mut folds[flat];
+    match state {
+        PeriodFoldState::Ready { cursor, folded } => {
+            policy.predict_folded(*cursor, folded, input, out)
+        }
+        PeriodFoldState::SeenOnce => {
+            let cursor = policy.prewalk(input)?;
+            let mut folded = Vec::new();
+            policy.fold(cursor, input, &mut folded)?;
+            let out_res = policy.predict_folded(cursor, &folded, input, out);
+            *state = PeriodFoldState::Ready {
+                cursor,
+                folded: folded.into_boxed_slice(),
+            };
+            out_res
+        }
+        PeriodFoldState::Unseen => {
+            *state = PeriodFoldState::SeenOnce;
+            policy.predict_into(input, out)
+        }
+    }
 }
 
 /// The proposed long-term deadline-aware online planner.
@@ -185,6 +285,7 @@ impl ProposedPlanner {
                 scratch: compiled.make_scratch(),
                 out_buf: Vec::with_capacity(compiled.output_dim()),
                 compiled,
+                fold: None,
             },
             switch,
             delta,
@@ -214,6 +315,40 @@ impl ProposedPlanner {
     ) -> Result<Self, helio_ann::AnnError> {
         let compiled = Arc::new(CompiledDbn::compile(dbn, tier)?);
         Ok(Self::from_compiled_dbn(compiled, delta, switch))
+    }
+
+    /// Builds the planner around a distilled decision artifact with a
+    /// compiled network as the next tier down: the artifact serves the
+    /// per-decision hot path; the compiled forward takes over when the
+    /// artifact is unavailable or violates its contract (and the
+    /// resilient wrapper's inter-task baseline sits below that).
+    /// Decisions are covered by the artifact's recorded agreement rate
+    /// against its teacher, not bit-identity with `proposed-dbn`.
+    pub fn from_distilled(
+        policy: Arc<DistilledPolicy>,
+        fallback: Arc<CompiledDbn>,
+        delta: f64,
+        switch: SwitchRule,
+    ) -> Self {
+        Self {
+            backend: Backend::Distilled {
+                scratch: fallback.make_scratch(),
+                out_buf: Vec::with_capacity(policy.output_dim()),
+                policy,
+                fallback,
+                folds: Vec::new(),
+                demoted: false,
+                tier_fallbacks: 0,
+            },
+            switch,
+            delta,
+            complexity: 0,
+            input_buf: Vec::new(),
+            injected: None,
+            health: PlannerHealth::Healthy,
+            ctx: None,
+            decide_cache: None,
+        }
     }
 
     /// Creates the MPC-backed planner: re-plan each day over
@@ -273,7 +408,7 @@ impl ProposedPlanner {
                     solar_buf,
                     subsets,
                 ),
-                Backend::Dbn { .. } | Backend::Compiled { .. } => {
+                Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Distilled { .. } => {
                     unreachable!("plan_mpc called on DBN backend")
                 }
             };
@@ -352,6 +487,7 @@ impl ProposedPlanner {
     /// `input`, cleared first. Shared by the sequential path and the
     /// batch engine's gather phase, so the two are identical by
     /// construction.
+    #[inline(always)]
     fn gather_dbn_input(obs: &PlannerObservation<'_>, input: &mut Vec<f64>) {
         let grid = obs.grid;
         let flat = grid.period_index(obs.period);
@@ -388,58 +524,70 @@ impl ProposedPlanner {
     /// dependency closure and the abundant-solar override. Everything
     /// in [`ProposedPlanner::plan_dbn`] after the inference call lives
     /// here, so the batched path reuses it verbatim.
+    /// Builds the run-constant decision tables: each task's ancestor
+    /// cone (so closing under dependencies is a mask union per
+    /// admitted task, not a graph walk — the DBN's bits are
+    /// independent sigmoids, and an admitted task drags in its
+    /// predecessors), the per-period harvest, and the full task-set
+    /// load. A batch-attached context supplies the topological order
+    /// this build consumes.
+    #[inline(never)]
+    fn build_decide_cache(ctx: Option<&PlanContext>, obs: &PlannerObservation<'_>) -> DbnDecideCache {
+        let owned;
+        let topo: &[TaskId] = if let Some(ctx) = ctx {
+            &ctx.topo
+        } else {
+            owned = obs
+                .graph
+                .topological_order()
+                .expect("validated graphs are acyclic");
+            &owned
+        };
+        // Forward-topological pass: every predecessor's cone is
+        // finished before its successors union it in.
+        let mut closure = vec![TaskSet::EMPTY; obs.graph.len()];
+        for &id in topo {
+            let mut cone = TaskSet::EMPTY.with(id.index());
+            for p in obs.graph.predecessor_set(id).iter() {
+                cone = cone.union(closure[p]);
+            }
+            closure[id.index()] = cone;
+        }
+        DbnDecideCache {
+            closure,
+            harvest: obs
+                .grid
+                .periods()
+                .map(|p| obs.trace.period_energy(p))
+                .collect(),
+            full_load: obs.graph.total_energy(),
+        }
+    }
+
+    #[inline(always)]
     fn decide_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
         if self.injected == Some(DbnFaultMode::Nan) {
             // Bit-flipped weights / numerical blow-up: the inference
             // completes but every output is garbage.
-            if let Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } =
-                &mut self.backend
+            if let Backend::Dbn { out_buf, .. }
+            | Backend::Compiled { out_buf, .. }
+            | Backend::Distilled { out_buf, .. } = &mut self.backend
             {
                 out_buf.iter_mut().for_each(|o| *o = f64::NAN);
             }
         }
-        // Run-constant decision tables, built once: each task's
-        // ancestor cone (so closing under dependencies is a mask union
-        // per admitted task, not a graph walk — the DBN's bits are
-        // independent sigmoids, and an admitted task drags in its
-        // predecessors), the per-period harvest, and the full task-set
-        // load. A batch-attached context supplies the topological
-        // order the first build consumes.
-        let ctx = self.ctx.as_deref();
-        let cache = self.decide_cache.get_or_insert_with(|| {
-            let owned;
-            let topo: &[TaskId] = if let Some(ctx) = ctx {
-                &ctx.topo
-            } else {
-                owned = obs
-                    .graph
-                    .topological_order()
-                    .expect("validated graphs are acyclic");
-                &owned
-            };
-            // Forward-topological pass: every predecessor's cone is
-            // finished before its successors union it in.
-            let mut closure = vec![TaskSet::EMPTY; obs.graph.len()];
-            for &id in topo {
-                let mut cone = TaskSet::EMPTY.with(id.index());
-                for p in obs.graph.predecessor_set(id).iter() {
-                    cone = cone.union(closure[p]);
-                }
-                closure[id.index()] = cone;
-            }
-            DbnDecideCache {
-                closure,
-                harvest: obs
-                    .grid
-                    .periods()
-                    .map(|p| obs.trace.period_energy(p))
-                    .collect(),
-                full_load: obs.graph.total_energy(),
-            }
-        });
+        // Run-constant decision tables, built once (out of line — the
+        // build machinery would otherwise keep this whole body from
+        // inlining into the per-period caller).
+        if self.decide_cache.is_none() {
+            self.decide_cache = Some(Self::build_decide_cache(self.ctx.as_deref(), obs));
+        }
+        let cache = self.decide_cache.as_ref().expect("just built");
         let heads = {
             let out: &[f64] = match &self.backend {
-                Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } => out_buf,
+                Backend::Dbn { out_buf, .. }
+                | Backend::Compiled { out_buf, .. }
+                | Backend::Distilled { out_buf, .. } => out_buf,
                 Backend::Mpc { .. } => unreachable!("decide_dbn called on MPC backend"),
             };
             let head_cap = out.first().copied().unwrap_or(f64::NAN);
@@ -452,7 +600,7 @@ impl ProposedPlanner {
                 // closes the set in the same pass. Zipping against the
                 // cone table (len = graph.len()) also bounds the walk.
                 let mut allowed = TaskSet::EMPTY;
-                for (&b, &cone) in out.iter().skip(2).zip(cache.closure.iter()) {
+                for (&b, &cone) in out[2..].iter().zip(cache.closure.iter()) {
                     allowed = allowed.union(cone.select_if(b >= 0.5));
                 }
                 Some((head_cap, head_alpha, allowed))
@@ -488,29 +636,84 @@ impl ProposedPlanner {
     }
 
     fn plan_dbn(&mut self, obs: &PlannerObservation<'_>) -> (usize, f64, TaskSet) {
-        // An injected "inference engine down" fault skips the DBN
-        // entirely: the node degrades to the conservative
-        // run-everything decision on the current capacitor.
-        if self.injected == Some(DbnFaultMode::Unavailable) {
+        // An injected "primary inference artifact down" fault: the
+        // distilled backend steps one tier down to its compiled
+        // fallback (unless that tier is already serving), every other
+        // backend degrades to the conservative run-everything decision
+        // on the current capacitor.
+        let unavailable = self.injected == Some(DbnFaultMode::Unavailable);
+        if unavailable && !matches!(&self.backend, Backend::Distilled { demoted: false, .. }) {
             self.health = PlannerHealth::DbnUnavailable;
             return (obs.bank.active_index(), 1.0, obs.graph.all_tasks());
         }
         Self::gather_dbn_input(obs, &mut self.input_buf);
+        let flat = obs.grid.period_index(obs.period);
         // One DBN inference ≈ one state expansion worth of work.
         self.complexity += 1;
+        let input = &self.input_buf;
         let predict_failed = match &mut self.backend {
             Backend::Dbn {
                 dbn,
                 scratch,
                 out_buf,
-            } => dbn.predict_into(&self.input_buf, scratch, out_buf).is_err(),
+            } => dbn.predict_into(input, scratch, out_buf).is_err(),
             Backend::Compiled {
                 compiled,
                 scratch,
                 out_buf,
-            } => compiled
-                .forward_into(&self.input_buf, scratch, out_buf)
-                .is_err(),
+                fold,
+            } => {
+                // The first forward of a period runs the fused full
+                // pass; a re-decision under the same flat index folds
+                // the run-constant feature prefix (previous period's
+                // slot powers) once and resumes from the partial sums.
+                // `fold_prefix` declining (non-resident SIMD shapes)
+                // or erroring routes through the plain forward.
+                match fold {
+                    Some((f, l)) if *f == flat => {
+                        if l.is_none() {
+                            let prefix = obs.grid.slots_per_period().min(compiled.input_dim());
+                            *l = compiled.fold_prefix(input, prefix).ok().flatten().map(Box::new);
+                        }
+                        match l {
+                            Some(l) => compiled.forward_from_fold(l, input, scratch, out_buf),
+                            None => compiled.forward_into(input, scratch, out_buf),
+                        }
+                    }
+                    _ => {
+                        *fold = Some((flat, None));
+                        compiled.forward_into(input, scratch, out_buf)
+                    }
+                }
+                .is_err()
+            }
+            Backend::Distilled {
+                policy,
+                fallback,
+                scratch,
+                out_buf,
+                folds,
+                demoted,
+                tier_fallbacks,
+            } => {
+                if !*demoted && !unavailable {
+                    match distilled_forward(policy, folds, flat, input, out_buf) {
+                        Ok(()) => false,
+                        Err(_) => {
+                            // The artifact broke its contract (shape
+                            // drift, corrupt reload): latch the
+                            // demotion and let the compiled tier serve
+                            // from here on.
+                            *demoted = true;
+                            *tier_fallbacks += 1;
+                            fallback.forward_into(input, scratch, out_buf).is_err()
+                        }
+                    }
+                } else {
+                    *tier_fallbacks += 1;
+                    fallback.forward_into(input, scratch, out_buf).is_err()
+                }
+            }
             Backend::Mpc { .. } => unreachable!("plan_dbn called on MPC backend"),
         };
         if predict_failed {
@@ -531,6 +734,7 @@ impl PeriodPlanner for ProposedPlanner {
                 CompiledTier::F32 => "compiled-dbn",
                 CompiledTier::Int8 => "compiled-dbn-i8",
             },
+            Backend::Distilled { .. } => "distilled",
             Backend::Mpc { .. } => "proposed-mpc",
         }
     }
@@ -553,7 +757,9 @@ impl PeriodPlanner for ProposedPlanner {
                     (cap, plan.alpha, plan.subset)
                 }
             }
-            Backend::Dbn { .. } | Backend::Compiled { .. } => self.plan_dbn(obs),
+            Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Distilled { .. } => {
+                self.plan_dbn(obs)
+            }
         };
         PlanDecision {
             capacitor: self.switch.decide(obs, suggested_cap),
@@ -574,6 +780,28 @@ impl PeriodPlanner for ProposedPlanner {
         self.health
     }
 
+    fn on_contract_violation(&mut self) {
+        // The distilled tier does not get a violation budget: one
+        // decision the engine had to drop demotes the artifact to its
+        // compiled fallback for the rest of the run (the resilient
+        // wrapper's own budget then guards the compiled tier).
+        if let Backend::Distilled { demoted, folds, .. } = &mut self.backend {
+            if !*demoted {
+                *demoted = true;
+                folds.clear();
+            }
+        }
+    }
+
+    fn fallback_count(&self) -> usize {
+        match &self.backend {
+            Backend::Distilled { tier_fallbacks, .. } => {
+                usize::try_from(*tier_fallbacks).unwrap_or(usize::MAX)
+            }
+            Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Mpc { .. } => 0,
+        }
+    }
+
     fn attach_context(&mut self, ctx: &Arc<PlanContext>) {
         self.ctx = Some(Arc::clone(ctx));
     }
@@ -586,15 +814,28 @@ impl PeriodPlanner for ProposedPlanner {
                 base_flat: c.base_flat,
                 plans: c.plans.clone(),
             }),
-            Backend::Mpc { cache: None, .. } | Backend::Dbn { .. } | Backend::Compiled { .. } => {
-                None
-            }
+            Backend::Mpc { cache: None, .. }
+            | Backend::Dbn { .. }
+            | Backend::Compiled { .. }
+            | Backend::Distilled { .. } => None,
+        };
+        let distilled = match &self.backend {
+            Backend::Distilled {
+                demoted,
+                tier_fallbacks,
+                ..
+            } => Some(DistilledState {
+                demoted: *demoted,
+                tier_fallbacks: *tier_fallbacks,
+            }),
+            Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Mpc { .. } => None,
         };
         PlannerCheckpoint::Proposed(ProposedCheckpoint {
             complexity: self.complexity,
             health: self.health,
             injected: self.injected,
             mpc,
+            distilled,
         })
     }
 
@@ -617,10 +858,38 @@ impl PeriodPlanner for ProposedPlanner {
                     plans: m.plans.clone(),
                 });
             }
-            Backend::Dbn { .. } | Backend::Compiled { .. } => {
+            Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Distilled { .. } => {
                 if c.mpc.is_some() {
                     return Err(format!(
                         "planner `{}` has no MPC cache but the checkpoint carries one",
+                        self.name()
+                    ));
+                }
+            }
+        }
+        match &mut self.backend {
+            Backend::Distilled {
+                demoted,
+                tier_fallbacks,
+                folds,
+                ..
+            } => {
+                let Some(d) = c.distilled.as_ref() else {
+                    return Err(
+                        "planner `distilled` needs distilled-tier state but the checkpoint has none"
+                            .into(),
+                    );
+                };
+                *demoted = d.demoted;
+                *tier_fallbacks = d.tier_fallbacks;
+                // Per-period state is a rebuilt cache, not checkpoint
+                // state: drop it so the resumed run re-folds.
+                folds.clear();
+            }
+            Backend::Dbn { .. } | Backend::Compiled { .. } | Backend::Mpc { .. } => {
+                if c.distilled.is_some() {
+                    return Err(format!(
+                        "planner `{}` has no distilled tier but the checkpoint carries one",
                         self.name()
                     ));
                 }
@@ -659,12 +928,14 @@ impl PeriodPlanner for ProposedPlanner {
     fn batch_dbn(&self) -> Option<Arc<Dbn>> {
         match &self.backend {
             Backend::Dbn { dbn, .. } => Some(Arc::clone(dbn)),
-            Backend::Compiled { .. } | Backend::Mpc { .. } => None,
+            Backend::Compiled { .. } | Backend::Distilled { .. } | Backend::Mpc { .. } => None,
         }
     }
 
     fn plan_with_output(&mut self, obs: &PlannerObservation<'_>, out: &[f64]) -> PlanDecision {
-        if let Backend::Dbn { out_buf, .. } | Backend::Compiled { out_buf, .. } = &mut self.backend
+        if let Backend::Dbn { out_buf, .. }
+        | Backend::Compiled { out_buf, .. }
+        | Backend::Distilled { out_buf, .. } = &mut self.backend
         {
             out_buf.clear();
             out_buf.extend_from_slice(out);
@@ -977,5 +1248,146 @@ mod tests {
         planner.inject_fault(None);
         let _ = planner.plan(&obs);
         assert_eq!(planner.health(), PlannerHealth::Healthy);
+    }
+
+    /// A teacher/student/fallback triple over the synthetic training
+    /// set, with a tree small enough for debug-mode test runs.
+    fn distilled_pair(
+        g: &helio_tasks::TaskGraph,
+    ) -> (
+        Arc<helio_ann::DistilledPolicy>,
+        Arc<CompiledDbn>,
+        helio_ann::Dbn,
+    ) {
+        let dbn = trained_dbn(g);
+        let compiled = Arc::new(CompiledDbn::compile(&dbn, CompiledTier::F32).unwrap());
+        let cfg = helio_ann::DistillConfig {
+            depth_const: 3,
+            depth_vary: 3,
+            samples: 2048,
+            candidates: 16,
+            holdout: 512,
+            ..helio_ann::DistillConfig::small(3)
+        };
+        let policy =
+            Arc::new(helio_ann::DistilledPolicy::distill(&dbn, 10, &[], &cfg).unwrap());
+        (policy, compiled, dbn)
+    }
+
+    #[test]
+    fn distilled_backend_tracks_reference_dmr() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let (policy, compiled, dbn) = distilled_pair(&g);
+        let engine = Engine::new(&node, &g, &t).unwrap();
+        let reference = engine
+            .run(&mut ProposedPlanner::from_shared_dbn(
+                Arc::new(dbn),
+                0.5,
+                SwitchRule::default(),
+            ))
+            .unwrap();
+        let mut planner =
+            ProposedPlanner::from_distilled(policy, compiled, 0.5, SwitchRule::default());
+        let report = engine.run(&mut planner).unwrap();
+        assert_eq!(report.planner, "distilled");
+        assert!(
+            (report.overall_dmr() - reference.overall_dmr()).abs() < 0.05,
+            "distilled DMR {} vs reference {}",
+            report.overall_dmr(),
+            reference.overall_dmr()
+        );
+        assert_eq!(planner.fallback_count(), 0, "artifact served every period");
+    }
+
+    #[test]
+    fn distilled_faults_step_down_one_tier_at_a_time() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let (policy, compiled, _) = distilled_pair(&g);
+        let mut planner =
+            ProposedPlanner::from_distilled(policy, compiled, 0.5, SwitchRule::default());
+        let storage = &node.storage;
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        // Artifact down, compiled tier up: the fallback serves and the
+        // planner stays healthy — the chain has only stepped down once.
+        planner.inject_fault(Some(DbnFaultMode::Unavailable));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::Healthy);
+        assert!(d.allowed.is_some());
+        assert_eq!(planner.fallback_count(), 1);
+        // A NaN forward is caught by the finite-output guard regardless
+        // of which tier produced it.
+        planner.inject_fault(Some(DbnFaultMode::Nan));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::NonFinite);
+        assert_eq!(d.allowed, Some(g.all_tasks()));
+        // A contract violation latches the demotion: the compiled tier
+        // serves from here on even with no fault injected.
+        planner.inject_fault(None);
+        planner.on_contract_violation();
+        let _ = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::Healthy);
+        assert_eq!(planner.fallback_count(), 2);
+        // With the artifact demoted, an unavailability fault has no
+        // tier left to absorb it: conservative run-everything.
+        planner.inject_fault(Some(DbnFaultMode::Unavailable));
+        let d = planner.plan(&obs);
+        assert_eq!(planner.health(), PlannerHealth::DbnUnavailable);
+        assert_eq!(d.allowed, Some(g.all_tasks()));
+    }
+
+    #[test]
+    fn distilled_checkpoint_round_trips_tier_state() {
+        let node = node(1);
+        let t = trace(1);
+        let g = benchmarks::ecg();
+        let (policy, compiled, dbn) = distilled_pair(&g);
+        let storage = &node.storage;
+        let bank = helio_storage::CapacitorBank::new(&node.capacitors, storage).unwrap();
+        let obs = PlannerObservation {
+            grid: &node.grid,
+            period: helio_common::time::PeriodRef::new(0, 0),
+            graph: &g,
+            trace: &t,
+            bank: &bank,
+            accumulated_dmr: 0.0,
+            storage,
+            pmu: &node.pmu,
+        };
+        let mut a = ProposedPlanner::from_distilled(
+            Arc::clone(&policy),
+            Arc::clone(&compiled),
+            0.5,
+            SwitchRule::default(),
+        );
+        a.on_contract_violation();
+        let _ = a.plan(&obs);
+        assert_eq!(a.fallback_count(), 1);
+        let ckpt = a.save_checkpoint();
+        // A fresh planner restored from the checkpoint must not
+        // re-trust the demoted artifact.
+        let mut b = ProposedPlanner::from_distilled(policy, compiled, 0.5, SwitchRule::default());
+        b.restore_checkpoint(&ckpt).unwrap();
+        assert_eq!(b.fallback_count(), 1);
+        let _ = b.plan(&obs);
+        assert_eq!(b.fallback_count(), 2, "restored latch keeps the fallback tier");
+        // Tier state is meaningless to other backends.
+        let mut c =
+            ProposedPlanner::compile_dbn(&dbn, CompiledTier::F32, 0.5, SwitchRule::default())
+                .unwrap();
+        assert!(c.restore_checkpoint(&ckpt).is_err());
     }
 }

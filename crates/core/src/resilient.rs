@@ -232,7 +232,10 @@ impl PeriodPlanner for ResilientPlanner<'_> {
     }
 
     fn fallback_count(&self) -> usize {
-        self.fallback_periods
+        // Degraded periods anywhere in the chain: this wrapper's
+        // baseline engagements plus the inner planner's own internal
+        // tier fallbacks (e.g. distilled → compiled).
+        self.fallback_periods + self.inner.fallback_count()
     }
 
     fn degraded_events(&self) -> Vec<FaultEvent> {

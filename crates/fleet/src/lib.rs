@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig};
+use helio_ann::{CompiledDbn, CompiledTier, Dbn, DbnConfig, DistillConfig, DistilledPolicy};
 use helio_common::time::TimeGrid;
 use helio_common::units::{Farads, Seconds};
 use helio_faults::{FaultHarness, FaultPlan, ServiceFaultPlan};
@@ -355,6 +355,38 @@ impl Deserialize for DbnSpec {
     }
 }
 
+/// How to distil the shared DBN into the branch-free decision artifact
+/// at startup (requires `dbn`). The artifact is pushed through its
+/// JSON serialisation and reloaded before use, so every session
+/// exercises the exact load path a pre-built asset file would take —
+/// what the service serves is what a deployed artifact would decide.
+#[derive(Debug, Clone)]
+pub struct DistillSpec {
+    /// Seed of the distillation sampling streams.
+    pub seed: u64,
+    /// Tree levels splitting on the run-constant feature prefix.
+    pub depth_const: usize,
+    /// Tree levels splitting on the per-decision features.
+    pub depth_vary: usize,
+    /// Box samples drawn over the teacher's fitted input range.
+    pub samples: usize,
+    /// Held-out samples for the recorded teacher-agreement rate.
+    pub holdout: usize,
+}
+
+impl Deserialize for DistillSpec {
+    fn deserialize_json(v: &Value) -> Result<Self, serde::DeError> {
+        let defaults = DistillConfig::small(0);
+        Ok(Self {
+            seed: opt(v, "seed")?.unwrap_or(11),
+            depth_const: opt(v, "depth_const")?.unwrap_or(defaults.depth_const),
+            depth_vary: opt(v, "depth_vary")?.unwrap_or(defaults.depth_vary),
+            samples: opt(v, "samples")?.unwrap_or(defaults.samples),
+            holdout: opt(v, "holdout")?.unwrap_or(defaults.holdout),
+        })
+    }
+}
+
 /// First protocol line: everything the service derives once and reuses
 /// for every request.
 #[derive(Debug, Clone)]
@@ -371,6 +403,9 @@ pub struct FleetConfig {
     pub dp: DpConfig,
     /// Train a shared DBN at startup (required by `dbn` scenarios).
     pub dbn: Option<DbnSpec>,
+    /// Distil the shared DBN into the branch-free artifact at startup
+    /// (required by `distilled` scenarios; itself requires `dbn`).
+    pub distill: Option<DistillSpec>,
     /// Worker count; defaults to the configured `helio-par` pool.
     pub threads: Option<usize>,
 }
@@ -394,6 +429,7 @@ impl Deserialize for FleetConfig {
             delta: opt(v, "delta")?.unwrap_or(0.5),
             dp,
             dbn: opt(v, "dbn")?,
+            distill: opt(v, "distill")?,
             threads: opt(v, "threads")?,
         })
     }
@@ -408,9 +444,11 @@ pub struct ScenarioSpec {
     /// empty means the four standard archetypes.
     pub days: Vec<DayArchetype>,
     /// Planner kind: `asap`, `inter`, `intra`, `dbn`, `compiled-dbn`,
-    /// `compiled-dbn-i8`, `mpc`, `optimal`. The compiled kinds run the
-    /// shared DBN through the packed single-sample fast path
-    /// (tolerance-gated, not bit-identical to `dbn`).
+    /// `compiled-dbn-i8`, `distilled`, `mpc`, `optimal`. The compiled
+    /// kinds run the shared DBN through the packed single-sample fast
+    /// path (tolerance-gated, not bit-identical to `dbn`); `distilled`
+    /// runs the branch-free artifact with the compiled `f32` network
+    /// as its fallback tier (agreement-gated against the teacher).
     pub planner: String,
     /// Capacitor a fixed-pattern planner locks to; defaults to 0 for
     /// `asap`, the largest capacitor otherwise.
@@ -476,6 +514,10 @@ pub struct FleetService {
     /// `Arc`, never the packed weights.
     compiled_f32: Option<Arc<CompiledDbn>>,
     compiled_i8: Option<Arc<CompiledDbn>>,
+    /// The distilled decision artifact, reloaded from its JSON form at
+    /// startup — every `distilled` scenario clones the `Arc`, never
+    /// the tree arrays.
+    distilled: Option<Arc<DistilledPolicy>>,
     delta: f64,
     dp: DpConfig,
     scratches: Vec<BatchScratch>,
@@ -535,6 +577,33 @@ impl FleetService {
         };
         let compiled_f32 = compile(CompiledTier::F32)?;
         let compiled_i8 = compile(CompiledTier::Int8)?;
+        let distilled = match (&cfg.distill, dbn.as_deref()) {
+            (Some(spec), Some(teacher)) => {
+                let mut dcfg = DistillConfig::small(spec.seed);
+                dcfg.depth_const = spec.depth_const;
+                dcfg.depth_vary = spec.depth_vary;
+                dcfg.samples = spec.samples;
+                dcfg.holdout = spec.holdout;
+                let const_prefix = grid.slots_per_period().min(teacher.input_dim());
+                let policy = DistilledPolicy::distill(teacher, const_prefix, &[], &dcfg)
+                    .map_err(|e| FleetError::Config(format!("distillation failed: {e}")))?;
+                // Round-trip through the serde form: the artifact the
+                // service serves is bit-for-bit the artifact a
+                // pre-built asset file would load.
+                let json = policy
+                    .to_json()
+                    .map_err(|e| FleetError::Config(format!("artifact serialisation: {e}")))?;
+                let reloaded = DistilledPolicy::from_json(&json)
+                    .map_err(|e| FleetError::Config(format!("artifact reload: {e}")))?;
+                Some(Arc::new(reloaded))
+            }
+            (Some(_), None) => {
+                return Err(FleetError::Config(
+                    "`distill` requires a `dbn` spec to provide the teacher".into(),
+                ))
+            }
+            (None, _) => None,
+        };
         let workers = cfg
             .threads
             .unwrap_or_else(helio_par::configured_threads)
@@ -548,6 +617,7 @@ impl FleetService {
             dbn,
             compiled_f32,
             compiled_i8,
+            distilled,
             delta: cfg.delta,
             dp: cfg.dp,
             scratches,
@@ -649,6 +719,7 @@ impl FleetService {
             dbn,
             compiled_f32,
             compiled_i8,
+            distilled,
             delta,
             dp,
             scratches,
@@ -658,6 +729,7 @@ impl FleetService {
         let compiled = CompiledHandles {
             f32: compiled_f32.as_ref(),
             i8: compiled_i8.as_ref(),
+            distilled: distilled.as_ref(),
         };
         let seg = segment.unwrap_or(total).max(1);
         let mut ckpt = resume;
@@ -892,6 +964,9 @@ fn train_dbn(
 struct CompiledHandles<'a> {
     f32: Option<&'a Arc<CompiledDbn>>,
     i8: Option<&'a Arc<CompiledDbn>>,
+    /// The distilled artifact `distilled` scenarios run, with `f32`
+    /// as the next tier down.
+    distilled: Option<&'a Arc<DistilledPolicy>>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -951,6 +1026,28 @@ fn make_planner(
                 SwitchRule::default(),
             ))
         }
+        "distilled" => {
+            let policy = compiled.distilled.ok_or_else(|| {
+                FleetError::Protocol(
+                    "scenario requests the distilled planner but the fleet config has no \
+                     `distill` spec"
+                        .into(),
+                )
+            })?;
+            let fallback = compiled.f32.ok_or_else(|| {
+                FleetError::Protocol(
+                    "scenario requests the distilled planner but the fleet config compiled no \
+                     fallback DBN"
+                        .into(),
+                )
+            })?;
+            Box::new(ProposedPlanner::from_distilled(
+                Arc::clone(policy),
+                Arc::clone(fallback),
+                delta,
+                SwitchRule::default(),
+            ))
+        }
         "mpc" => Box::new(ProposedPlanner::mpc(
             Box::new(NoisyOracle::perfect()),
             node.grid.periods_per_day(),
@@ -973,7 +1070,7 @@ fn make_planner(
         other => {
             return Err(FleetError::Protocol(format!(
                 "unknown planner `{other}` (expected asap, inter, intra, dbn, \
-                 compiled-dbn, compiled-dbn-i8, mpc, optimal, chaos-panic:<period>)"
+                 compiled-dbn, compiled-dbn-i8, distilled, mpc, optimal, chaos-panic:<period>)"
             )))
         }
     };
